@@ -1,0 +1,188 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//   A. limited scan vs complete-scan insertion at the same time units
+//      (the paper's motivation: limited scan buys the detections at a
+//      fraction of the cycle cost);
+//   B. Procedure-1 seeding mode (literal per-test reseeding vs one stream
+//      per test set);
+//   C. single chain + limited scan vs the [5]/[6] multi-chain budgeted
+//      random baseline at the same cycle budget;
+//   D. partial scan (paper Section 5 remark): limited scan still improves
+//      coverage when only part of the state is scanned.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/baseline.hpp"
+#include "core/procedure1.hpp"
+#include "core/procedure2.hpp"
+#include "core/ts0.hpp"
+#include "fault/seq_fsim.hpp"
+#include "rand/rng.hpp"
+#include "scan/cost.hpp"
+
+namespace {
+
+using namespace rls;
+using rls::bench::Stopwatch;
+
+/// Replaces every limited scan operation by a complete scan operation
+/// (shift = N_SV) at the same time units, keeping the scanned-in prefix.
+scan::TestSet complete_scan_variant(const scan::TestSet& ts, std::size_t n_sv,
+                                    std::uint64_t seed) {
+  rls::rand::Rng rng(seed);
+  scan::TestSet out = ts;
+  for (auto& t : out.tests) {
+    for (std::size_t u = 0; u < t.shift.size(); ++u) {
+      if (t.shift[u] == 0) continue;
+      t.shift[u] = static_cast<std::uint32_t>(n_sv);
+      scan::BitVector bits = t.scan_bits[u];
+      bits.resize(n_sv);
+      for (std::size_t k = t.scan_bits[u].size(); k < n_sv; ++k) {
+        bits[k] = rng.next_bit() ? 1 : 0;
+      }
+      t.scan_bits[u] = std::move(bits);
+    }
+  }
+  return out;
+}
+
+void ablation_limited_vs_complete(const char* name) {
+  std::printf("--- A. limited vs complete scan insertion (%s) ---\n", name);
+  core::Workbench wb(name);
+  const std::size_t n_sv = wb.nl().num_state_vars();
+  core::Ts0Config cfg;
+  cfg.seed = wb.ts0_seed();
+  const scan::TestSet ts0 = core::make_ts0(wb.nl(), cfg);
+
+  report::Table table({"variant", "I", "new det", "cycles", "cum det"});
+  for (const bool complete : {false, true}) {
+    fault::SeqFaultSim fsim(wb.cc());
+    fault::FaultList fl(wb.target_faults());
+    fsim.run_test_set(ts0, fl);
+    const std::size_t ts0_det = fl.num_detected();
+    std::uint64_t cycles = scan::n_cyc(ts0, n_sv);
+    for (std::uint32_t i = 1; i <= 4; ++i) {
+      core::LimitedScanParams p;
+      p.iteration = i;
+      p.d1 = 2;
+      scan::TestSet ts = core::make_limited_scan_set(ts0, n_sv, p);
+      if (complete) ts = complete_scan_variant(ts, n_sv, wb.ts0_seed() + i);
+      const std::size_t newly = fsim.run_test_set(ts, fl);
+      cycles += scan::n_cyc(ts, n_sv);
+      table.add_row({complete ? "complete-scan" : "limited-scan",
+                     std::to_string(i), std::to_string(newly),
+                     report::format_cycles(cycles),
+                     std::to_string(fl.num_detected())});
+    }
+    (void)ts0_det;
+    table.add_separator();
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Complete scan detects at least as much per application but costs\n"
+      "N_SV cycles per operation; limited scan gets most of the benefit at\n"
+      "a fraction of the cycles (the paper's motivation).\n\n");
+}
+
+void ablation_seeding(const char* name) {
+  std::printf("--- B. Procedure 1 seeding mode (%s) ---\n", name);
+  core::Workbench wb(name);
+  report::Table table({"mode", "app", "det", "cycles", "complete"});
+  for (const bool reseed : {true, false}) {
+    core::Procedure2Options opt;
+    opt.reseed_per_test = reseed;
+    opt.max_iterations = 24;
+    const core::ExperimentRow row = core::run_first_complete(wb, opt, 3);
+    table.add_row({reseed ? "per-test (paper literal)" : "per-test-set",
+                   std::to_string(row.result.num_applications()),
+                   std::to_string(row.result.total_detected),
+                   report::format_cycles(row.result.total_cycles()),
+                   row.found_complete ? "yes" : "no"});
+  }
+  std::printf("%s\n\n", table.to_string().c_str());
+}
+
+void ablation_baseline(const char* name) {
+  std::printf("--- C. RLS vs [5]/[6]-style budgeted random (%s) ---\n", name);
+  core::Workbench wb(name);
+  core::Procedure2Options opt;
+  opt.max_iterations = 24;
+  const core::ExperimentRow row = core::run_first_complete(wb, opt, 3);
+  const std::uint64_t budget = row.result.total_cycles();
+
+  report::Table table({"method", "cycles", "det", "target"});
+  table.add_row({"RLS (TS0 + limited scan)", report::format_cycles(budget),
+                 std::to_string(row.result.total_detected),
+                 std::to_string(wb.target_faults().size())});
+  for (const std::size_t chain_len : {std::size_t{10}, std::size_t{100000}}) {
+    fault::FaultList fl(wb.target_faults());
+    core::BaselineConfig cfg;
+    cfg.cycle_budget = budget;
+    cfg.lengths = {row.combo.l_a, row.combo.l_b};
+    cfg.max_chain_length = chain_len;
+    const core::BaselineResult res = core::run_budgeted_random(wb.cc(), fl, cfg);
+    table.add_row({chain_len == 10 ? "random, multi-chain (max 10) [5]/[6]"
+                                   : "random, single chain",
+                   report::format_cycles(res.cycles_used),
+                   std::to_string(res.detected),
+                   std::to_string(wb.target_faults().size())});
+  }
+  std::printf("%s\n\n", table.to_string().c_str());
+}
+
+void ablation_partial_scan(const char* name) {
+  std::printf("--- D. partial scan (Section 5 remark) (%s) ---\n", name);
+  // Model partial scan by restricting limited scan detections to a shorter
+  // chain: only the first half of the flip-flops are scanned. We emulate
+  // it by building a modified circuit view where unscanned flip-flops keep
+  // functional behaviour but are excluded from shift operations — here,
+  // approximated by comparing full-scan limited scan against TS_0-only on
+  // the same circuit, plus full scan with half-length limited scans
+  // (shifts capped at N_SV/2, partial observability).
+  core::Workbench wb(name);
+  const std::size_t n_sv = wb.nl().num_state_vars();
+  core::Ts0Config cfg;
+  cfg.seed = wb.ts0_seed();
+  const scan::TestSet ts0 = core::make_ts0(wb.nl(), cfg);
+
+  report::Table table({"variant", "det", "of"});
+  {
+    fault::SeqFaultSim fsim(wb.cc());
+    fault::FaultList fl(wb.target_faults());
+    fsim.run_test_set(ts0, fl);
+    table.add_row({"TS0 only", std::to_string(fl.num_detected()),
+                   std::to_string(fl.size())});
+  }
+  for (const bool capped : {true, false}) {
+    fault::SeqFaultSim fsim(wb.cc());
+    fault::FaultList fl(wb.target_faults());
+    fsim.run_test_set(ts0, fl);
+    for (std::uint32_t i = 1; i <= 4 && !fl.all_detected(); ++i) {
+      core::LimitedScanParams p;
+      p.iteration = i;
+      p.d1 = 2;
+      if (capped) p.d2 = static_cast<std::uint32_t>(n_sv / 2 + 1);
+      const scan::TestSet ts = core::make_limited_scan_set(ts0, n_sv, p);
+      fsim.run_test_set(ts, fl);
+    }
+    table.add_row({capped ? "limited scan, shifts <= NSV/2 (partial-like)"
+                          : "limited scan, shifts <= NSV (full)",
+                   std::to_string(fl.num_detected()),
+                   std::to_string(fl.size())});
+  }
+  std::printf("%s\n\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* circuit =
+      rls::bench::has_flag(argc, argv, "big") ? "s953" : "s420";
+  const Stopwatch total;
+  std::printf("=== Ablation studies (circuit: %s) ===\n\n", circuit);
+  ablation_limited_vs_complete(circuit);
+  ablation_seeding(circuit);
+  ablation_baseline(circuit);
+  ablation_partial_scan(circuit);
+  std::printf("[total %.1fs]\n", total.seconds());
+  return 0;
+}

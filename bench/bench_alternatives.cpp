@@ -1,0 +1,167 @@
+// Quantitative comparison of limited scan against the alternatives the
+// paper's introduction lists: weighted random patterns, multiple seeds,
+// and test points — all at comparable clock-cycle budgets, plus the
+// signature-compaction (MISR) variant of the RLS flow itself.
+#include <cstdio>
+
+#include "analysis/test_points.hpp"
+#include "bench_common.hpp"
+#include "core/alternatives.hpp"
+#include "core/baseline.hpp"
+#include "core/procedure2.hpp"
+#include "fault/seq_fsim.hpp"
+#include "scan/cost.hpp"
+
+namespace {
+
+using namespace rls;
+using rls::bench::Stopwatch;
+
+struct Row {
+  std::string method;
+  std::size_t detected;
+  std::uint64_t cycles;
+  std::string note;
+};
+
+void compare_on(const char* name) {
+  std::printf("--- %s ---\n", name);
+  core::Workbench wb(name);
+  const std::size_t n_sv = wb.nl().num_state_vars();
+  const std::size_t target = wb.target_faults().size();
+
+  // Reference: the RLS flow at its first complete combination.
+  core::Procedure2Options p2;
+  p2.max_iterations = 24;
+  const core::ExperimentRow rls_row = core::run_first_complete(wb, p2, 3);
+  const std::uint64_t budget = rls_row.result.total_cycles();
+  const core::Combo combo = rls_row.combo;
+
+  std::vector<Row> rows;
+  rows.push_back({"RLS (limited scan)", rls_row.result.total_detected, budget,
+                  rls_row.found_complete ? "complete" : "incomplete"});
+
+  // RLS with MISR signature compaction (BIST-realistic observation).
+  {
+    core::Ts0Config cfg;
+    cfg.l_a = combo.l_a;
+    cfg.l_b = combo.l_b;
+    cfg.n = combo.n;
+    cfg.seed = wb.ts0_seed();
+    const scan::TestSet ts0 = core::make_ts0(wb.nl(), cfg);
+    fault::FaultList fl(wb.target_faults());
+    fault::SeqFaultSim fsim(wb.cc());
+    fsim.set_observation_mode(fault::ObservationMode::kSignature, 32);
+    fsim.run_test_set(ts0, fl);
+    std::uint64_t cycles = scan::n_cyc(ts0, n_sv);
+    for (std::uint32_t i = 1; i <= 8 && !fl.all_detected() && cycles < budget;
+         ++i) {
+      for (std::uint32_t d1 = 1; d1 <= 10 && cycles < budget; ++d1) {
+        core::LimitedScanParams p;
+        p.iteration = i;
+        p.d1 = d1;
+        const scan::TestSet ts = core::make_limited_scan_set(ts0, n_sv, p);
+        fsim.run_test_set(ts, fl);
+        cycles += scan::n_cyc(ts, n_sv);
+      }
+    }
+    rows.push_back({"RLS + 32-bit MISR", fl.num_detected(), cycles,
+                    "signature compaction"});
+  }
+
+  // Plain budgeted random (single chain, same lengths).
+  {
+    fault::FaultList fl(wb.target_faults());
+    core::BaselineConfig cfg;
+    cfg.cycle_budget = budget;
+    cfg.lengths = {combo.l_a, combo.l_b};
+    cfg.max_chain_length = n_sv;
+    const core::BaselineResult res =
+        core::run_budgeted_random(wb.cc(), fl, cfg);
+    rows.push_back({"plain random", res.detected, res.cycles_used, ""});
+  }
+
+  // Weighted random at the same budget.
+  {
+    const std::vector<double> w =
+        core::derive_weights(wb.cc(), wb.target_faults());
+    fault::FaultList fl(wb.target_faults());
+    fault::SeqFaultSim fsim(wb.cc());
+    std::uint64_t cycles = 0;
+    std::uint64_t seed = wb.ts0_seed();
+    while (cycles < budget && !fl.all_detected()) {
+      core::Ts0Config cfg;
+      cfg.l_a = combo.l_a;
+      cfg.l_b = combo.l_b;
+      cfg.n = combo.n;
+      cfg.seed = seed++;
+      const scan::TestSet ts = core::make_weighted_ts0(wb.nl(), cfg, w);
+      fsim.run_test_set(ts, fl);
+      cycles += scan::n_cyc(ts, n_sv);
+    }
+    rows.push_back({"weighted random", fl.num_detected(), cycles,
+                    "COP-derived weights"});
+  }
+
+  // Multi-seed random at the same budget.
+  {
+    fault::FaultList fl(wb.target_faults());
+    core::Ts0Config cfg;
+    cfg.l_a = combo.l_a;
+    cfg.l_b = combo.l_b;
+    cfg.n = combo.n;
+    cfg.seed = wb.ts0_seed();
+    const std::uint64_t per_seed = scan::n_cyc0(n_sv, cfg.l_a, cfg.l_b, cfg.n);
+    const std::size_t seeds = std::max<std::uint64_t>(1, budget / per_seed);
+    const core::MultiSeedResult res =
+        core::run_multi_seed(wb.cc(), fl, cfg, seeds);
+    rows.push_back({"multi-seed random", res.detected, res.cycles,
+                    std::to_string(res.seeds_used) + " seeds"});
+  }
+
+  // Test points + plain random at the same budget.
+  {
+    const analysis::TestPointPlan plan =
+        analysis::select_test_points(wb.cc(), 4, 2);
+    core::Workbench tp_wb(analysis::apply_test_points(wb.nl(), plan));
+    fault::FaultList fl(tp_wb.target_faults());
+    core::BaselineConfig cfg;
+    cfg.cycle_budget = budget;
+    cfg.lengths = {combo.l_a, combo.l_b};
+    cfg.max_chain_length = tp_wb.nl().num_state_vars();
+    const core::BaselineResult res =
+        core::run_budgeted_random(tp_wb.cc(), fl, cfg);
+    rows.push_back({"test points + random", res.detected, res.cycles_used,
+                    "4 observe + 2 control; its own fault universe"});
+  }
+
+  report::Table table({"method", "det", "of", "cycles", "note"});
+  for (const Row& r : rows) {
+    table.add_row({r.method, std::to_string(r.detected),
+                   std::to_string(target), report::format_cycles(r.cycles),
+                   r.note});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Stopwatch total;
+  std::printf(
+      "=== Alternatives to limited scan (intro of the paper), equal cycle "
+      "budgets ===\n\n");
+  const std::string only = rls::bench::get_opt(argc, argv, "circuit", "");
+  for (const char* name : {"s208", "s420", "s953"}) {
+    if (!only.empty() && only != name) continue;
+    compare_on(name);
+  }
+  std::printf(
+      "Note: the test-point row detects within its own (transformed) fault\n"
+      "universe; all other rows share the original circuit's detectable\n"
+      "universe. Shapes to check: RLS completes where plain/multi-seed\n"
+      "random saturate below 100%%; weighted random and test points close\n"
+      "part of the gap; the MISR variant tracks RLS minus small aliasing.\n");
+  std::printf("[total %.1fs]\n", total.seconds());
+  return 0;
+}

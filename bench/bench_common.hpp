@@ -1,0 +1,89 @@
+// Shared helpers for the table-regeneration benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "report/format.hpp"
+
+namespace rls::bench {
+
+/// Simple flag lookup: returns true if `--name` appears in argv.
+inline bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == "--" + name) return true;
+  }
+  return false;
+}
+
+/// String option `--name=value`; returns fallback when absent.
+inline std::string get_opt(int argc, char** argv, const std::string& name,
+                           const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The paper's Table 6 circuit list, with the 1/8-scale stand-in for
+/// s35932 by default (pass --full to bench_table6 for the full profile).
+inline std::vector<std::string> table6_circuits(bool full_scale) {
+  std::vector<std::string> v{"s208", "s298", "s344", "s382", "s400",  "s420",
+                             "s510", "s641", "s820", "s953", "s1196", "s1423",
+                             "s5378"};
+  v.push_back(full_scale ? "s35932" : "s35932s");
+  for (const char* b : {"b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11"}) {
+    v.emplace_back(b);
+  }
+  return v;
+}
+
+/// Formats one experiment row in the paper's Table 6/7/8 layout.
+inline std::vector<std::string> format_row(const core::ExperimentRow& row,
+                                           bool with_initial) {
+  using report::format_cycles;
+  using report::format_fixed;
+  std::vector<std::string> cells;
+  cells.push_back(row.circuit);
+  cells.push_back(std::to_string(row.combo.l_a) + "," +
+                  std::to_string(row.combo.l_b) + "," +
+                  std::to_string(row.combo.n));
+  if (with_initial) {
+    cells.push_back(std::to_string(row.result.ts0_detected));
+    cells.push_back(format_cycles(row.result.ncyc0));
+  }
+  const std::size_t app = row.result.num_applications();
+  cells.push_back(std::to_string(app));
+  if (app == 0) {
+    cells.push_back("");
+    cells.push_back("");
+    cells.push_back("");
+  } else {
+    cells.push_back(std::to_string(row.result.total_detected));
+    cells.push_back(format_cycles(row.result.total_cycles()));
+    cells.push_back(format_fixed(row.result.average_limited_scan_units(), 2));
+  }
+  cells.push_back(std::to_string(row.target_faults));
+  cells.push_back(row.found_complete ? "yes" : "no");
+  return cells;
+}
+
+}  // namespace rls::bench

@@ -1,0 +1,84 @@
+// Shared implementation of the Table 3 / Table 4 (L_A, L_B, N) grids:
+// for every combination with L_A < L_B, run Procedure 2 to completion and
+// report N_cyc (dash if complete coverage is not reached), next to the
+// analytic N_cyc0 grid.
+#pragma once
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/param_select.hpp"
+#include "scan/cost.hpp"
+
+namespace rls::bench {
+
+inline void run_grid(const std::string& circuit, int argc, char** argv) {
+  const Stopwatch clock;
+  const bool quick = has_flag(argc, argv, "quick");
+  core::Workbench wb(circuit);
+  std::printf(
+      "Circuit %s: N_SV=%zu, %zu collapsed faults, %zu detectable targets\n\n",
+      wb.name().c_str(), wb.nl().num_state_vars(), wb.universe().size(),
+      wb.target_faults().size());
+
+  core::Procedure2Options opt;
+  opt.max_iterations = quick ? 12 : 40;
+
+  const auto& las = core::default_la_choices();
+  const auto& lbs = core::default_lb_choices();
+  const auto& ns = core::default_n_choices();
+
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, std::string> ncyc;
+  for (std::size_t n : ns) {
+    for (std::size_t la : las) {
+      for (std::size_t lb : lbs) {
+        if (la >= lb) continue;
+        core::Combo combo{la, lb, n,
+                          scan::n_cyc0(wb.nl().num_state_vars(), la, lb, n)};
+        const core::ComboRun run =
+            core::run_combo(wb.cc(), wb.target_faults(), combo, opt,
+                            wb.ts0_seed());
+        ncyc[{n, la, lb}] = run.result.complete
+                                ? report::format_cycles(run.result.total_cycles())
+                                : "-";
+      }
+    }
+  }
+
+  auto print_grid = [&](const char* title, bool analytic) {
+    std::printf("%s\n", title);
+    std::vector<std::string> header{"N", "LA"};
+    for (std::size_t lb : lbs) header.push_back("LB=" + std::to_string(lb));
+    report::Table table(header);
+    for (std::size_t n : ns) {
+      for (std::size_t la : las) {
+        bool any = false;
+        std::vector<std::string> row{"N=" + std::to_string(n),
+                                     std::to_string(la)};
+        for (std::size_t lb : lbs) {
+          if (la >= lb) {
+            row.push_back("");
+            continue;
+          }
+          any = true;
+          if (analytic) {
+            row.push_back(report::format_cycles(
+                scan::n_cyc0(wb.nl().num_state_vars(), la, lb, n)));
+          } else {
+            row.push_back(ncyc[{n, la, lb}]);
+          }
+        }
+        if (any) table.add_row(row);
+      }
+      table.add_separator();
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  };
+
+  print_grid("Ncyc (measured; '-' = complete coverage not reached)", false);
+  print_grid("Ncyc0 (analytic; reproduces the paper exactly)", true);
+  std::printf("[elapsed %.1fs]\n", clock.seconds());
+}
+
+}  // namespace rls::bench

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark): simulator and generator throughput.
+// Not a paper table — engineering baselines for the library itself.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/procedure1.hpp"
+#include "core/ts0.hpp"
+#include "fault/collapse.hpp"
+#include "fault/comb_fsim.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "rand/lfsr.hpp"
+#include "rand/rng.hpp"
+#include "sim/compiled.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace {
+
+using namespace rls;
+
+struct Fixture {
+  netlist::Netlist nl;
+  sim::CompiledCircuit cc;
+  explicit Fixture(const char* name) : nl(gen::make_circuit(name)), cc(nl) {}
+};
+
+Fixture& fixture(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<Fixture>> cache;
+  auto& slot = cache[name];
+  if (!slot) slot = std::make_unique<Fixture>(name.c_str());
+  return *slot;
+}
+
+void BM_CombEval(benchmark::State& state, const char* name) {
+  Fixture& f = fixture(name);
+  sim::SeqSim sim(f.cc);
+  rls::rand::Rng rng(1);
+  for (std::size_t k = 0; k < f.cc.inputs().size(); ++k) {
+    sim.set_input(k, rng.next_u64());
+  }
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.values().data());
+    evals += f.cc.order().size();
+  }
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(evals), benchmark::Counter::kIsRate);
+  state.counters["lanes"] = sim::kLanes;
+}
+BENCHMARK_CAPTURE(BM_CombEval, s298, "s298");
+BENCHMARK_CAPTURE(BM_CombEval, s1423, "s1423");
+BENCHMARK_CAPTURE(BM_CombEval, s5378, "s5378");
+
+void BM_SeqFaultSimTs0(benchmark::State& state, const char* name) {
+  Fixture& f = fixture(name);
+  core::Ts0Config cfg;
+  cfg.n = 8;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  const auto faults = fault::collapsed_universe(f.nl);
+  for (auto _ : state) {
+    fault::SeqFaultSim fsim(f.cc);
+    fault::FaultList fl(faults);
+    fsim.run_test_set(ts0, fl);
+    benchmark::DoNotOptimize(fl.num_detected());
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK_CAPTURE(BM_SeqFaultSimTs0, s298, "s298");
+BENCHMARK_CAPTURE(BM_SeqFaultSimTs0, s953, "s953");
+
+void BM_CombFaultSimRound(benchmark::State& state, const char* name) {
+  Fixture& f = fixture(name);
+  fault::CombFaultSim fsim(f.cc);
+  rls::rand::Rng rng(2);
+  std::vector<sim::Word> pi(f.cc.inputs().size()), ppi(f.cc.flip_flops().size());
+  const auto faults = fault::collapsed_universe(f.nl);
+  for (auto _ : state) {
+    for (auto& w : pi) w = rng.next_u64();
+    for (auto& w : ppi) w = rng.next_u64();
+    fsim.set_patterns(pi, ppi);
+    std::size_t det = 0;
+    for (const auto& flt : faults) det += fsim.detect_mask(flt) != 0;
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK_CAPTURE(BM_CombFaultSimRound, s1423, "s1423");
+BENCHMARK_CAPTURE(BM_CombFaultSimRound, s5378, "s5378");
+
+void BM_Lfsr(benchmark::State& state) {
+  rls::rand::GaloisLfsr lfsr(32, 0xACE1);
+  std::uint64_t bits = 0;
+  for (auto _ : state) {
+    bits += lfsr.next_bits(32);
+    benchmark::DoNotOptimize(bits);
+  }
+}
+BENCHMARK(BM_Lfsr);
+
+void BM_SynthesizeCircuit(benchmark::State& state, const char* name) {
+  for (auto _ : state) {
+    const netlist::Netlist nl = gen::make_circuit(name);
+    benchmark::DoNotOptimize(nl.num_gates());
+  }
+}
+BENCHMARK_CAPTURE(BM_SynthesizeCircuit, s1423, "s1423");
+BENCHMARK_CAPTURE(BM_SynthesizeCircuit, s5378, "s5378");
+
+void BM_Procedure1Schedule(benchmark::State& state) {
+  Fixture& f = fixture("s953");
+  core::Ts0Config cfg;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  core::LimitedScanParams p;
+  p.d1 = 3;
+  for (auto _ : state) {
+    const scan::TestSet ts =
+        core::make_limited_scan_set(ts0, f.nl.num_state_vars(), p);
+    benchmark::DoNotOptimize(ts.total_shift());
+  }
+}
+BENCHMARK(BM_Procedure1Schedule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

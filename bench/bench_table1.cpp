@@ -1,0 +1,142 @@
+// Regenerates Table 1 (s27 test without / with a limited scan operation)
+// and Table 2 (timing-accurate expansion) from the paper's Section 2.
+//
+// Fault-free columns reproduce the paper bit-for-bit. The paper's
+// illustration fault `f` is unnamed; we print a concrete fault with the
+// same behaviour (undetected by the plain test, detected on the primary
+// output at time unit 3 once the limited scan is inserted).
+#include <cstdio>
+
+#include "fault/fault.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/s27.hpp"
+#include "report/format.hpp"
+#include "scan/schedule.hpp"
+#include "sim/compiled.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace {
+
+using namespace rls;
+
+const scan::BitVector kSi{0, 0, 1};
+const std::vector<scan::BitVector> kT{
+    {0, 1, 1, 1}, {1, 0, 0, 1}, {0, 1, 1, 1}, {1, 0, 0, 1}, {0, 1, 0, 0}};
+
+std::string bits_to_string(const std::vector<std::uint8_t>& bits) {
+  std::string s;
+  for (std::uint8_t b : bits) s += static_cast<char>('0' + b);
+  return s;
+}
+
+/// Simulates the test with an optional single fault in lane 1 (lane 0 is
+/// fault-free), printing the paper's S(u), Z(u) columns as good/faulty.
+void print_trace(const sim::CompiledCircuit& cc, const scan::ScanTest& t,
+                 const fault::Fault* f, const char* title) {
+  std::printf("%s\n", title);
+  report::Table table({"u", "shift(u)", "T(u)", "S(u)", "Z(u)"});
+  sim::SeqSim s(cc);
+  s.load_state_broadcast(t.scan_in);
+
+  auto dual_state = [&] {
+    std::string good, bad;
+    for (std::size_t k = 0; k < 3; ++k) {
+      good += sim::lane_bit(s.state_word(k), 0) ? '1' : '0';
+      bad += sim::lane_bit(s.state_word(k), 1) ? '1' : '0';
+    }
+    return good + "/" + bad;
+  };
+
+  for (std::size_t u = 0; u < t.vectors.size(); ++u) {
+    const std::uint32_t sh = u < t.shift.size() ? t.shift[u] : 0;
+    for (std::uint32_t j = 0; j < sh; ++j) {
+      s.shift(sim::broadcast(t.scan_bits[u][j] != 0));
+    }
+    s.set_inputs_broadcast(t.vectors[u]);
+    // Dual-machine evaluation: lane 1 carries the fault.
+    auto vals = s.mutable_values();
+    for (netlist::SignalId id : cc.order()) {
+      sim::Word w = cc.eval_gate(id, vals);
+      if (f && f->pin >= 0 && id == f->gate) {
+        const bool bit = cc.eval_gate_lane(id, vals, 1, f->pin, f->stuck != 0);
+        w = sim::with_lane(w, 1, bit);
+      }
+      if (f && f->pin < 0 && id == f->gate) {
+        w = sim::with_lane(w, 1, f->stuck != 0);
+      }
+      vals[id] = w;
+    }
+    const std::string z =
+        std::string(1, sim::lane_bit(vals[cc.outputs()[0]], 0) ? '1' : '0') +
+        "/" + (sim::lane_bit(vals[cc.outputs()[0]], 1) ? '1' : '0');
+    table.add_row({std::to_string(u), std::to_string(sh),
+                   bits_to_string(t.vectors[u]), dual_state(), z});
+    s.clock();
+    // DFF D-pin faults corrupt the captured value (lane 1 only).
+    if (f && f->pin >= 0 &&
+        cc.nl().gate(f->gate).type == netlist::GateType::kDff) {
+      for (std::size_t k = 0; k < cc.flip_flops().size(); ++k) {
+        if (cc.flip_flops()[k] == f->gate) {
+          auto v = s.mutable_values();
+          v[f->gate] = sim::with_lane(v[f->gate], 1, f->stuck != 0);
+        }
+      }
+    }
+  }
+  table.add_row({std::to_string(t.vectors.size()), "", "", dual_state(), ""});
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const netlist::Netlist nl = gen::make_s27();
+  const sim::CompiledCircuit cc(nl);
+
+  scan::ScanTest plain;
+  plain.scan_in = kSi;
+  plain.vectors = kT;
+
+  scan::ScanTest limited = plain;
+  limited.shift = {0, 0, 0, 1, 0};
+  limited.scan_bits = {{}, {}, {}, {0}, {}};
+
+  // Find a fault with the paper's behaviour: undetected by the plain test,
+  // detected with the limited scan operation.
+  fault::SeqFaultSim fsim(cc);
+  fault::Fault f{};
+  bool found = false;
+  for (const fault::Fault& cand : fault::full_universe(nl)) {
+    // Prefer a fault on the combinational logic so the dual-machine trace
+    // below shows the divergence in S(u)/Z(u) directly.
+    if (nl.gate(cand.gate).type == netlist::GateType::kDff) continue;
+    const fault::Fault group[1] = {cand};
+    if ((fsim.run_test(plain, group) & 1) == 0 &&
+        (fsim.run_test(limited, group) & 1) == 1) {
+      f = cand;
+      found = true;
+      break;
+    }
+  }
+
+  std::printf("=== Table 1: a test for s27 ===\n");
+  std::printf("Test tau = (SI, T), SI = 001, T = (0111, 1001, 0111, 1001, 0100)\n");
+  if (found) {
+    std::printf("Illustration fault f = %s\n\n", fault_name(nl, f).c_str());
+  }
+  print_trace(cc, plain, found ? &f : nullptr,
+              "(a) Without limited scan  [fault undetected]");
+  print_trace(cc, limited, found ? &f : nullptr,
+              "(b) With limited scan: shift(3) = 1, scan-in bit 0  "
+              "[fault detected at the PO at time unit 3]");
+
+  std::printf("=== Table 2: timing-accurate view of Table 1(b) ===\n");
+  const auto cycles = scan::expand_schedule(limited, /*include_scan_out=*/true);
+  std::printf("%s\n", scan::to_string(cycles).c_str());
+  std::printf(
+      "Total cycles excluding the overlapped scan-out: %llu "
+      "(N_SV=3 scan-in + 5 vectors + 1 limited-scan shift)\n",
+      static_cast<unsigned long long>(
+          scan::test_cycles_excluding_scan_out(limited)));
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Table 3: numbers of clock cycles for s208 over the (L_A, L_B, N) grid.
+#include "bench_grid.hpp"
+
+int main(int argc, char** argv) {
+  std::printf("=== Table 3: numbers of clock cycles for s208 ===\n\n");
+  rls::bench::run_grid("s208", argc, argv);
+  return 0;
+}

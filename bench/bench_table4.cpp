@@ -1,0 +1,8 @@
+// Table 4: numbers of clock cycles for s420 over the (L_A, L_B, N) grid.
+#include "bench_grid.hpp"
+
+int main(int argc, char** argv) {
+  std::printf("=== Table 4: numbers of clock cycles for s420 ===\n\n");
+  rls::bench::run_grid("s420", argc, argv);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 7: the same experiment as Table 6 but sweeping D_1 = 10, 9, ..., 1
+// (preference for fewer limited scan operations, i.e. longer at-speed
+// sequences). Expected shape vs Table 6: lower `ls`, usually more applied
+// pairs, cycles moving both ways.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rls;
+  using namespace rls::bench;
+
+  const bool full = has_flag(argc, argv, "full");
+  const bool quick = has_flag(argc, argv, "quick");
+  const std::string only = get_opt(argc, argv, "circuit", "");
+
+  std::printf("=== Table 7: using D1 = 10,9,...,1 in Procedure 2 ===\n\n");
+  report::Table table({"circuit", "LA,LB,N", "app", "det", "cycles", "ls",
+                       "target", "complete"});
+  const Stopwatch total;
+  for (const std::string& name : table6_circuits(full)) {
+    if (!only.empty() && only != name) continue;
+    const Stopwatch clock;
+    core::Workbench wb(name);
+    core::Procedure2Options opt;
+    // Big circuits get a bounded search so the default sweep stays
+    // tractable on one core; pass --circuit=<name> for a focused deep run.
+    const bool big = wb.nl().num_gates() > 2200;
+    const std::size_t attempts = quick ? 4 : (big ? 2 : 10);
+    opt.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+    opt.max_iterations = quick ? 10 : (big ? 10 : 24);
+    const core::ExperimentRow row = run_first_complete(wb, opt, 6, attempts);
+    table.add_row(format_row(row, /*with_initial=*/false));
+    std::fprintf(stderr, "[%s done in %.1fs]\n", name.c_str(), clock.seconds());
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Same (LA,LB,N) selection policy as Table 6; only the D1 sweep order\n"
+      "changes. Compare ls against Table 6: decreasing order gives longer\n"
+      "at-speed sequences (lower ls).\n");
+  std::printf("[total %.1fs]\n", total.seconds());
+  return 0;
+}

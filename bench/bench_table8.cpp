@@ -1,0 +1,59 @@
+// Table 8: for selected circuits, several (L_A, L_B, N) combinations —
+// larger values reduce the number of (I, D_1) pairs that must be stored,
+// usually at the price of more clock cycles.
+#include <array>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rls;
+  using namespace rls::bench;
+  const bool quick = has_flag(argc, argv, "quick");
+
+  // The paper's per-circuit combination lists (Table 8).
+  struct Entry {
+    const char* circuit;
+    std::vector<std::array<std::size_t, 3>> combos;
+  };
+  const std::vector<Entry> entries{
+      {"s208", {{8, 16, 64}, {8, 32, 64}, {8, 64, 64}, {8, 128, 64}}},
+      {"s420",
+       {{8, 32, 128}, {16, 64, 128}, {32, 64, 128}, {64, 256, 64},
+        {16, 256, 256}}},
+      {"s641", {{16, 256, 128}, {8, 128, 256}, {16, 256, 256}}},
+      {"s953", {{8, 16, 64}, {8, 32, 64}, {8, 64, 64}}},
+      {"s1196", {{16, 128, 256}, {32, 128, 256}}},
+      {"s1423",
+       {{16, 64, 64}, {32, 64, 64}, {8, 128, 64}, {16, 256, 64},
+        {8, 256, 128}, {32, 256, 128}}},
+      {"b09",
+       {{8, 16, 64}, {8, 32, 64}, {8, 64, 64}, {32, 64, 64}, {16, 128, 64},
+        {8, 256, 64}}},
+  };
+
+  std::printf("=== Table 8: different combinations of LA, LB and N ===\n\n");
+  report::Table table({"circuit", "LA,LB,N", "det0", "cycles0", "app", "det",
+                       "cycles", "ls", "target", "complete"});
+  const Stopwatch total;
+  for (const Entry& e : entries) {
+    const Stopwatch clock;
+    core::Workbench wb(e.circuit);
+    core::Procedure2Options opt;
+    opt.max_iterations = quick ? 12 : 24;
+    for (const auto& [la, lb, n] : e.combos) {
+      const core::ExperimentRow row =
+          run_single_combo(wb, core::Combo{la, lb, n, 0}, opt);
+      table.add_row(format_row(row, /*with_initial=*/true));
+    }
+    table.add_separator();
+    std::fprintf(stderr, "[%s done in %.1fs]\n", e.circuit, clock.seconds());
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape check vs the paper: within a circuit, larger (LA,LB,N) should\n"
+      "reduce `app` (fewer (I,D1) pairs to store) while `cycles` tends to\n"
+      "grow.\n");
+  std::printf("[total %.1fs]\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Hardware view of the method: everything Procedure 1/2 need on-chip is a
+// pair of LFSRs and a few counters. This example models that datapath
+// explicitly with the library's LFSR primitives:
+//
+//   * PRPG LFSR      — feeds scan-in bits and primary input vectors;
+//   * control LFSR   — reseeded with seed(I) per test, produces the r1/r2
+//                      draws that schedule limited scan operations;
+//   * stored control — only (I, D1) pairs, L_A, L_B and N are stored.
+//
+// It then cross-checks that the LFSR-driven test set behaves like the
+// software model: same structure, deterministic regeneration, and improved
+// coverage from the limited scan operations.
+#include <cstdio>
+
+#include "fault/collapse.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "rand/lfsr.hpp"
+#include "report/format.hpp"
+#include "scan/cost.hpp"
+#include "sim/compiled.hpp"
+
+namespace {
+
+using namespace rls;
+
+/// On-chip test-pattern generator: one maximal-length Galois LFSR.
+class Prpg {
+ public:
+  explicit Prpg(std::uint64_t seed) : lfsr_(32, seed) {}
+  scan::BitVector bits(std::size_t n) {
+    scan::BitVector v(n);
+    for (auto& b : v) b = lfsr_.step() ? 1 : 0;
+    return v;
+  }
+
+ private:
+  rls::rand::GaloisLfsr lfsr_;
+};
+
+/// The limited-scan controller: per test, reseeded with seed(I); each time
+/// unit draws r1 (16 bits); if r1 mod D1 == 0 draws r2 and shifts the chain
+/// r2 mod D2 positions, feeding PRPG bits.
+class LimitedScanController {
+ public:
+  LimitedScanController(std::uint64_t seed_i, std::uint32_t d1, std::uint32_t d2)
+      : seed_i_(seed_i), d1_(d1), d2_(d2), lfsr_(32, seed_i) {}
+
+  void start_test() { lfsr_.set_state(seed_i_); }
+
+  std::uint32_t shifts_at(std::size_t u) {
+    if (u == 0) return 0;
+    const std::uint32_t r1 = static_cast<std::uint32_t>(lfsr_.next_bits(16));
+    if (r1 % d1_ != 0) return 0;
+    const std::uint32_t r2 = static_cast<std::uint32_t>(lfsr_.next_bits(16));
+    return r2 % d2_;
+  }
+
+  std::uint8_t scan_bit() { return lfsr_.step() ? 1 : 0; }
+
+ private:
+  std::uint64_t seed_i_;
+  std::uint32_t d1_, d2_;
+  rls::rand::GaloisLfsr lfsr_;
+};
+
+scan::TestSet lfsr_test_set(const netlist::Netlist& nl, std::size_t la,
+                            std::size_t lb, std::size_t n,
+                            std::uint64_t prpg_seed,
+                            LimitedScanController* ctrl) {
+  Prpg prpg(prpg_seed);  // same seed => same TS_0, as the paper requires
+  scan::TestSet ts;
+  const std::size_t n_sv = nl.num_state_vars();
+  const std::size_t n_pi = nl.num_inputs();
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const std::size_t len = i < n ? la : lb;
+    scan::ScanTest t;
+    t.scan_in = prpg.bits(n_sv);
+    for (std::size_t u = 0; u < len; ++u) {
+      t.vectors.push_back(prpg.bits(n_pi));
+    }
+    if (ctrl) {
+      ctrl->start_test();
+      t.shift.assign(len, 0);
+      t.scan_bits.assign(len, {});
+      for (std::size_t u = 1; u < len; ++u) {
+        const std::uint32_t s = ctrl->shifts_at(u);
+        t.shift[u] = s;
+        for (std::uint32_t j = 0; j < s; ++j) {
+          t.scan_bits[u].push_back(ctrl->scan_bit());
+        }
+      }
+    }
+    ts.tests.push_back(std::move(t));
+  }
+  return ts;
+}
+
+}  // namespace
+
+int main() {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const std::size_t n_sv = nl.num_state_vars();
+  constexpr std::uint64_t kPrpgSeed = 0xACE1;
+
+  std::printf("hardware BIST model on %s (N_SV=%zu)\n\n", nl.name().c_str(),
+              n_sv);
+
+  // Storage budget of the scheme: this is ALL the tester needs to keep.
+  std::printf("stored control state: LA=8, LB=16, N=64, PRPG seed 0x%llX,\n",
+              static_cast<unsigned long long>(kPrpgSeed));
+  std::printf("plus one 64-bit seed(I) and a 4-bit D1 per selected pair.\n\n");
+
+  // TS_0 from the PRPG, twice — must regenerate identically.
+  const scan::TestSet ts0_a = lfsr_test_set(nl, 8, 16, 64, kPrpgSeed, nullptr);
+  const scan::TestSet ts0_b = lfsr_test_set(nl, 8, 16, 64, kPrpgSeed, nullptr);
+  bool identical = ts0_a.size() == ts0_b.size();
+  for (std::size_t i = 0; identical && i < ts0_a.size(); ++i) {
+    identical = ts0_a.tests[i].scan_in == ts0_b.tests[i].scan_in &&
+                ts0_a.tests[i].vectors == ts0_b.tests[i].vectors;
+  }
+  std::printf("TS_0 regeneration from the same seed: %s\n",
+              identical ? "bit-identical (as required)" : "MISMATCH (bug!)");
+
+  // Fault-sim TS_0, then LFSR-scheduled limited scan sets for I=1..4, D1=2.
+  fault::SeqFaultSim fsim(cc);
+  fault::FaultList fl(fault::collapsed_universe(nl));
+  fsim.run_test_set(ts0_a, fl);
+  std::printf("TS_0 coverage: %zu / %zu collapsed faults\n\n",
+              fl.num_detected(), fl.size());
+
+  report::Table table({"I", "D1", "N_SH", "new det", "cycles"});
+  for (std::uint32_t i = 1; i <= 4 && !fl.all_detected(); ++i) {
+    LimitedScanController ctrl(0x5EED0000ull + i, /*d1=*/2,
+                               static_cast<std::uint32_t>(n_sv + 1));
+    const scan::TestSet ts = lfsr_test_set(nl, 8, 16, 64, kPrpgSeed, &ctrl);
+    const std::size_t newly = fsim.run_test_set(ts, fl);
+    table.add_row({std::to_string(i), "2",
+                   std::to_string(scan::n_sh(ts)), std::to_string(newly),
+                   report::format_cycles(scan::n_cyc(ts, n_sv))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("final coverage: %zu / %zu (%.2f%%)\n", fl.num_detected(),
+              fl.size(), 100.0 * fl.coverage());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Parameter exploration: the (L_A, L_B, N) tradeoff of Section 3.
+//
+// Enumerates combinations in increasing N_cyc0 order (paper Table 5) and
+// runs Procedure 2 for the first few, showing how too-small test sets need
+// many (I, D_1) pairs (or fail) while larger ones complete quickly at a
+// higher initial cost.
+//
+// Usage: param_exploration [circuit] [max_combos]   (default: s208 6)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.hpp"
+#include "report/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rls;
+  const char* circuit = argc > 1 ? argv[1] : "s208";
+  const std::size_t max_combos =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+
+  core::Workbench wb(circuit);
+  std::printf("circuit %s: N_SV=%zu, %zu detectable target faults\n\n",
+              wb.name().c_str(), wb.nl().num_state_vars(),
+              wb.target_faults().size());
+
+  const auto combos =
+      core::enumerate_default_combos(wb.nl().num_state_vars());
+  std::printf("first %zu combinations by N_cyc0 (Table 5 ordering):\n",
+              max_combos);
+
+  report::Table table({"LA", "LB", "N", "Ncyc0", "app", "det", "cycles",
+                       "ls", "complete"});
+  core::Procedure2Options opt;
+  opt.max_iterations = 20;
+  for (std::size_t k = 0; k < max_combos && k < combos.size(); ++k) {
+    const core::ComboRun run = core::run_combo(
+        wb.cc(), wb.target_faults(), combos[k], opt, wb.ts0_seed());
+    const auto& r = run.result;
+    table.add_row({std::to_string(combos[k].l_a), std::to_string(combos[k].l_b),
+                   std::to_string(combos[k].n), std::to_string(combos[k].ncyc0),
+                   std::to_string(r.num_applications()),
+                   std::to_string(r.total_detected),
+                   report::format_cycles(r.total_cycles()),
+                   report::format_fixed(r.average_limited_scan_units(), 2),
+                   r.complete ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading the tradeoff: N_cyc0 rises monotonically down the list, but\n"
+      "the total cycle count N_cyc~ can *drop* when a larger TS_0 needs\n"
+      "fewer (I,D1) re-applications — the effect the paper demonstrates on\n"
+      "s208 (Table 3) and exploits in Table 8.\n");
+  return 0;
+}

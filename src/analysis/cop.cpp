@@ -1,0 +1,182 @@
+#include "analysis/cop.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rls::analysis {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+namespace {
+
+/// Probability that the output of `id` is 1 given fanin 1-probabilities.
+double gate_c1(const sim::CompiledCircuit& cc, SignalId id,
+               const std::vector<double>& c1) {
+  const auto fi = cc.fanin(id);
+  switch (cc.type(id)) {
+    case GateType::kBuf:
+      return c1[fi[0]];
+    case GateType::kNot:
+      return 1.0 - c1[fi[0]];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double p = 1.0;
+      for (SignalId in : fi) p *= c1[in];
+      return cc.type(id) == GateType::kNand ? 1.0 - p : p;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double p = 1.0;
+      for (SignalId in : fi) p *= (1.0 - c1[in]);
+      return cc.type(id) == GateType::kNor ? p : 1.0 - p;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      double p = 0.0;
+      for (SignalId in : fi) {
+        p = p * (1.0 - c1[in]) + (1.0 - p) * c1[in];
+      }
+      return cc.type(id) == GateType::kXnor ? 1.0 - p : p;
+    }
+    case GateType::kConst0:
+      return 0.0;
+    case GateType::kConst1:
+      return 1.0;
+    default:
+      return 0.5;
+  }
+}
+
+/// Probability that a change on pin `pin` of gate `id` propagates through
+/// the gate (the other inputs sensitize it).
+double side_sensitization(const sim::CompiledCircuit& cc, SignalId id,
+                          std::size_t pin, const std::vector<double>& c1) {
+  const auto fi = cc.fanin(id);
+  switch (cc.type(id)) {
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 1.0;  // unary and parity gates always propagate
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double p = 1.0;
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (k != pin) p *= c1[fi[k]];
+      }
+      return p;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double p = 1.0;
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (k != pin) p *= (1.0 - c1[fi[k]]);
+      }
+      return p;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+CopResult compute_cop(const sim::CompiledCircuit& cc,
+                      std::span<const double> pi_weights, double ppi_weight,
+                      std::span<const netlist::SignalId> extra_observed) {
+  const std::size_t n = cc.num_signals();
+  CopResult out;
+  out.c1.assign(n, 0.5);
+  out.obs.assign(n, 0.0);
+
+  // Controllability: sources, then levelized order.
+  const auto pis = cc.inputs();
+  for (std::size_t k = 0; k < pis.size(); ++k) {
+    out.c1[pis[k]] = pi_weights.empty() ? 0.5 : pi_weights[k];
+  }
+  for (SignalId ff : cc.flip_flops()) {
+    out.c1[ff] = ppi_weight;
+  }
+  for (SignalId id = 0; id < n; ++id) {
+    if (cc.type(id) == GateType::kConst0) out.c1[id] = 0.0;
+    if (cc.type(id) == GateType::kConst1) out.c1[id] = 1.0;
+  }
+  for (SignalId id : cc.order()) {
+    out.c1[id] = gate_c1(cc, id, out.c1);
+  }
+
+  // Observability: observation points, then reverse levelized order.
+  // A signal's change is observed if it is a PO/PPO itself, or propagates
+  // through at least one consumer (independence across consumers).
+  for (SignalId id : cc.outputs()) {
+    out.obs[id] = 1.0;
+  }
+  std::vector<double> direct(n, 0.0);
+  for (SignalId id : cc.outputs()) direct[id] = 1.0;
+  for (SignalId ff : cc.flip_flops()) direct[cc.fanin(ff)[0]] = 1.0;
+  for (SignalId id : extra_observed) direct[id] = 1.0;
+
+  // Process sinks-first: combinational gates in reverse topological order,
+  // then sources. For each signal, combine the direct observation (PO /
+  // PPO) with propagation through every consumer pin.
+  auto combine = [&](SignalId id) {
+    double miss = 1.0 - direct[id];
+    for (SignalId consumer : cc.nl().fanout()[id]) {
+      if (!netlist::is_combinational(cc.type(consumer))) continue;
+      const auto fi = cc.fanin(consumer);
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        if (fi[pin] != id) continue;
+        const double through =
+            out.obs[consumer] * side_sensitization(cc, consumer, pin, out.c1);
+        miss *= (1.0 - std::min(1.0, through));
+      }
+    }
+    out.obs[id] = 1.0 - miss;
+  };
+  const auto order = cc.order();
+  for (std::size_t k = order.size(); k-- > 0;) {
+    combine(order[k]);
+  }
+  for (SignalId id = 0; id < n; ++id) {
+    if (!netlist::is_combinational(cc.type(id))) combine(id);
+  }
+  return out;
+}
+
+double detection_probability(const CopResult& cop,
+                             const sim::CompiledCircuit& cc,
+                             const fault::Fault& f) {
+  if (f.pin < 0) {
+    const double excite = f.stuck ? (1.0 - cop.c1[f.gate]) : cop.c1[f.gate];
+    // A flip-flop Q fault is additionally observed by the scan chain
+    // itself whenever the chain carries the complement; approximate that
+    // extra observability as certain (the chain is read every test).
+    if (cc.type(f.gate) == GateType::kDff) {
+      return excite;
+    }
+    return excite * cop.obs[f.gate];
+  }
+  const SignalId src = cc.fanin(f.gate)[static_cast<std::size_t>(f.pin)];
+  const double excite = f.stuck ? (1.0 - cop.c1[src]) : cop.c1[src];
+  if (cc.type(f.gate) == GateType::kDff) {
+    return excite;  // the D line is itself a PPO
+  }
+  const double through =
+      cop.obs[f.gate] *
+      side_sensitization(cc, f.gate, static_cast<std::size_t>(f.pin), cop.c1);
+  return excite * through;
+}
+
+double expected_pattern_count(double detection_prob) {
+  if (detection_prob <= 0.0) return 1e300;
+  return std::log(2.0) / -std::log1p(-std::min(detection_prob, 1.0 - 1e-12));
+}
+
+namespace {
+// Re-expose side_sensitization for the test-point module via an internal
+// header-free hook (kept in this TU to avoid widening the public API).
+}  // namespace
+
+}  // namespace rls::analysis

@@ -1,0 +1,52 @@
+// COP testability analysis (Brglez's Controllability/Observability
+// Program) on the full-scan combinational view.
+//
+// Under an independence assumption, computes for every signal:
+//   * c1[s]   — the probability the signal is 1 given per-input
+//               1-probabilities (default 0.5 everywhere);
+//   * obs[s]  — the probability a value change at s propagates to a
+//               primary output or flip-flop D input (PPO).
+// The product (excitation probability) x (observability) estimates the
+// per-pattern detection probability of a stuck-at fault — the quantity
+// that makes a fault "random-pattern resistant" when tiny.
+//
+// These estimates power the weighted-random baseline (choose input weights
+// that raise the hardest faults' detection probabilities) and test-point
+// selection (observe points where obs is small, control points where c1
+// is extreme), the two classical alternatives the paper's introduction
+// contrasts with limited scan.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::analysis {
+
+struct CopResult {
+  std::vector<double> c1;   ///< P(signal = 1), per SignalId
+  std::vector<double> obs;  ///< P(change observed), per SignalId
+};
+
+/// Computes COP measures. `pi_weights` gives P(pi = 1) per primary input
+/// (empty = 0.5 for all). Flip-flop outputs (PPIs) use `ppi_weight`
+/// (default 0.5: the scan-in is random). `extra_observed` lists signals
+/// treated as additional observation points (planned observe test points).
+CopResult compute_cop(const sim::CompiledCircuit& cc,
+                      std::span<const double> pi_weights = {},
+                      double ppi_weight = 0.5,
+                      std::span<const netlist::SignalId> extra_observed = {});
+
+/// Estimated per-pattern detection probability of a stuck-at fault:
+/// P(site carries the complement) x P(effect observed).
+double detection_probability(const CopResult& cop,
+                             const sim::CompiledCircuit& cc,
+                             const fault::Fault& f);
+
+/// Expected number of random patterns to detect the fault with 50%
+/// confidence (ln 2 / p); infinity-ish for p == 0.
+double expected_pattern_count(double detection_prob);
+
+}  // namespace rls::analysis

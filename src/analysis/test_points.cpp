@@ -1,0 +1,140 @@
+#include "analysis/test_points.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rls::analysis {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+TestPointPlan select_test_points(const sim::CompiledCircuit& cc,
+                                 std::size_t n_observe,
+                                 std::size_t n_control) {
+  TestPointPlan plan;
+  std::unordered_set<SignalId> taken;
+
+  // Observe points: repeatedly take the least-observable internal signal.
+  // Marking it observed changes downstream measures, so recompute COP
+  // after each pick (the circuits are small enough that this is cheap —
+  // and the greedy-with-update policy is the textbook one).
+  std::vector<SignalId> chosen_observe;
+  for (std::size_t pick = 0; pick < n_observe; ++pick) {
+    // Greedy with update: earlier picks count as observation points when
+    // scoring the next one.
+    const CopResult cop = compute_cop(cc, {}, 0.5, chosen_observe);
+    SignalId best = netlist::kNoSignal;
+    double best_obs = 2.0;
+    for (SignalId id : cc.order()) {
+      if (taken.count(id)) continue;
+      if (cop.obs[id] < best_obs) {
+        best_obs = cop.obs[id];
+        best = id;
+      }
+    }
+    if (best == netlist::kNoSignal || best_obs > 0.999) break;
+    taken.insert(best);
+    chosen_observe.push_back(best);
+    plan.points.push_back({TestPoint::Kind::kObserve, best});
+  }
+
+  // Control points: signals with the most skewed 1-probability.
+  const CopResult cop = compute_cop(cc);
+  std::vector<std::pair<double, SignalId>> skew;
+  for (SignalId id : cc.order()) {
+    if (taken.count(id)) continue;
+    skew.emplace_back(std::min(cop.c1[id], 1.0 - cop.c1[id]), id);
+  }
+  std::sort(skew.begin(), skew.end());
+  for (std::size_t k = 0; k < n_control && k < skew.size(); ++k) {
+    const SignalId id = skew[k].second;
+    const bool mostly_zero = cop.c1[id] < 0.5;
+    plan.points.push_back({mostly_zero ? TestPoint::Kind::kControl1
+                                       : TestPoint::Kind::kControl0,
+                           id});
+  }
+  return plan;
+}
+
+netlist::Netlist apply_test_points(const Netlist& nl,
+                                   const TestPointPlan& plan) {
+  // Classify the plan per signal.
+  std::unordered_map<SignalId, TestPoint::Kind> control;
+  std::vector<SignalId> observe;
+  for (const TestPoint& tp : plan.points) {
+    if (tp.kind == TestPoint::Kind::kObserve) {
+      observe.push_back(tp.signal);
+    } else {
+      control.emplace(tp.signal, tp.kind);
+    }
+  }
+
+  Netlist out(nl.name() + "_tp");
+  std::vector<SignalId> remap(nl.num_gates(), netlist::kNoSignal);
+
+  // Recreate all gates under their original names; controlled signals get
+  // their driver renamed to "<name>$tp" and keep the original name for the
+  // splice gate so consumer fanin remapping is uniform.
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const netlist::Gate& g = nl.gate(id);
+    const bool controlled = control.count(id) > 0;
+    const std::string name =
+        controlled ? nl.signal_name(id) + "$tp" : nl.signal_name(id);
+    switch (g.type) {
+      case GateType::kInput:
+        remap[id] = out.add_input(name);
+        break;
+      case GateType::kDff:
+        remap[id] = out.add_dff(name);
+        break;
+      default:
+        remap[id] = out.add_gate(g.type, name);
+        break;
+    }
+  }
+
+  // Control splice gates (created after all originals; fanins remapped
+  // below cannot reference them, so consumers must be redirected).
+  std::unordered_map<SignalId, SignalId> splice;  // old id -> new gated id
+  std::size_t tp_index = 0;
+  for (const TestPoint& tp : plan.points) {
+    if (tp.kind == TestPoint::Kind::kObserve) continue;
+    const SignalId tp_input = out.add_input("tp" + std::to_string(tp_index++));
+    const GateType gate = tp.kind == TestPoint::Kind::kControl1
+                              ? GateType::kOr
+                              : GateType::kAnd;
+    const SignalId gated =
+        out.add_gate(gate, nl.signal_name(tp.signal),
+                     {remap[tp.signal], tp_input});
+    splice[tp.signal] = gated;
+  }
+
+  auto resolve = [&](SignalId old_id) {
+    auto it = splice.find(old_id);
+    return it == splice.end() ? remap[old_id] : it->second;
+  };
+
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const netlist::Gate& g = nl.gate(id);
+    if (g.fanin.empty()) continue;
+    std::vector<SignalId> fanin;
+    fanin.reserve(g.fanin.size());
+    for (SignalId in : g.fanin) {
+      fanin.push_back(resolve(in));
+    }
+    out.connect(remap[id], fanin);
+  }
+
+  for (SignalId po : nl.primary_outputs()) {
+    out.mark_output(resolve(po));
+  }
+  for (SignalId obs : observe) {
+    out.mark_output(resolve(obs));
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace rls::analysis

@@ -1,0 +1,50 @@
+// Test point insertion — one of the classical fixes for random-pattern
+// resistance that the paper's introduction contrasts with limited scan.
+//
+//   * an OBSERVE point makes a poorly-observable signal a primary output;
+//   * a CONTROL point splices an OR (force-to-1) or AND (force-to-0) gate
+//     driven by a fresh test-mode primary input into a signal whose
+//     1-probability is extreme.
+//
+// Selection is COP-guided and greedy: after each pick the measures are
+// recomputed, so later picks account for earlier ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cop.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rls::analysis {
+
+struct TestPoint {
+  enum class Kind : std::uint8_t {
+    kObserve,   ///< tap the signal to a new primary output
+    kControl0,  ///< AND with a fresh active-low test input (force 0)
+    kControl1,  ///< OR with a fresh test input (force 1)
+  };
+  Kind kind;
+  netlist::SignalId signal;
+};
+
+struct TestPointPlan {
+  std::vector<TestPoint> points;
+};
+
+/// Greedy COP-guided selection: `n_observe` observe points at the least
+/// observable signals, `n_control` control points at the most skewed
+/// signals (c1 near 0 gets a Control1, near 1 a Control0).
+TestPointPlan select_test_points(const sim::CompiledCircuit& cc,
+                                 std::size_t n_observe,
+                                 std::size_t n_control);
+
+/// Rebuilds the netlist with the plan applied. Observe points add a buffer
+/// marked as primary output; control points rename the original driver to
+/// "<name>$tp" and splice `<name> = AND/OR(<name>$tp, tp_k)` so all
+/// original consumers see the gated signal. Control inputs are named
+/// "tp0", "tp1", ... in plan order.
+netlist::Netlist apply_test_points(const netlist::Netlist& nl,
+                                   const TestPointPlan& plan);
+
+}  // namespace rls::analysis

@@ -1,0 +1,53 @@
+// Detectable-fault classification.
+//
+// The paper's Procedure 2 targets "all the detectable circuit faults".
+// Detectability under scan-based at-speed testing reduces to the full-scan
+// combinational view (see podem.hpp), with one scan-specific addition: a
+// flip-flop Q-output stuck-at is always detectable by the scan chain
+// itself (any scanned bit unequal to the stuck value exposes it during a
+// shift), even when the fault is combinationally redundant through the
+// logic.
+//
+// The classifier first drops random-easy faults with a PPSFP random
+// campaign, then settles every survivor with complete PODEM search (or
+// reports it aborted when the backtrack limit is reached).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/podem.hpp"
+#include "fault/fault.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::atpg {
+
+enum class FaultClass : std::uint8_t {
+  kDetectable,
+  kUntestable,
+  kAborted,  ///< PODEM hit its backtrack limit; treated as "possibly detectable"
+};
+
+struct DetectabilityOptions {
+  /// Number of 64-pattern random PPSFP rounds before ATPG.
+  std::size_t random_rounds = 64;
+  std::uint64_t seed = 0x5EEDBA5Eull;
+  int backtrack_limit = 4000;
+};
+
+struct DetectabilityReport {
+  std::vector<FaultClass> cls;  ///< parallel to the input fault vector
+  std::size_t num_detectable = 0;
+  std::size_t num_untestable = 0;
+  std::size_t num_aborted = 0;
+  std::size_t detected_by_random = 0;
+  std::size_t detected_by_atpg = 0;
+
+  [[nodiscard]] std::size_t num_faults() const noexcept { return cls.size(); }
+};
+
+DetectabilityReport classify(const sim::CompiledCircuit& cc,
+                             const std::vector<fault::Fault>& faults,
+                             const DetectabilityOptions& opt = {});
+
+}  // namespace rls::atpg

@@ -1,0 +1,399 @@
+#include "atpg/podem.hpp"
+
+#include <cassert>
+
+namespace rls::atpg {
+
+using fault::Fault;
+using netlist::GateType;
+using netlist::SignalId;
+
+namespace {
+
+constexpr std::uint8_t kX = 2;
+
+std::uint8_t v_not(std::uint8_t a) { return a == kX ? kX : (a ^ 1); }
+
+std::uint8_t v_and(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == 1 && b == 1) return 1;
+  return kX;
+}
+
+std::uint8_t v_or(std::uint8_t a, std::uint8_t b) {
+  if (a == 1 || b == 1) return 1;
+  if (a == 0 && b == 0) return 0;
+  return kX;
+}
+
+std::uint8_t v_xor(std::uint8_t a, std::uint8_t b) {
+  if (a == kX || b == kX) return kX;
+  return a ^ b;
+}
+
+}  // namespace
+
+Podem::Podem(const sim::CompiledCircuit& cc, Options opt)
+    : cc_(&cc), opt_(opt) {
+  const std::size_t n = cc.num_signals();
+  input_index_.assign(n, ~std::uint32_t{0});
+  for (SignalId id : cc.inputs()) {
+    input_index_[id] = static_cast<std::uint32_t>(view_inputs_.size());
+    view_inputs_.push_back(id);
+  }
+  for (SignalId ff : cc.flip_flops()) {
+    input_index_[ff] = static_cast<std::uint32_t>(view_inputs_.size());
+    view_inputs_.push_back(ff);
+  }
+  assign_.assign(view_inputs_.size(), kX);
+  gv_.assign(n, kX);
+  fv_.assign(n, kX);
+  observed_.assign(n, 0);
+  for (SignalId id : cc.outputs()) observed_[id] = 1;
+  for (SignalId ff : cc.flip_flops()) observed_[cc.fanin(ff)[0]] = 1;
+}
+
+void Podem::simulate() {
+  // Sources.
+  for (std::size_t k = 0; k < view_inputs_.size(); ++k) {
+    const SignalId id = view_inputs_[k];
+    gv_[id] = assign_[k];
+    fv_[id] = assign_[k];
+  }
+  for (SignalId id = 0; id < cc_->num_signals(); ++id) {
+    if (cc_->type(id) == GateType::kConst0) gv_[id] = fv_[id] = 0;
+    if (cc_->type(id) == GateType::kConst1) gv_[id] = fv_[id] = 1;
+  }
+  // Output fault on a source line: faulty machine reads the stuck value.
+  if (fault_.pin < 0 && !netlist::is_combinational(cc_->type(fault_.gate))) {
+    fv_[fault_.gate] = fault_.stuck;
+  }
+
+  for (SignalId id : cc_->order()) {
+    const auto fi = cc_->fanin(id);
+    auto g_in = [&](std::size_t k) { return gv_[fi[k]]; };
+    auto f_in = [&](std::size_t k) -> std::uint8_t {
+      if (id == fault_.gate && static_cast<std::int16_t>(k) == fault_.pin) {
+        return fault_.stuck;  // faulted input pin reads the stuck value
+      }
+      return fv_[fi[k]];
+    };
+    std::uint8_t g, f;
+    switch (cc_->type(id)) {
+      case GateType::kBuf:
+        g = g_in(0);
+        f = f_in(0);
+        break;
+      case GateType::kNot:
+        g = v_not(g_in(0));
+        f = v_not(f_in(0));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        g = 1;
+        f = 1;
+        for (std::size_t k = 0; k < fi.size(); ++k) {
+          g = v_and(g, g_in(k));
+          f = v_and(f, f_in(k));
+        }
+        if (cc_->type(id) == GateType::kNand) {
+          g = v_not(g);
+          f = v_not(f);
+        }
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        g = 0;
+        f = 0;
+        for (std::size_t k = 0; k < fi.size(); ++k) {
+          g = v_or(g, g_in(k));
+          f = v_or(f, f_in(k));
+        }
+        if (cc_->type(id) == GateType::kNor) {
+          g = v_not(g);
+          f = v_not(f);
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        g = 0;
+        f = 0;
+        for (std::size_t k = 0; k < fi.size(); ++k) {
+          g = v_xor(g, g_in(k));
+          f = v_xor(f, f_in(k));
+        }
+        if (cc_->type(id) == GateType::kXnor) {
+          g = v_not(g);
+          f = v_not(f);
+        }
+        break;
+      }
+      default:
+        continue;
+    }
+    gv_[id] = g;
+    fv_[id] = f;
+    // Output fault on a combinational gate: the faulty line is stuck.
+    if (fault_.pin < 0 && id == fault_.gate) {
+      fv_[id] = fault_.stuck;
+    }
+  }
+}
+
+bool Podem::detected() const {
+  if (dff_d_fault_) {
+    // The faulted D pin is itself the observation point.
+    const std::uint8_t v = gv_[fault_src_];
+    return v != kX && v == (fault_.stuck ^ 1);
+  }
+  for (SignalId id = 0; id < cc_->num_signals(); ++id) {
+    if (!observed_[id]) continue;
+    if (gv_[id] != kX && fv_[id] != kX && gv_[id] != fv_[id]) return true;
+  }
+  return false;
+}
+
+Podem::Objective Podem::get_objective() {
+  // 1. Excitation: the faulted line must carry the complement of the stuck
+  //    value in the good machine.
+  const SignalId line = fault_.pin < 0 ? fault_.gate : fault_src_;
+  const std::uint8_t want = fault_.stuck ^ 1;
+  if (gv_[line] == kX) {
+    return {line, want, true};
+  }
+  if (gv_[line] != want) {
+    return {};  // fault cannot be excited under current assignments
+  }
+  if (dff_d_fault_) {
+    return {};  // excited == detected; if we got here detection failed
+  }
+
+  // 2. Propagation: pick a D-frontier gate (an X-output gate with a
+  //    propagating difference on some input) and set one of its X inputs
+  //    to the non-controlling value.
+  for (SignalId id : cc_->order()) {
+    if (gv_[id] != kX && fv_[id] != kX) continue;
+    const auto fi = cc_->fanin(id);
+    bool has_diff_input = false;
+    for (std::size_t k = 0; k < fi.size(); ++k) {
+      std::uint8_t fval = fv_[fi[k]];
+      if (id == fault_.gate && static_cast<std::int16_t>(k) == fault_.pin) {
+        fval = fault_.stuck;
+      }
+      const std::uint8_t gval = gv_[fi[k]];
+      if (gval != kX && fval != kX && gval != fval) {
+        has_diff_input = true;
+        break;
+      }
+    }
+    if (!has_diff_input) continue;
+    // Choose an X input to sensitize.
+    for (std::size_t k = 0; k < fi.size(); ++k) {
+      if (gv_[fi[k]] != kX) continue;
+      const int cv = netlist::controlling_value(cc_->type(id));
+      const std::uint8_t non_controlling =
+          cv < 0 ? 0 : static_cast<std::uint8_t>(cv ^ 1);
+      return {fi[k], non_controlling, true};
+    }
+  }
+  return {};
+}
+
+Podem::Objective Podem::backtrace(Objective obj) const {
+  SignalId s = obj.signal;
+  std::uint8_t v = obj.value;
+  for (;;) {
+    const GateType t = cc_->type(s);
+    if (t == GateType::kInput || t == GateType::kDff) {
+      return {s, v, true};
+    }
+    if (!netlist::is_combinational(t)) {
+      return {};  // constants cannot be justified
+    }
+    const auto fi = cc_->fanin(s);
+    // Pick the first X-valued input; adjust the objective value through
+    // the gate's inversion.
+    const bool inv = netlist::is_inverting(t);
+    std::uint8_t next_v;
+    switch (t) {
+      case GateType::kBuf:
+      case GateType::kNot:
+        next_v = inv ? v_not(v) : v;
+        s = fi[0];
+        v = next_v;
+        continue;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const std::uint8_t core = inv ? v_not(v) : v;  // pre-inversion value
+        // core == non-controlling output requires ALL inputs non-controlling;
+        // core == controlled output requires ONE input at the controlling
+        // value. Either way one X input with the right value is the next hop.
+        const int cv = netlist::controlling_value(t);
+        const std::uint8_t want =
+            core == static_cast<std::uint8_t>((cv ^ 1))
+                ? static_cast<std::uint8_t>(cv ^ 1)  // all non-controlling
+                : static_cast<std::uint8_t>(cv);     // one controlling
+        SignalId pick = netlist::kNoSignal;
+        for (SignalId in : fi) {
+          if (gv_[in] == kX) {
+            pick = in;
+            break;
+          }
+        }
+        if (pick == netlist::kNoSignal) return {};
+        s = pick;
+        v = want;
+        continue;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Heuristic: target value assuming remaining X inputs become 0.
+        std::uint8_t acc = (t == GateType::kXnor) ? 1 : 0;
+        SignalId pick = netlist::kNoSignal;
+        for (SignalId in : fi) {
+          if (gv_[in] == kX && pick == netlist::kNoSignal) {
+            pick = in;
+          } else if (gv_[in] != kX) {
+            acc ^= gv_[in];
+          }
+        }
+        if (pick == netlist::kNoSignal) return {};
+        s = pick;
+        v = static_cast<std::uint8_t>(v ^ acc);
+        continue;
+      }
+      default:
+        return {};
+    }
+  }
+}
+
+bool Podem::x_path_exists() const {
+  // A difference can still reach an observation point if some signal with a
+  // binary difference, or the fault site itself, has a forward path of
+  // X-valued signals to an observed signal. Conservative (returns true in
+  // doubt): BFS over signals that are X in either machine.
+  std::vector<std::uint8_t> seen(cc_->num_signals(), 0);
+  std::vector<SignalId> stack;
+  auto push_fanout = [&](SignalId id) {
+    for (SignalId c : cc_->nl().fanout()[id]) {
+      if (!seen[c] && netlist::is_combinational(cc_->type(c)) &&
+          (gv_[c] == kX || fv_[c] == kX)) {
+        seen[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  };
+  // Seed: signals carrying a binary difference, plus the fault site.
+  for (SignalId id = 0; id < cc_->num_signals(); ++id) {
+    if (gv_[id] != kX && fv_[id] != kX && gv_[id] != fv_[id]) {
+      if (observed_[id]) return true;
+      push_fanout(id);
+    }
+  }
+  const SignalId site = fault_.gate;
+  if (gv_[site] == kX || fv_[site] == kX) {
+    if (!seen[site]) {
+      seen[site] = 1;
+      stack.push_back(site);
+    }
+  }
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (observed_[id]) return true;
+    push_fanout(id);
+  }
+  return false;
+}
+
+Podem::Result Podem::generate(const Fault& f) {
+  fault_ = f;
+  dff_d_fault_ = false;
+  fault_src_ = netlist::kNoSignal;
+  if (f.pin >= 0) {
+    fault_src_ = cc_->nl().gate(f.gate).fanin[static_cast<std::size_t>(f.pin)];
+    if (cc_->type(f.gate) == GateType::kDff) dff_d_fault_ = true;
+  }
+
+  std::fill(assign_.begin(), assign_.end(), kX);
+
+  struct Decision {
+    std::uint32_t input;
+    std::uint8_t value;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+  Result res;
+
+  simulate();
+  for (;;) {
+    if (detected()) {
+      res.status = Status::kDetected;
+      res.pi.resize(cc_->inputs().size());
+      res.ppi.resize(cc_->flip_flops().size());
+      for (std::size_t k = 0; k < cc_->inputs().size(); ++k) {
+        res.pi[k] = assign_[k];
+      }
+      for (std::size_t k = 0; k < cc_->flip_flops().size(); ++k) {
+        res.ppi[k] = assign_[cc_->inputs().size() + k];
+      }
+      return res;
+    }
+
+    Objective obj = get_objective();
+    bool need_backtrack = !obj.valid;
+    if (obj.valid && !dff_d_fault_) {
+      // Prune: if the difference can no longer reach an observation point,
+      // this subtree is dead.
+      const SignalId line = fault_.pin < 0 ? fault_.gate : fault_src_;
+      if (gv_[line] != kX && !x_path_exists()) {
+        need_backtrack = true;
+      }
+    }
+    if (!need_backtrack) {
+      const Objective pi_obj = backtrace(obj);
+      if (!pi_obj.valid) {
+        need_backtrack = true;
+      } else {
+        const std::uint32_t idx = input_index_[pi_obj.signal];
+        assert(idx != ~std::uint32_t{0});
+        assert(assign_[idx] == kX);
+        assign_[idx] = pi_obj.value;
+        stack.push_back({idx, pi_obj.value, false});
+        simulate();
+        continue;
+      }
+    }
+
+    // Backtrack.
+    for (;;) {
+      if (stack.empty()) {
+        res.status = Status::kUntestable;
+        res.backtracks = res.backtracks;
+        return res;
+      }
+      Decision& d = stack.back();
+      if (!d.flipped) {
+        d.flipped = true;
+        d.value ^= 1;
+        assign_[d.input] = d.value;
+        ++res.backtracks;
+        if (res.backtracks > opt_.backtrack_limit) {
+          res.status = Status::kAborted;
+          return res;
+        }
+        simulate();
+        break;
+      }
+      assign_[d.input] = kX;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace rls::atpg

@@ -1,0 +1,88 @@
+// PODEM test generation on the full-scan combinational view.
+//
+// Inputs of the view: primary inputs + flip-flop outputs (PPIs, loadable
+// by scan-in). Observation points: primary outputs + flip-flop D fanins
+// (PPOs, readable by scan-out). PODEM searches assignments of the view's
+// inputs only, with a dual-machine (good value, faulty value) three-valued
+// simulation; the decision search is complete, so an exhausted search
+// proves the fault untestable in this view.
+//
+// Scan-view semantics of sequential fault sites:
+//   * a DFF Q output fault is a PPI stuck line — but such faults are also
+//     directly detectable by shifting the chain (see detectability.hpp);
+//   * a DFF D input-pin fault is excitation-only: the D line is itself a
+//     PPO, so the fault is detected as soon as the line carries the
+//     opposite value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "scan/test.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::atpg {
+
+class Podem {
+ public:
+  struct Options {
+    int backtrack_limit = 4000;
+  };
+
+  enum class Status : std::uint8_t {
+    kDetected,    ///< a test (pi, ppi) was found
+    kUntestable,  ///< search space exhausted: provably no test exists
+    kAborted,     ///< backtrack limit reached
+  };
+
+  struct Result {
+    Status status = Status::kAborted;
+    /// Input assignment when kDetected; value 2 means don't-care.
+    scan::BitVector pi;
+    scan::BitVector ppi;
+    int backtracks = 0;
+  };
+
+  explicit Podem(const sim::CompiledCircuit& cc) : Podem(cc, Options{}) {}
+  Podem(const sim::CompiledCircuit& cc, Options opt);
+
+  /// Runs PODEM for one fault.
+  Result generate(const fault::Fault& f);
+
+ private:
+  static constexpr std::uint8_t kX = 2;
+
+  struct Objective {
+    netlist::SignalId signal = netlist::kNoSignal;
+    std::uint8_t value = 0;
+    bool valid = false;
+  };
+
+  void simulate();
+  [[nodiscard]] bool detected() const;
+  Objective get_objective();
+  /// Maps an objective on any signal to an assignable input objective.
+  Objective backtrace(Objective obj) const;
+  [[nodiscard]] bool x_path_exists() const;
+
+  const sim::CompiledCircuit* cc_;
+  Options opt_;
+
+  // Current fault.
+  fault::Fault fault_{};
+  netlist::SignalId fault_src_ = netlist::kNoSignal;  // pin fault: source line
+  bool dff_d_fault_ = false;
+
+  // Assignable inputs of the view.
+  std::vector<netlist::SignalId> view_inputs_;
+  std::vector<std::uint32_t> input_index_;  // signal -> view input idx (or ~0)
+  std::vector<std::uint8_t> assign_;        // per view input: 0/1/2
+
+  // Dual-machine values, 0/1/2 per signal.
+  std::vector<std::uint8_t> gv_;
+  std::vector<std::uint8_t> fv_;
+  std::vector<std::uint8_t> observed_;
+};
+
+}  // namespace rls::atpg

@@ -1,0 +1,88 @@
+#include "bist/misr.hpp"
+
+#include "rand/lfsr.hpp"
+
+namespace rls::bist {
+
+Misr::Misr(int degree, std::uint64_t seed)
+    : degree_(degree),
+      taps_(rls::rand::primitive_polynomial(degree)),
+      mask_(degree == 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << degree) - 1)),
+      state_(seed & mask_) {}
+
+void Misr::reset(std::uint64_t seed) { state_ = seed & mask_; }
+
+void Misr::absorb(std::span<const std::uint8_t> bits) {
+  // Galois shift: the bit leaving stage 0 feeds the taps.
+  const bool out = state_ & 1;
+  state_ >>= 1;
+  if (out) {
+    state_ ^= (taps_ >> 1);
+    state_ |= (std::uint64_t{1} << (degree_ - 1));
+    state_ &= mask_;
+  }
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    if (bits[k]) {
+      state_ ^= (std::uint64_t{1} << (k % static_cast<std::size_t>(degree_)));
+    }
+  }
+}
+
+LaneMisr::LaneMisr(int degree)
+    : degree_(degree), taps_(rls::rand::primitive_polynomial(degree)) {
+  stages_.assign(static_cast<std::size_t>(degree), 0);
+}
+
+void LaneMisr::reset() { stages_.assign(stages_.size(), 0); }
+
+void LaneMisr::shift() {
+  const sim::Word out = stages_[0];
+  for (std::size_t k = 0; k + 1 < stages_.size(); ++k) {
+    stages_[k] = stages_[k + 1];
+  }
+  stages_.back() = 0;
+  if (out == 0) return;
+  // XOR the leaving word into every tapped stage (tap bit k corresponds to
+  // the feedback into stage k after the shift; the top stage always gets
+  // the reinserted bit).
+  for (std::size_t k = 1; k < static_cast<std::size_t>(degree_); ++k) {
+    if ((taps_ >> k) & 1) {
+      stages_[k - 1] ^= out;
+    }
+  }
+  stages_.back() ^= out;
+}
+
+void LaneMisr::absorb(std::span<const sim::Word> words) {
+  shift();
+  for (std::size_t k = 0; k < words.size(); ++k) {
+    stages_[k % static_cast<std::size_t>(degree_)] ^= words[k];
+  }
+}
+
+void LaneMisr::absorb_one(sim::Word word, std::size_t stream) {
+  shift();
+  stages_[stream % static_cast<std::size_t>(degree_)] ^= word;
+}
+
+sim::Word LaneMisr::differs_from(std::uint64_t reference_signature) const {
+  sim::Word diff = 0;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    const sim::Word ref_word = sim::broadcast((reference_signature >> k) & 1);
+    diff |= stages_[k] ^ ref_word;
+  }
+  return diff;
+}
+
+std::uint64_t LaneMisr::signature(int lane) const {
+  std::uint64_t sig = 0;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    if (sim::lane_bit(stages_[k], lane)) {
+      sig |= (std::uint64_t{1} << k);
+    }
+  }
+  return sig;
+}
+
+}  // namespace rls::bist

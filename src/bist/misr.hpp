@@ -1,0 +1,73 @@
+// Multiple-Input Signature Register (MISR) output compaction.
+//
+// The paper's BIST context compacts test responses into an LFSR-based
+// signature instead of comparing every cycle. This module provides:
+//   * Misr       — a scalar MISR (one response stream);
+//   * LaneMisr   — 64 independent MISRs in bit-parallel lanes, one per
+//                  fault of a parallel-fault simulation pass.
+//
+// Both use the Galois form over a primitive characteristic polynomial, so
+// a nonzero response difference aliases (maps to the same signature) with
+// probability ~2^-degree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/compiled.hpp"
+
+namespace rls::bist {
+
+/// Scalar MISR of the given degree (3..64). Inputs beyond `degree` streams
+/// are folded onto the stages modulo degree.
+class Misr {
+ public:
+  explicit Misr(int degree, std::uint64_t seed = 0);
+
+  /// One compaction cycle: shifts the register and XORs `bits` in
+  /// (bits[k] enters stage k % degree).
+  void absorb(std::span<const std::uint8_t> bits);
+
+  [[nodiscard]] std::uint64_t signature() const noexcept { return state_; }
+  void reset(std::uint64_t seed = 0);
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+ private:
+  int degree_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+/// 64 MISRs in parallel: stage k is a 64-bit word whose lane j is the k-th
+/// state bit of lane j's MISR. Used to compute per-fault signatures during
+/// parallel-fault simulation.
+class LaneMisr {
+ public:
+  explicit LaneMisr(int degree);
+
+  /// One compaction cycle; `words[k]`'s lane j carries input stream k of
+  /// lane j. Streams beyond `degree` fold onto stages modulo degree.
+  void absorb(std::span<const sim::Word> words);
+
+  /// Convenience: absorbs a single stream into stage `stream % degree`.
+  void absorb_one(sim::Word word, std::size_t stream = 0);
+
+  /// Lane mask of signatures differing from a reference signature (from a
+  /// scalar MISR that absorbed the fault-free streams in the same order).
+  [[nodiscard]] sim::Word differs_from(std::uint64_t reference_signature) const;
+
+  void reset();
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  [[nodiscard]] std::uint64_t signature(int lane) const;
+
+ private:
+  void shift();
+
+  int degree_;
+  std::uint64_t taps_;
+  std::vector<sim::Word> stages_;
+};
+
+}  // namespace rls::bist

@@ -1,0 +1,115 @@
+#include "core/alternatives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/cop.hpp"
+#include "fault/seq_fsim.hpp"
+#include "rand/rng.hpp"
+#include "scan/cost.hpp"
+
+namespace rls::core {
+
+scan::TestSet make_weighted_ts0(const netlist::Netlist& nl,
+                                const Ts0Config& cfg,
+                                std::span<const double> weights) {
+  rls::rand::Rng rng(cfg.seed);
+  const std::size_t n_sv = nl.num_state_vars();
+  const std::size_t n_pi = nl.num_inputs();
+  std::vector<std::uint64_t> thresholds(n_pi);
+  for (std::size_t k = 0; k < n_pi; ++k) {
+    const double w = k < weights.size() ? weights[k] : 0.5;
+    thresholds[k] = static_cast<std::uint64_t>(
+        std::min(1.0, std::max(0.0, w)) * 18446744073709551615.0);
+  }
+
+  scan::TestSet ts;
+  ts.tests.reserve(2 * cfg.n);
+  auto make_test = [&](std::size_t length) {
+    scan::ScanTest t;
+    t.scan_in.resize(n_sv);
+    for (std::uint8_t& b : t.scan_in) b = rng.next_bit() ? 1 : 0;
+    t.vectors.resize(length);
+    for (auto& v : t.vectors) {
+      v.resize(n_pi);
+      for (std::size_t k = 0; k < n_pi; ++k) {
+        v[k] = rng.next_u64() < thresholds[k] ? 1 : 0;
+      }
+    }
+    return t;
+  };
+  for (std::size_t i = 0; i < cfg.n; ++i) ts.tests.push_back(make_test(cfg.l_a));
+  for (std::size_t i = 0; i < cfg.n; ++i) ts.tests.push_back(make_test(cfg.l_b));
+  return ts;
+}
+
+std::vector<double> derive_weights(const sim::CompiledCircuit& cc,
+                                   std::span<const fault::Fault> faults,
+                                   double hard_threshold,
+                                   std::span<const double> candidates) {
+  static constexpr double kDefault[] = {0.125, 0.25, 0.5, 0.75, 0.875};
+  if (candidates.empty()) {
+    candidates = kDefault;
+  }
+  const std::size_t n_pi = cc.inputs().size();
+  std::vector<double> weights(n_pi, 0.5);
+
+  // The hard-fault set under uniform weights.
+  const analysis::CopResult base = analysis::compute_cop(cc);
+  std::vector<const fault::Fault*> hard;
+  for (const fault::Fault& f : faults) {
+    if (analysis::detection_probability(base, cc, f) < hard_threshold) {
+      hard.push_back(&f);
+    }
+  }
+  if (hard.empty()) return weights;
+
+  auto score = [&](const std::vector<double>& w) {
+    const analysis::CopResult cop = analysis::compute_cop(cc, w);
+    double s = 0.0;
+    for (const fault::Fault* f : hard) {
+      s += std::log10(
+          std::max(analysis::detection_probability(cop, cc, *f), 1e-12));
+    }
+    return s;
+  };
+
+  double current = score(weights);
+  for (std::size_t k = 0; k < n_pi; ++k) {
+    double best_w = weights[k];
+    double best_s = current;
+    for (double cand : candidates) {
+      if (cand == weights[k]) continue;
+      std::vector<double> trial = weights;
+      trial[k] = cand;
+      const double s = score(trial);
+      if (s > best_s) {
+        best_s = s;
+        best_w = cand;
+      }
+    }
+    weights[k] = best_w;
+    current = best_s;
+  }
+  return weights;
+}
+
+MultiSeedResult run_multi_seed(const sim::CompiledCircuit& cc,
+                               fault::FaultList& fl, const Ts0Config& base,
+                               std::size_t max_seeds) {
+  MultiSeedResult res;
+  fault::SeqFaultSim fsim(cc);
+  const std::size_t n_sv = cc.flip_flops().size();
+  for (std::size_t s = 0; s < max_seeds && !fl.all_detected(); ++s) {
+    Ts0Config cfg = base;
+    cfg.seed = rls::rand::Rng(base.seed).fork(s + 1).next_u64();
+    const scan::TestSet ts = make_ts0(cc.nl(), cfg);
+    fsim.run_test_set(ts, fl);
+    res.cycles += scan::n_cyc(ts, n_sv);
+    ++res.seeds_used;
+  }
+  res.detected = fl.num_detected();
+  return res;
+}
+
+}  // namespace rls::core

@@ -1,0 +1,50 @@
+// The classical alternatives to limited scan that the paper's introduction
+// lists for improving random-pattern fault coverage:
+//   * weighted random patterns (per-input 1-probabilities tuned so hard
+//     faults become likelier to be excited/propagated);
+//   * multiple seeds (re-running the random generator from fresh seeds);
+//   * test points (see analysis/test_points.hpp).
+// Implemented faithfully enough to serve as quantitative comparison
+// baselines in the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ts0.hpp"
+#include "fault/fault.hpp"
+#include "scan/test.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::core {
+
+/// TS_0 with per-primary-input 1-probabilities (`weights[k]` = P(pi_k=1)).
+/// Scan-in bits stay uniform (the chain is loaded from an unweighted
+/// LFSR). Pure function of (interface, cfg, weights).
+scan::TestSet make_weighted_ts0(const netlist::Netlist& nl,
+                                const Ts0Config& cfg,
+                                std::span<const double> weights);
+
+/// Greedy COP-guided weight derivation: each primary input picks, in
+/// order, the weight from `candidates` that maximizes the summed log
+/// detection probability of the currently hardest faults. Returns one
+/// weight per primary input.
+std::vector<double> derive_weights(
+    const sim::CompiledCircuit& cc, std::span<const fault::Fault> faults,
+    double hard_threshold = 1e-3,
+    std::span<const double> candidates = {});
+
+/// Multi-seed random testing: applies up to `max_seeds` TS_0 instances
+/// generated from distinct seeds, dropping detected faults, until the
+/// fault list is exhausted or the seeds run out.
+struct MultiSeedResult {
+  std::size_t detected = 0;     ///< cumulative detections in `fl`
+  std::uint64_t cycles = 0;     ///< total application cycles
+  std::size_t seeds_used = 0;
+};
+MultiSeedResult run_multi_seed(const sim::CompiledCircuit& cc,
+                               fault::FaultList& fl, const Ts0Config& base,
+                               std::size_t max_seeds);
+
+}  // namespace rls::core

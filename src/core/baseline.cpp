@@ -1,0 +1,68 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+
+#include "fault/seq_fsim.hpp"
+#include "rand/rng.hpp"
+#include "scan/cost.hpp"
+
+namespace rls::core {
+
+BaselineResult run_budgeted_random(const sim::CompiledCircuit& cc,
+                                   fault::FaultList& fl,
+                                   const BaselineConfig& cfg) {
+  BaselineResult res;
+  const std::size_t n_sv = cc.flip_flops().size();
+  const std::size_t n_pi = cc.inputs().size();
+  const scan::ChainConfig chains =
+      cfg.max_chain_length >= n_sv || n_sv == 0
+          ? scan::ChainConfig::single(n_sv)
+          : scan::ChainConfig::multi(n_sv, cfg.max_chain_length);
+  const std::uint64_t scan_cycles = std::max<std::uint64_t>(
+      chains.max_chain_length(), std::size_t{1});
+
+  fault::SeqFaultSim fsim(cc);
+  if (cfg.observe_chain_tails && chains.num_chains() > 1) {
+    std::vector<netlist::SignalId> tails;
+    for (const auto& c : chains.chains) {
+      if (!c.empty()) tails.push_back(cc.flip_flops()[c.back()]);
+    }
+    fsim.set_extra_observed(std::move(tails));
+  }
+
+  rls::rand::Rng rng(cfg.seed);
+  std::uint64_t cycles = scan_cycles;  // the extra (2N+1)-th scan operation
+  std::size_t length_idx = 0;
+
+  // Apply tests in batches so fault grouping amortizes across tests.
+  constexpr std::size_t kBatch = 16;
+  while (cycles < cfg.cycle_budget && !fl.all_detected()) {
+    scan::TestSet batch;
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      const std::size_t len = cfg.lengths[length_idx % cfg.lengths.size()];
+      ++length_idx;
+      const std::uint64_t test_cost = scan_cycles + len;
+      if (cycles + test_cost > cfg.cycle_budget) break;
+      cycles += test_cost;
+      scan::ScanTest t;
+      t.scan_in.resize(n_sv);
+      for (std::uint8_t& bit : t.scan_in) bit = rng.next_bit() ? 1 : 0;
+      t.vectors.resize(len);
+      for (auto& v : t.vectors) {
+        v.resize(n_pi);
+        for (std::uint8_t& bit : v) bit = rng.next_bit() ? 1 : 0;
+      }
+      batch.tests.push_back(std::move(t));
+    }
+    if (batch.tests.empty()) break;
+    res.tests_applied += batch.tests.size();
+    fsim.run_test_set(batch, fl);
+  }
+
+  res.detected = fl.num_detected();
+  res.cycles_used = cycles;
+  res.coverage = fl.coverage();
+  return res;
+}
+
+}  // namespace rls::core

@@ -1,0 +1,50 @@
+// Baselines modeled after [5] (Tsai/Cheng/Bhawmik, DAC'99) and [6]
+// (Huang/Pomeranz/Reddy/Rajski, ICCAD'00): pure random scan BIST under a
+// fixed clock-cycle budget (500,000 cycles in the papers), without limited
+// scan operations.
+//
+// The [5]/[6] setups use multiple balanced scan chains (max length 10),
+// which makes complete scan operations cost only max-chain-length cycles,
+// and observe the last flip-flop of every chain at every time unit. Both
+// aspects are modeled here: the cost via scan::n_cyc_multi_chain, the
+// observability via the fault simulator's extra observation points.
+// (Chain-shift corruption by Q-stuck faults is modeled on the single
+// concatenated chain; with balanced chains the difference is second-order
+// and only affects scan-path faults' detection time, not detectability.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "scan/chain.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::core {
+
+struct BaselineConfig {
+  std::uint64_t cycle_budget = 500000;
+  /// Test lengths applied round-robin; {L} models [5]'s single general
+  /// scheme length, {L_A, L_B} models [6]'s two-length scheme.
+  std::vector<std::size_t> lengths = {8, 16};
+  /// Maximum scan-chain length (1 chain if >= N_SV). [5]/[6] use 10.
+  std::size_t max_chain_length = 10;
+  /// Observe the last flip-flop of every chain at each time unit.
+  bool observe_chain_tails = true;
+  std::uint64_t seed = 0xBA5E11EEull;
+};
+
+struct BaselineResult {
+  std::size_t detected = 0;      ///< cumulative detections (incl. prior)
+  std::size_t tests_applied = 0;
+  std::uint64_t cycles_used = 0;
+  double coverage = 0.0;         ///< against the supplied fault list
+};
+
+/// Applies random tests until the budget is exhausted (or coverage is
+/// complete), dropping detected faults from `fl`.
+BaselineResult run_budgeted_random(const sim::CompiledCircuit& cc,
+                                   fault::FaultList& fl,
+                                   const BaselineConfig& cfg);
+
+}  // namespace rls::core

@@ -1,0 +1,84 @@
+#include "core/campaign.hpp"
+
+#include "fault/collapse.hpp"
+#include "gen/registry.hpp"
+#include "rand/rng.hpp"
+#include "scan/cost.hpp"
+
+namespace rls::core {
+
+Workbench::Workbench(std::string_view circuit_name,
+                     const atpg::DetectabilityOptions& det_opt)
+    : Workbench(gen::make_circuit(circuit_name), det_opt) {}
+
+Workbench::Workbench(netlist::Netlist nl,
+                     const atpg::DetectabilityOptions& det_opt)
+    : nl_(std::make_unique<netlist::Netlist>(std::move(nl))) {
+  cc_ = std::make_unique<sim::CompiledCircuit>(*nl_);
+  universe_ = fault::collapsed_universe(*nl_);
+  ts0_seed_ = rls::rand::hash_name(nl_->name()) ^ 0x7507507507ull;
+  classify(det_opt);
+}
+
+void Workbench::classify(const atpg::DetectabilityOptions& det_opt) {
+  det_ = atpg::classify(*cc_, universe_, det_opt);
+  target_.reserve(det_.num_detectable);
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    if (det_.cls[i] == atpg::FaultClass::kDetectable) {
+      target_.push_back(universe_[i]);
+    }
+  }
+}
+
+ExperimentRow run_first_complete(const Workbench& wb,
+                                 const Procedure2Options& p2_opt,
+                                 std::size_t max_combos_on_failure,
+                                 std::size_t max_attempts) {
+  ExperimentRow row;
+  row.circuit = wb.name();
+  row.target_faults = wb.target_faults().size();
+
+  std::vector<ComboRun> attempts;
+  std::optional<ComboRun> hit =
+      first_complete_combo(wb.cc(), wb.target_faults(), p2_opt, wb.ts0_seed(),
+                           &attempts, max_attempts);
+  if (hit) {
+    row.combo = hit->combo;
+    row.result = std::move(hit->result);
+    row.found_complete = true;
+    return row;
+  }
+  // No combination completed: report the best of the first few attempts.
+  std::size_t best = 0;
+  for (std::size_t k = 1;
+       k < std::min(attempts.size(), max_combos_on_failure); ++k) {
+    if (attempts[k].result.total_detected >
+        attempts[best].result.total_detected) {
+      best = k;
+    }
+  }
+  if (!attempts.empty()) {
+    row.combo = attempts[best].combo;
+    row.result = std::move(attempts[best].result);
+  }
+  row.found_complete = false;
+  return row;
+}
+
+ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
+                               const Procedure2Options& p2_opt) {
+  ExperimentRow row;
+  row.circuit = wb.name();
+  row.target_faults = wb.target_faults().size();
+  Combo c = combo;
+  if (c.ncyc0 == 0) {
+    c.ncyc0 = scan::n_cyc0(wb.nl().num_state_vars(), c.l_a, c.l_b, c.n);
+  }
+  ComboRun run = run_combo(wb.cc(), wb.target_faults(), c, p2_opt, wb.ts0_seed());
+  row.combo = run.combo;
+  row.result = std::move(run.result);
+  row.found_complete = row.result.complete;
+  return row;
+}
+
+}  // namespace rls::core

@@ -1,0 +1,85 @@
+// Experiment orchestration: circuit workbench + table-row drivers.
+//
+// A Workbench bundles everything a per-circuit experiment needs: the
+// netlist (pinned in memory), the compiled circuit, the collapsed fault
+// universe, and the detectable-fault classification that defines the
+// "complete fault coverage" target of Procedure 2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "atpg/detectability.hpp"
+#include "core/param_select.hpp"
+#include "core/procedure2.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::core {
+
+class Workbench {
+ public:
+  /// Builds the named circuit (registry lookup) and classifies its faults.
+  explicit Workbench(std::string_view circuit_name,
+                     const atpg::DetectabilityOptions& det_opt = {});
+
+  /// Wraps an existing netlist (takes ownership).
+  explicit Workbench(netlist::Netlist nl,
+                     const atpg::DetectabilityOptions& det_opt = {});
+
+  [[nodiscard]] const netlist::Netlist& nl() const noexcept { return *nl_; }
+  [[nodiscard]] const sim::CompiledCircuit& cc() const noexcept { return *cc_; }
+  [[nodiscard]] const std::string& name() const noexcept { return nl_->name(); }
+
+  /// Collapsed stuck-at universe.
+  [[nodiscard]] const std::vector<fault::Fault>& universe() const noexcept {
+    return universe_;
+  }
+  /// The detectable subset — Procedure 2's target faults.
+  [[nodiscard]] const std::vector<fault::Fault>& target_faults() const noexcept {
+    return target_;
+  }
+  [[nodiscard]] const atpg::DetectabilityReport& detectability() const noexcept {
+    return det_;
+  }
+
+  /// Deterministic per-circuit TS_0 seed.
+  [[nodiscard]] std::uint64_t ts0_seed() const noexcept { return ts0_seed_; }
+
+ private:
+  void classify(const atpg::DetectabilityOptions& det_opt);
+
+  std::unique_ptr<netlist::Netlist> nl_;
+  std::unique_ptr<sim::CompiledCircuit> cc_;
+  std::vector<fault::Fault> universe_;
+  std::vector<fault::Fault> target_;
+  atpg::DetectabilityReport det_;
+  std::uint64_t ts0_seed_ = 0;
+};
+
+/// One row of Table 6 / 7 / 8.
+struct ExperimentRow {
+  std::string circuit;
+  Combo combo;                 ///< the (L_A, L_B, N) used
+  std::size_t target_faults = 0;
+  Procedure2Result result;
+  bool found_complete = false; ///< first_complete search succeeded
+};
+
+/// Table 6 policy: first (L_A, L_B, N) combination (in N_cyc0 order)
+/// achieving complete coverage, trying at most `max_attempts` combinations
+/// (0 = all). Falls back to the best-coverage combo among the first
+/// `max_combos_on_failure` attempts if none completes.
+ExperimentRow run_first_complete(const Workbench& wb,
+                                 const Procedure2Options& p2_opt,
+                                 std::size_t max_combos_on_failure = 6,
+                                 std::size_t max_attempts = 0);
+
+/// Table 8 policy: run one given combination.
+ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
+                               const Procedure2Options& p2_opt);
+
+}  // namespace rls::core

@@ -1,0 +1,72 @@
+#include "core/param_select.hpp"
+
+#include <algorithm>
+
+#include "scan/cost.hpp"
+
+namespace rls::core {
+
+std::vector<Combo> enumerate_combos(std::size_t n_sv,
+                                    const std::vector<std::size_t>& la,
+                                    const std::vector<std::size_t>& lb,
+                                    const std::vector<std::size_t>& n) {
+  std::vector<Combo> out;
+  for (std::size_t a : la) {
+    for (std::size_t b : lb) {
+      if (a >= b) continue;
+      for (std::size_t cnt : n) {
+        out.push_back({a, b, cnt, scan::n_cyc0(n_sv, a, b, cnt)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Combo& x, const Combo& y) {
+    if (x.ncyc0 != y.ncyc0) return x.ncyc0 < y.ncyc0;
+    if (x.n != y.n) return x.n < y.n;
+    if (x.l_b != y.l_b) return x.l_b < y.l_b;
+    return x.l_a < y.l_a;
+  });
+  return out;
+}
+
+std::vector<Combo> enumerate_default_combos(std::size_t n_sv) {
+  return enumerate_combos(n_sv, default_la_choices(), default_lb_choices(),
+                          default_n_choices());
+}
+
+ComboRun run_combo(const sim::CompiledCircuit& cc,
+                   const std::vector<fault::Fault>& target_faults,
+                   const Combo& combo, const Procedure2Options& p2_opt,
+                   std::uint64_t ts0_seed) {
+  Ts0Config cfg;
+  cfg.l_a = combo.l_a;
+  cfg.l_b = combo.l_b;
+  cfg.n = combo.n;
+  cfg.seed = ts0_seed;
+  const scan::TestSet ts0 = make_ts0(cc.nl(), cfg);
+  fault::FaultList fl(target_faults);
+  ComboRun run;
+  run.combo = combo;
+  run.result = run_procedure2(cc, ts0, fl, p2_opt);
+  return run;
+}
+
+std::optional<ComboRun> first_complete_combo(
+    const sim::CompiledCircuit& cc,
+    const std::vector<fault::Fault>& target_faults,
+    const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
+    std::vector<ComboRun>* runs_out, std::size_t max_attempts) {
+  std::vector<Combo> combos =
+      enumerate_default_combos(cc.flip_flops().size());
+  if (max_attempts > 0 && combos.size() > max_attempts) {
+    combos.resize(max_attempts);
+  }
+  for (const Combo& c : combos) {
+    ComboRun run = run_combo(cc, target_faults, c, p2_opt, ts0_seed);
+    const bool complete = run.result.complete;
+    if (runs_out) runs_out->push_back(run);
+    if (complete) return run;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rls::core

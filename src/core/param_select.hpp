@@ -1,0 +1,76 @@
+// (L_A, L_B, N) parameter selection (Section 3, Tables 3-5).
+//
+// Combinations with L_A < L_B are enumerated and ordered by increasing
+// N_cyc0 = (2N+1)N_SV + N(L_A+L_B); Procedure 2 is applied in that order
+// and the first combination achieving complete coverage of the target
+// faults is selected (the paper's Table 6 policy).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/procedure2.hpp"
+#include "core/ts0.hpp"
+#include "fault/fault.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::core {
+
+struct Combo {
+  std::size_t l_a = 0;
+  std::size_t l_b = 0;
+  std::size_t n = 0;
+  std::uint64_t ncyc0 = 0;
+};
+
+/// The paper's sweep grids.
+inline const std::vector<std::size_t>& default_la_choices() {
+  static const std::vector<std::size_t> v{8, 16, 32, 64, 128, 256};
+  return v;
+}
+inline const std::vector<std::size_t>& default_lb_choices() {
+  static const std::vector<std::size_t> v{16, 32, 64, 128, 256};
+  return v;
+}
+inline const std::vector<std::size_t>& default_n_choices() {
+  static const std::vector<std::size_t> v{64, 128, 256};
+  return v;
+}
+
+/// Enumerates all combos with L_A < L_B, sorted by increasing N_cyc0
+/// (ties broken by N, then L_B, then L_A — all ascending).
+std::vector<Combo> enumerate_combos(std::size_t n_sv,
+                                    const std::vector<std::size_t>& la,
+                                    const std::vector<std::size_t>& lb,
+                                    const std::vector<std::size_t>& n);
+
+/// enumerate_combos over the paper's default grids.
+std::vector<Combo> enumerate_default_combos(std::size_t n_sv);
+
+/// Result of running Procedure 2 under one combination.
+struct ComboRun {
+  Combo combo;
+  Procedure2Result result;
+};
+
+/// Runs Procedure 2 for each combination in N_cyc0 order until the first
+/// one reaches complete coverage of `target_faults`. Returns that run, or
+/// nullopt if none achieves completeness within `max_attempts` tried
+/// combinations (0 = unlimited). `runs_out`, when non-null, receives every
+/// attempted run (dash rows of Tables 3/4).
+std::optional<ComboRun> first_complete_combo(
+    const sim::CompiledCircuit& cc,
+    const std::vector<fault::Fault>& target_faults,
+    const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
+    std::vector<ComboRun>* runs_out = nullptr,
+    std::size_t max_attempts = 0);
+
+/// Runs Procedure 2 for one specific combination against a fresh copy of
+/// the target faults.
+ComboRun run_combo(const sim::CompiledCircuit& cc,
+                   const std::vector<fault::Fault>& target_faults,
+                   const Combo& combo, const Procedure2Options& p2_opt,
+                   std::uint64_t ts0_seed);
+
+}  // namespace rls::core

@@ -1,0 +1,48 @@
+#include "core/procedure1.hpp"
+
+#include <stdexcept>
+
+#include "rand/rng.hpp"
+
+namespace rls::core {
+
+std::uint64_t seed_of_iteration(const LimitedScanParams& p) {
+  // seed(I) depends on I (not on D_1): at a given iteration, the D_1 sweep
+  // reuses the same underlying draw sequence, as an LFSR reseeded from a
+  // stored per-iteration value would.
+  return rls::rand::Rng(p.base_seed).fork(p.iteration).next_u64();
+}
+
+scan::TestSet make_limited_scan_set(const scan::TestSet& ts0, std::size_t n_sv,
+                                    const LimitedScanParams& p) {
+  if (p.d1 == 0) {
+    throw std::invalid_argument("LimitedScanParams: d1 must be >= 1");
+  }
+  const std::uint32_t d2 =
+      p.d2 != 0 ? p.d2 : static_cast<std::uint32_t>(n_sv + 1);
+  const std::uint64_t seed_i = seed_of_iteration(p);
+
+  scan::TestSet out;
+  out.tests.reserve(ts0.tests.size());
+  rls::rand::Rng rng(seed_i);
+  for (const scan::ScanTest& src : ts0.tests) {
+    if (p.reseed_per_test) rng = rls::rand::Rng(seed_i);
+    scan::ScanTest t = src;
+    const std::size_t len = t.length();
+    t.shift.assign(len, 0);
+    t.scan_bits.assign(len, {});
+    for (std::size_t u = 1; u < len; ++u) {
+      const std::uint32_t r1 = static_cast<std::uint32_t>(rng.next_u64() >> 32);
+      if (r1 % p.d1 != 0) continue;
+      const std::uint32_t r2 = static_cast<std::uint32_t>(rng.next_u64() >> 32);
+      const std::uint32_t shift = r2 % d2;
+      t.shift[u] = shift;
+      t.scan_bits[u].resize(shift);
+      for (std::uint8_t& b : t.scan_bits[u]) b = rng.next_bit() ? 1 : 0;
+    }
+    out.tests.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace rls::core

@@ -1,0 +1,40 @@
+// Procedure 1: defining the test set TS(I, D_1).
+//
+// For every test tau_i of TS_0 and every time unit 0 < u < L_i, a limited
+// scan operation is inserted with probability 1/D_1 (the paper's
+// `r_1 mod D_1 == 0` draw); its shift count is `r_2 mod D_2` with
+// D_2 = N_SV + 1, allowing anything from "no shift" up to a complete scan
+// operation. The bits scanned in during the shifts come from the same
+// generator stream.
+//
+// The random number generator is re-initialized with seed(I) "for every
+// test tau_i" (the paper's literal pseudocode) — so within one TS(I,D_1)
+// all tests share the same shift schedule prefix; set
+// `reseed_per_test = false` to seed once per test set instead. Both modes
+// are deterministic and repeatable, as the hardware implementation
+// requires.
+#pragma once
+
+#include <cstdint>
+
+#include "scan/test.hpp"
+
+namespace rls::core {
+
+struct LimitedScanParams {
+  std::uint32_t iteration = 1;  ///< the paper's I
+  std::uint32_t d1 = 1;         ///< insertion period parameter (>= 1)
+  std::uint32_t d2 = 0;         ///< 0 means "use N_SV + 1" (the paper's value)
+  std::uint64_t base_seed = 0x11D1'5EEDull;
+  bool reseed_per_test = true;  ///< literal Procedure 1 reading
+};
+
+/// The per-(I) seed: seed(I) in the paper.
+std::uint64_t seed_of_iteration(const LimitedScanParams& p);
+
+/// Builds TS(I, D_1): same tests as ts0, with limited scan schedules.
+/// `n_sv` is the number of state variables of the target circuit.
+scan::TestSet make_limited_scan_set(const scan::TestSet& ts0, std::size_t n_sv,
+                                    const LimitedScanParams& p);
+
+}  // namespace rls::core

@@ -1,0 +1,72 @@
+#include "core/procedure2.hpp"
+
+#include "scan/cost.hpp"
+
+namespace rls::core {
+
+Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
+                                const scan::TestSet& ts0,
+                                fault::FaultList& fl,
+                                const Procedure2Options& opt) {
+  Procedure2Result res;
+  const std::size_t n_sv = cc.flip_flops().size();
+  fault::SeqFaultSim fsim(cc);
+
+  // Step 2: simulate TS_0 and drop detected faults.
+  res.ts0_detected = fsim.run_test_set(ts0, fl);
+  res.ncyc0 = scan::n_cyc(ts0, n_sv);
+  res.total_detected = fl.num_detected();
+  if (fl.all_detected()) {
+    res.complete = true;
+    return res;
+  }
+
+  // Steps 3-6: iterate I, sweep D_1.
+  std::uint32_t n_same_fc = 0;
+  for (std::uint32_t iteration = 1;
+       iteration <= opt.max_iterations && n_same_fc < opt.n_same_fc;
+       ++iteration) {
+    bool improve = false;
+    for (std::uint32_t d1 : opt.d1_order) {
+      LimitedScanParams p;
+      p.iteration = iteration;
+      p.d1 = d1;
+      p.base_seed = opt.base_seed;
+      p.reseed_per_test = opt.reseed_per_test;
+      const scan::TestSet ts = make_limited_scan_set(ts0, n_sv, p);
+      // Only tests that actually contain limited scan operations need to
+      // be fault-simulated: a shift-free test is byte-identical to its
+      // TS_0 original, which every remaining fault already survived.
+      // (The cost accounting below still charges the full set — the
+      // hardware applies every test.)
+      scan::TestSet sim_ts;
+      for (const scan::ScanTest& t : ts.tests) {
+        if (t.has_limited_scan()) sim_ts.tests.push_back(t);
+      }
+      const std::size_t newly = fsim.run_test_set(sim_ts, fl);
+      if (newly > 0) {
+        AppliedSet a;
+        a.iteration = iteration;
+        a.d1 = d1;
+        a.detected = newly;
+        a.cycles = scan::n_cyc(ts, n_sv);
+        a.limited_units = ts.limited_scan_units();
+        a.total_vectors = ts.total_vectors();
+        res.applied.push_back(a);
+        improve = true;
+      }
+      if (fl.all_detected()) break;
+    }
+    res.total_detected = fl.num_detected();
+    if (fl.all_detected()) {
+      res.complete = true;
+      return res;
+    }
+    n_same_fc = improve ? 0 : n_same_fc + 1;
+  }
+  res.total_detected = fl.num_detected();
+  res.complete = fl.all_detected();
+  return res;
+}
+
+}  // namespace rls::core

@@ -1,0 +1,81 @@
+// Procedure 2: selecting test sets TS(I, D_1).
+//
+// Starting from TS_0, iterate I = 1, 2, ... and sweep D_1 over a given
+// order (the paper uses 1..10 ascending, and 10..1 descending in its
+// Table 7 variant). Every TS(I, D_1) that detects at least one remaining
+// fault joins ID1_PAIRS. The procedure stops when every target fault is
+// detected, or after N_SAME_FC consecutive iterations without improvement
+// (plus a hard iteration cap as an engineering safety net).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/procedure1.hpp"
+#include "fault/fault.hpp"
+#include "fault/seq_fsim.hpp"
+#include "scan/test.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::core {
+
+struct Procedure2Options {
+  /// D_1 sweep order; the paper's default is ascending 1..10.
+  std::vector<std::uint32_t> d1_order = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  /// Stop after this many iterations with no new detection (N_SAME_FC;
+  /// the paper does not publish its value — 3 is our default).
+  std::uint32_t n_same_fc = 3;
+  /// Hard cap on I (safety net; the paper has none).
+  std::uint32_t max_iterations = 64;
+  std::uint64_t base_seed = 0x11D1'5EEDull;
+  bool reseed_per_test = true;
+};
+
+/// One selected (I, D_1) pair with its bookkeeping.
+struct AppliedSet {
+  std::uint32_t iteration = 0;
+  std::uint32_t d1 = 0;
+  std::size_t detected = 0;          ///< faults newly detected by this set
+  std::uint64_t cycles = 0;          ///< N_cyc(I, D_1)
+  std::uint64_t limited_units = 0;   ///< #time units with shift > 0
+  std::uint64_t total_vectors = 0;   ///< sum of test lengths
+};
+
+struct Procedure2Result {
+  std::size_t ts0_detected = 0;      ///< faults detected by TS_0
+  std::uint64_t ncyc0 = 0;           ///< N_cyc of TS_0
+  std::vector<AppliedSet> applied;   ///< ID1_PAIRS in selection order
+  std::size_t total_detected = 0;    ///< including TS_0 detections
+  bool complete = false;             ///< all target faults detected
+
+  /// Number of limited-scan test-set applications (`app` in Table 6).
+  [[nodiscard]] std::size_t num_applications() const noexcept {
+    return applied.size();
+  }
+  /// Total clock cycles: N_cyc0 + sum of N_cyc(I, D_1) (`cycles`).
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept {
+    std::uint64_t c = ncyc0;
+    for (const AppliedSet& a : applied) c += a.cycles;
+    return c;
+  }
+  /// Average number of limited scan time units over the applied sets
+  /// (`ls` in Table 6; TS_0 excluded by definition).
+  [[nodiscard]] double average_limited_scan_units() const noexcept {
+    std::uint64_t units = 0, len = 0;
+    for (const AppliedSet& a : applied) {
+      units += a.limited_units;
+      len += a.total_vectors;
+    }
+    return len == 0 ? 0.0
+                    : static_cast<double>(units) / static_cast<double>(len);
+  }
+};
+
+/// Runs Procedure 2. `fl` carries the target faults (normally the
+/// detectable collapsed universe) and is updated by fault dropping.
+Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
+                                const scan::TestSet& ts0,
+                                fault::FaultList& fl,
+                                const Procedure2Options& opt);
+
+}  // namespace rls::core

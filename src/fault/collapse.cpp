@@ -1,0 +1,141 @@
+#include "fault/collapse.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace rls::fault {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+namespace {
+
+struct FaultKey {
+  std::uint64_t v;
+  explicit FaultKey(const Fault& f)
+      : v((std::uint64_t(f.gate) << 20) ^
+          (std::uint64_t(static_cast<std::uint16_t>(f.pin)) << 2) ^ f.stuck) {}
+  friend bool operator==(FaultKey a, FaultKey b) { return a.v == b.v; }
+};
+
+struct FaultKeyHash {
+  std::size_t operator()(FaultKey k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.v);
+  }
+};
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Keep the smaller index as root so representatives are canonical.
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CollapseResult collapse(const netlist::Netlist& nl,
+                        const std::vector<Fault>& universe) {
+  std::unordered_map<FaultKey, std::size_t, FaultKeyHash> index;
+  index.reserve(universe.size() * 2);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    index.emplace(FaultKey(universe[i]), i);
+  }
+  auto lookup = [&](const Fault& f) -> std::size_t {
+    auto it = index.find(FaultKey(f));
+    return it == index.end() ? universe.size() : it->second;
+  };
+
+  UnionFind uf(universe.size());
+  auto unite = [&](const Fault& a, const Fault& b) {
+    const std::size_t ia = lookup(a), ib = lookup(b);
+    if (ia < universe.size() && ib < universe.size()) uf.unite(ia, ib);
+  };
+
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const netlist::Gate& g = nl.gate(id);
+    const std::int16_t n_pins = static_cast<std::int16_t>(g.fanin.size());
+    switch (g.type) {
+      case GateType::kBuf:
+        unite({id, 0, 0}, {id, -1, 0});
+        unite({id, 0, 1}, {id, -1, 1});
+        break;
+      case GateType::kNot:
+        unite({id, 0, 0}, {id, -1, 1});
+        unite({id, 0, 1}, {id, -1, 0});
+        break;
+      case GateType::kAnd:
+        for (std::int16_t p = 0; p < n_pins; ++p) unite({id, p, 0}, {id, -1, 0});
+        break;
+      case GateType::kNand:
+        for (std::int16_t p = 0; p < n_pins; ++p) unite({id, p, 0}, {id, -1, 1});
+        break;
+      case GateType::kOr:
+        for (std::int16_t p = 0; p < n_pins; ++p) unite({id, p, 1}, {id, -1, 1});
+        break;
+      case GateType::kNor:
+        for (std::int16_t p = 0; p < n_pins; ++p) unite({id, p, 1}, {id, -1, 0});
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Fanout-free stems: output faults of a signal with a single consumer pin
+  // (and not observable as a PO) merge with that pin's input faults. Do not
+  // merge across a flip-flop boundary (stem driving only a DFF's D pin):
+  // the Q/D distinction must stay visible to the scan-aware simulator.
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    if (nl.is_primary_output(id)) continue;
+    if (nl.fanout()[id].size() != 1) continue;
+    const SignalId consumer = nl.fanout()[id][0];
+    if (nl.gate(consumer).type == GateType::kDff) continue;
+    // Find which pin(s) of `consumer` read `id`; single-fanout means one.
+    const auto& fi = nl.gate(consumer).fanin;
+    for (std::int16_t p = 0; p < static_cast<std::int16_t>(fi.size()); ++p) {
+      if (fi[static_cast<std::size_t>(p)] == id) {
+        unite({id, -1, 0}, {consumer, p, 0});
+        unite({id, -1, 1}, {consumer, p, 1});
+        break;
+      }
+    }
+  }
+
+  CollapseResult out;
+  out.representative.resize(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    out.representative[i] = uf.find(i);
+  }
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (out.representative[i] == i) {
+      out.prime_faults.push_back(universe[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<Fault> collapsed_universe(const netlist::Netlist& nl) {
+  return collapse(nl, full_universe(nl)).prime_faults;
+}
+
+}  // namespace rls::fault

@@ -1,0 +1,39 @@
+// Structural equivalence fault collapsing.
+//
+// Rules applied (classic textbook set):
+//   * BUF:  input s-a-v  ==  output s-a-v
+//   * NOT:  input s-a-v  ==  output s-a-(1-v)
+//   * AND:  any input s-a-0  ==  output s-a-0
+//   * NAND: any input s-a-0  ==  output s-a-1
+//   * OR:   any input s-a-1  ==  output s-a-1
+//   * NOR:  any input s-a-1  ==  output s-a-0
+//   * fanout-free stem: if a signal feeds exactly one pin and is not a
+//     primary output, its output faults equal that pin's input faults.
+//
+// Faults are NOT collapsed across flip-flops: under scan, a Q-output fault
+// and a D-input fault behave differently (the scan path reads Q but
+// bypasses D), so they are distinct test targets.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace rls::fault {
+
+/// Result of collapsing: the representative (prime) faults and a map from
+/// every universe index to its representative's index in `universe`.
+struct CollapseResult {
+  std::vector<Fault> prime_faults;
+  std::vector<std::size_t> representative;  ///< universe idx -> universe idx
+};
+
+/// Collapses the given universe (must be in full_universe() order or any
+/// order — indices are resolved by content lookup).
+CollapseResult collapse(const netlist::Netlist& nl,
+                        const std::vector<Fault>& universe);
+
+/// Convenience: collapsed prime faults of the full universe.
+std::vector<Fault> collapsed_universe(const netlist::Netlist& nl);
+
+}  // namespace rls::fault

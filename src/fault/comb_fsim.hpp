@@ -1,0 +1,60 @@
+// PPSFP combinational fault simulation (64 patterns per pass) on the
+// full-scan combinational view of the circuit.
+//
+// The scan view treats flip-flop outputs as pseudo primary inputs (PPIs)
+// and flip-flop D fanins as pseudo primary outputs (PPOs): with full scan,
+// any state can be loaded and the captured next state is fully observable
+// through scan-out, so combinational detectability in this view equals
+// detectability by a (length-1) scan test.
+//
+// Per fault, the effect is propagated event-wise from the injection site
+// through the levelized order; only the fanout cone is re-evaluated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::fault {
+
+class CombFaultSim {
+ public:
+  explicit CombFaultSim(const sim::CompiledCircuit& cc);
+
+  /// Loads 64 patterns: one word per primary input and one per flip-flop
+  /// (pseudo primary input), then computes the fault-free response.
+  void set_patterns(std::span<const sim::Word> pi_words,
+                    std::span<const sim::Word> ppi_words);
+
+  /// Lane mask of patterns that detect `f` at a PO or PPO.
+  sim::Word detect_mask(const Fault& f);
+
+  /// Fault-free word of any signal under the current patterns.
+  [[nodiscard]] sim::Word good_value(netlist::SignalId id) const {
+    return good_[id];
+  }
+
+  /// Runs all undetected faults of `fl` against the current patterns,
+  /// dropping detected ones. Returns the number of new detections.
+  std::size_t run(FaultList& fl);
+
+  [[nodiscard]] std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+
+ private:
+  sim::Word eval_with_pin_forced(netlist::SignalId id, std::int16_t pin,
+                                 bool value) const;
+
+  const sim::CompiledCircuit* cc_;
+  std::vector<sim::Word> good_;
+  std::vector<sim::Word> faulty_;
+  std::vector<std::uint8_t> observed_;   // PO or PPO flag per signal
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::vector<netlist::SignalId>> queue_;  // per level
+  std::vector<netlist::SignalId> touched_;
+  std::uint64_t gate_evals_ = 0;
+};
+
+}  // namespace rls::fault

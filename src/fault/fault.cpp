@@ -1,0 +1,49 @@
+#include "fault/fault.hpp"
+
+#include <sstream>
+
+namespace rls::fault {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+std::vector<Fault> full_universe(const netlist::Netlist& nl) {
+  std::vector<Fault> out;
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const netlist::Gate& g = nl.gate(id);
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) continue;
+    out.push_back({id, -1, 0});
+    out.push_back({id, -1, 1});
+    for (std::int16_t pin = 0; pin < static_cast<std::int16_t>(g.fanin.size());
+         ++pin) {
+      out.push_back({id, pin, 0});
+      out.push_back({id, pin, 1});
+    }
+  }
+  return out;
+}
+
+std::string fault_name(const netlist::Netlist& nl, const Fault& f) {
+  std::ostringstream os;
+  os << nl.signal_name(f.gate);
+  if (f.pin < 0) {
+    os << "/O";
+  } else {
+    os << "/IN" << f.pin << "("
+       << nl.signal_name(nl.gate(f.gate).fanin[static_cast<std::size_t>(f.pin)])
+       << ")";
+  }
+  os << " s-a-" << int(f.stuck);
+  return os.str();
+}
+
+std::vector<std::size_t> FaultList::remaining_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(num_remaining());
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!detected_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rls::fault

@@ -1,0 +1,87 @@
+// Single stuck-at fault model.
+//
+// Fault sites are gate terminals: every gate's output line and every gate
+// input pin, each stuck-at-0 and stuck-at-1. Faults on a primary input are
+// the output faults of its kInput gate; faults on a state line are the
+// output faults of the kDff gate (Q) and the input-pin fault of the kDff
+// gate (D).
+//
+// Scan semantics (mux-scan): a Q-output fault corrupts both the functional
+// logic *and* the scan path (values shifting through the chain read the
+// forced value); a D-input fault corrupts only functional capture (the
+// scan-in path enters through the scan mux, not through D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::fault {
+
+struct Fault {
+  netlist::SignalId gate = netlist::kNoSignal;
+  std::int16_t pin = -1;   ///< -1: output line; >= 0: fanin pin index
+  std::uint8_t stuck = 0;  ///< stuck-at value (0 or 1)
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Full (uncollapsed) universe in a canonical order: gates by id; per gate
+/// output s-a-0, output s-a-1, then per pin s-a-0, s-a-1. Constants are
+/// excluded (a stuck constant is undetectable by construction or is the
+/// constant itself).
+std::vector<Fault> full_universe(const netlist::Netlist& nl);
+
+/// Human-readable name, e.g. "G11/O s-a-1" or "G9/IN2(G15) s-a-0".
+std::string fault_name(const netlist::Netlist& nl, const Fault& f);
+
+/// Tracks the detection status of a set of target faults; this is the
+/// paper's fault list F with fault dropping.
+class FaultList {
+ public:
+  FaultList() = default;
+  explicit FaultList(std::vector<Fault> faults)
+      : faults_(std::move(faults)), detected_(faults_.size(), 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return faults_.size(); }
+  [[nodiscard]] const Fault& fault(std::size_t i) const { return faults_[i]; }
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+    return faults_;
+  }
+
+  [[nodiscard]] bool detected(std::size_t i) const { return detected_[i] != 0; }
+  void mark_detected(std::size_t i) {
+    if (!detected_[i]) {
+      detected_[i] = 1;
+      ++num_detected_;
+    }
+  }
+
+  [[nodiscard]] std::size_t num_detected() const noexcept {
+    return num_detected_;
+  }
+  [[nodiscard]] std::size_t num_remaining() const noexcept {
+    return faults_.size() - num_detected_;
+  }
+  [[nodiscard]] bool all_detected() const noexcept {
+    return num_detected_ == faults_.size();
+  }
+  [[nodiscard]] double coverage() const noexcept {
+    return faults_.empty()
+               ? 1.0
+               : static_cast<double>(num_detected_) /
+                     static_cast<double>(faults_.size());
+  }
+
+  /// Indices of still-undetected faults (the simulation targets).
+  [[nodiscard]] std::vector<std::size_t> remaining_indices() const;
+
+ private:
+  std::vector<Fault> faults_;
+  std::vector<std::uint8_t> detected_;
+  std::size_t num_detected_ = 0;
+};
+
+}  // namespace rls::fault

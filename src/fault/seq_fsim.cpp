@@ -1,0 +1,407 @@
+#include "fault/seq_fsim.hpp"
+
+#include <cassert>
+#include <memory>
+#include <thread>
+
+namespace rls::fault {
+
+using netlist::GateType;
+using netlist::SignalId;
+using sim::broadcast;
+using sim::kAllOnes;
+using sim::Word;
+
+SeqFaultSim::SeqFaultSim(const sim::CompiledCircuit& cc)
+    : cc_(&cc), ref_(cc) {
+  values_.assign(cc.num_signals(), 0);
+  next_state_.assign(cc.flip_flops().size(), 0);
+  kind_.assign(cc.num_signals(), 0);
+  cc.init_constants(values_);
+}
+
+void SeqFaultSim::set_observation_mode(ObservationMode mode, int misr_degree) {
+  mode_ = mode;
+  misr_degree_ = misr_degree;
+  lane_misr_ = mode == ObservationMode::kSignature
+                   ? std::make_unique<bist::LaneMisr>(misr_degree)
+                   : nullptr;
+}
+
+SeqFaultSim::Overlay SeqFaultSim::build_overlay(
+    std::span<const Fault> group) const {
+  assert(group.size() <= sim::kLanes);
+  Overlay o;
+  std::unordered_map<SignalId, ForceMask> forces;
+  for (std::size_t lane = 0; lane < group.size(); ++lane) {
+    const Fault& f = group[lane];
+    if (f.pin < 0) {
+      ForceMask& m = forces[f.gate];
+      const Word bit = Word{1} << lane;
+      if (f.stuck) {
+        m.or_mask |= bit;
+      } else {
+        m.and_mask &= ~bit;
+      }
+      if (cc_->type(f.gate) == GateType::kDff) o.has_ff_force = true;
+    } else if (cc_->type(f.gate) == GateType::kDff) {
+      // D-pin fault: functional capture only.
+      const auto ffs = cc_->flip_flops();
+      std::size_t pos = 0;
+      for (; pos < ffs.size(); ++pos) {
+        if (ffs[pos] == f.gate) break;
+      }
+      o.dff_d_fix.emplace_back(
+          pos, PinFix{static_cast<std::uint8_t>(lane), f.pin, f.stuck});
+    } else {
+      o.pin_fix[f.gate].push_back(
+          PinFix{static_cast<std::uint8_t>(lane), f.pin, f.stuck});
+    }
+  }
+  o.out_force.assign(forces.begin(), forces.end());
+  return o;
+}
+
+void SeqFaultSim::apply_out_forces(const Overlay& o) {
+  for (const auto& [id, m] : o.out_force) {
+    values_[id] = (values_[id] & m.and_mask) | m.or_mask;
+  }
+}
+
+void SeqFaultSim::eval_with_overlay(const Overlay& o) {
+  for (SignalId id : cc_->order()) {
+    Word w = cc_->eval_gate(id, values_);
+    const std::uint8_t k = kind_[id];
+    if (k) {
+      if (k & 2) {
+        // Input-pin faults: recompute the affected lanes with the pin
+        // forced. values_[id] must not yet be overwritten for lanes being
+        // recomputed — eval_gate_lane only reads fanins, so order is safe.
+        auto it = o.pin_fix.find(id);
+        for (const PinFix& fix : it->second) {
+          const bool bit = cc_->eval_gate_lane(id, values_, fix.lane, fix.pin,
+                                               fix.value != 0);
+          w = sim::with_lane(w, fix.lane, bit);
+        }
+      }
+      if (k & 1) {
+        for (const auto& [fid, m] : o.out_force) {
+          if (fid == id) {
+            w = (w & m.and_mask) | m.or_mask;
+            break;
+          }
+        }
+      }
+    }
+    values_[id] = w;
+  }
+  gate_evals_ += cc_->order().size();
+}
+
+Word SeqFaultSim::shift_with_forces(Word scan_in, const Overlay& o) {
+  const auto ffs = cc_->flip_flops();
+  if (ffs.empty()) return 0;
+  const Word out = values_[ffs[ffs.size() - 1]];
+  for (std::size_t k = ffs.size(); k-- > 1;) {
+    values_[ffs[k]] = values_[ffs[k - 1]];
+  }
+  values_[ffs[0]] = scan_in;
+  if (o.has_ff_force) apply_out_forces(o);
+  return out;
+}
+
+void SeqFaultSim::clock_with_fixes(const Overlay& o) {
+  const auto ffs = cc_->flip_flops();
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    next_state_[k] = values_[cc_->fanin(ffs[k])[0]];
+  }
+  for (const auto& [pos, fix] : o.dff_d_fix) {
+    next_state_[pos] = sim::with_lane(next_state_[pos], fix.lane, fix.value != 0);
+  }
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    values_[ffs[k]] = next_state_[k];
+  }
+  if (o.has_ff_force) apply_out_forces(o);
+}
+
+SeqFaultSim::Trace SeqFaultSim::compute_trace(const scan::ScanTest& test) {
+  Trace tr;
+  const std::size_t n_sv = cc_->flip_flops().size();
+  ref_.load_state_broadcast(test.scan_in);
+  tr.po_bits.resize(test.length());
+  tr.limited_out_bits.resize(test.length());
+  for (std::size_t u = 0; u < test.vectors.size(); ++u) {
+    const std::uint32_t s = u < test.shift.size() ? test.shift[u] : 0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      const std::uint8_t in_bit =
+          (u < test.scan_bits.size() && j < test.scan_bits[u].size())
+              ? test.scan_bits[u][j]
+              : 0;
+      const Word out = ref_.shift(broadcast(in_bit != 0));
+      tr.limited_out_bits[u].push_back(sim::lane_bit(out, 0) ? 1 : 0);
+    }
+    ref_.set_inputs_broadcast(test.vectors[u]);
+    ref_.eval();
+    tr.po_bits[u] = ref_.output_bits(0);
+    if (!extra_observed_.empty()) {
+      scan::BitVector extra(extra_observed_.size());
+      for (std::size_t k = 0; k < extra_observed_.size(); ++k) {
+        extra[k] = sim::lane_bit(ref_.values()[extra_observed_[k]], 0) ? 1 : 0;
+      }
+      tr.extra_bits.push_back(std::move(extra));
+    }
+    ref_.clock();
+  }
+  tr.final_state.resize(n_sv);
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    tr.final_state[k] = sim::lane_bit(ref_.state_word(k), 0) ? 1 : 0;
+  }
+  if (mode_ == ObservationMode::kSignature) {
+    // Fold the fault-free response stream into the reference signature in
+    // the same canonical order the faulty machines use.
+    bist::Misr misr(misr_degree_);
+    scan::BitVector one(1);
+    for (std::size_t u = 0; u < test.vectors.size(); ++u) {
+      for (std::uint8_t bit : tr.limited_out_bits[u]) {
+        one[0] = bit;
+        misr.absorb(one);
+      }
+      scan::BitVector obs = tr.po_bits[u];
+      if (!tr.extra_bits.empty()) {
+        obs.insert(obs.end(), tr.extra_bits[u].begin(), tr.extra_bits[u].end());
+      }
+      misr.absorb(obs);
+    }
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      one[0] = tr.final_state[n_sv - 1 - k];
+      misr.absorb(one);
+    }
+    tr.signature = misr.signature();
+  }
+  return tr;
+}
+
+Word SeqFaultSim::run_test_with_trace(const scan::ScanTest& test,
+                                      const Overlay& o, const Trace& trace) {
+  // Mark overlay kinds for this group.
+  for (const auto& [id, m] : o.out_force) kind_[id] |= 1;
+  for (const auto& [id, fixes] : o.pin_fix) {
+    (void)fixes;
+    kind_[id] |= 2;
+  }
+
+  const std::size_t n_sv = cc_->flip_flops().size();
+  Word detected = 0;
+  const bool signature = mode_ == ObservationMode::kSignature;
+  if (signature) lane_misr_->reset();
+
+  // ---- scan-in (explicit shifts so Q-stuck faults corrupt the load) ----
+  if (o.has_ff_force) {
+    for (std::size_t k = test.scan_in.size(); k-- > 0;) {
+      (void)shift_with_forces(broadcast(test.scan_in[k] != 0), o);
+    }
+  } else {
+    const auto ffs = cc_->flip_flops();
+    for (std::size_t k = 0; k < ffs.size(); ++k) {
+      values_[ffs[k]] = broadcast(test.scan_in[k] != 0);
+    }
+  }
+
+  // ---- at-speed sequence with limited scan operations ----
+  for (std::size_t u = 0; u < test.vectors.size(); ++u) {
+    const std::uint32_t s = u < test.shift.size() ? test.shift[u] : 0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      const std::uint8_t in_bit =
+          (u < test.scan_bits.size() && j < test.scan_bits[u].size())
+              ? test.scan_bits[u][j]
+              : 0;
+      const Word out = shift_with_forces(broadcast(in_bit != 0), o);
+      if (signature) {
+        lane_misr_->absorb_one(out);
+      } else {
+        detected |= out ^ broadcast(trace.limited_out_bits[u][j] != 0);
+      }
+    }
+    const auto pis = cc_->inputs();
+    for (std::size_t k = 0; k < pis.size(); ++k) {
+      values_[pis[k]] = broadcast(test.vectors[u][k] != 0);
+    }
+    apply_out_forces(o);  // PI stuck-at and re-asserted source forces
+    eval_with_overlay(o);
+    const auto pos = cc_->outputs();
+    if (signature) {
+      misr_inputs_.clear();
+      for (std::size_t k = 0; k < pos.size(); ++k) {
+        misr_inputs_.push_back(values_[pos[k]]);
+      }
+      for (netlist::SignalId extra : extra_observed_) {
+        misr_inputs_.push_back(values_[extra]);
+      }
+      lane_misr_->absorb(misr_inputs_);
+    } else {
+      for (std::size_t k = 0; k < pos.size(); ++k) {
+        detected |= values_[pos[k]] ^ broadcast(trace.po_bits[u][k] != 0);
+      }
+      if (!extra_observed_.empty()) {
+        for (std::size_t k = 0; k < extra_observed_.size(); ++k) {
+          detected |= values_[extra_observed_[k]] ^
+                      broadcast(trace.extra_bits[u][k] != 0);
+        }
+      }
+    }
+    clock_with_fixes(o);
+  }
+
+  // ---- complete scan-out ----
+  if (!o.has_ff_force && !signature) {
+    // Without Q-output forces the chain is undistorted: the observed bit
+    // stream is exactly the final state, so compare it in place instead of
+    // shifting N_SV times (the dominant cost on large circuits).
+    const auto ffs = cc_->flip_flops();
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      detected |= values_[ffs[k]] ^ broadcast(trace.final_state[k] != 0);
+    }
+  } else {
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      const Word out = shift_with_forces(0, o);
+      if (signature) {
+        lane_misr_->absorb_one(out);
+      } else {
+        detected |= out ^ broadcast(trace.final_state[n_sv - 1 - k] != 0);
+      }
+    }
+  }
+  if (signature) {
+    detected = lane_misr_->differs_from(trace.signature);
+  }
+
+  // Clear overlay kinds.
+  for (const auto& [id, m] : o.out_force) kind_[id] = 0;
+  for (const auto& [id, fixes] : o.pin_fix) {
+    (void)fixes;
+    kind_[id] = 0;
+  }
+  return detected;
+}
+
+Word SeqFaultSim::run_test(const scan::ScanTest& test,
+                           std::span<const Fault> group) {
+  const Overlay o = build_overlay(group);
+  const Trace tr = compute_trace(test);
+  Word mask = run_test_with_trace(test, o, tr);
+  if (group.size() < sim::kLanes) {
+    mask &= (Word{1} << group.size()) - 1;
+  }
+  return mask;
+}
+
+std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
+  const std::vector<std::size_t> remaining = fl.remaining_indices();
+  if (remaining.empty() || ts.tests.empty()) return 0;
+
+  struct Group {
+    std::vector<std::size_t> indices;  // into fl
+    std::vector<Fault> faults;
+    Overlay overlay;
+    Word undetected = 0;  // lane mask of not-yet-detected faults
+  };
+  std::vector<Group> groups;
+  for (std::size_t base = 0; base < remaining.size(); base += sim::kLanes) {
+    Group g;
+    const std::size_t count =
+        std::min<std::size_t>(sim::kLanes, remaining.size() - base);
+    g.indices.reserve(count);
+    g.faults.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      g.indices.push_back(remaining[base + k]);
+      g.faults.push_back(fl.fault(remaining[base + k]));
+    }
+    g.undetected = count == sim::kLanes ? kAllOnes : ((Word{1} << count) - 1);
+    g.overlay = build_overlay(g.faults);
+    groups.push_back(std::move(g));
+  }
+
+  const unsigned hw = threads_ == 0
+                          ? std::max(1u, std::thread::hardware_concurrency())
+                          : threads_;
+  const unsigned n_workers = static_cast<unsigned>(
+      std::min<std::size_t>(hw, groups.size()));
+
+  std::size_t newly = 0;
+  if (n_workers <= 1) {
+    for (const scan::ScanTest& test : ts.tests) {
+      const Trace tr = compute_trace(test);
+      for (Group& g : groups) {
+        if (g.undetected == 0) continue;
+        const Word mask =
+            run_test_with_trace(test, g.overlay, tr) & g.undetected;
+        if (mask == 0) continue;
+        for (std::size_t lane = 0; lane < g.indices.size(); ++lane) {
+          if (sim::lane_bit(mask, static_cast<int>(lane))) {
+            fl.mark_detected(g.indices[lane]);
+            ++newly;
+          }
+        }
+        g.undetected &= ~mask;
+      }
+      if (fl.all_detected()) break;
+    }
+    return newly;
+  }
+
+  // Parallel path: traces are precomputed once, then fault groups are
+  // partitioned across workers. Each worker owns an independent faulty
+  // machine, so results are bit-identical to the serial path.
+  std::vector<Trace> traces;
+  traces.reserve(ts.tests.size());
+  for (const scan::ScanTest& test : ts.tests) {
+    traces.push_back(compute_trace(test));
+  }
+
+  std::vector<std::unique_ptr<SeqFaultSim>> workers;
+  workers.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    auto sim = std::make_unique<SeqFaultSim>(*cc_);
+    sim->extra_observed_ = extra_observed_;
+    sim->set_observation_mode(mode_, misr_degree_);
+    workers.push_back(std::move(sim));
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&, w] {
+      SeqFaultSim& sim = *workers[w];
+      for (std::size_t gi = w; gi < groups.size(); gi += n_workers) {
+        Group& g = groups[gi];
+        for (std::size_t t = 0; t < ts.tests.size() && g.undetected; ++t) {
+          const Word mask =
+              sim.run_test_with_trace(ts.tests[t], g.overlay, traces[t]) &
+              g.undetected;
+          g.undetected &= ~mask;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (unsigned w = 0; w < n_workers; ++w) {
+    gate_evals_ += workers[w]->gate_evals();
+  }
+
+  for (Group& g : groups) {
+    const Word initial =
+        g.indices.size() == sim::kLanes
+            ? kAllOnes
+            : ((Word{1} << g.indices.size()) - 1);
+    const Word detected = initial & ~g.undetected;
+    for (std::size_t lane = 0; lane < g.indices.size(); ++lane) {
+      if (sim::lane_bit(detected, static_cast<int>(lane))) {
+        fl.mark_detected(g.indices[lane]);
+        ++newly;
+      }
+    }
+  }
+  return newly;
+}
+
+}  // namespace rls::fault

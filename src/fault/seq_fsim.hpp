@@ -1,0 +1,136 @@
+// Scan-aware sequential fault simulation (parallel-fault, 64 faults/word).
+//
+// A scan test is serial in time, so the 64 bit-lanes carry 64 *faults*
+// simulated against the same test. The fault-free reference trace is
+// computed once per test and shared by all fault groups.
+//
+// Observation points (all three matter for the paper's method):
+//   1. primary outputs at every at-speed time unit;
+//   2. the bits shifted out of the chain during every limited scan
+//      operation;
+//   3. the complete scan-out at the end of the test.
+//
+// Fault injection semantics:
+//   * output faults force the signal's value wherever it is read — for a
+//     flip-flop Q this includes the scan path, so shifting through a stuck
+//     Q corrupts scanned data (scan-in, limited scan and scan-out), exactly
+//     as in a physical mux-scan chain;
+//   * input-pin faults force the value seen by one consumer gate only; a
+//     DFF D-pin fault corrupts functional capture but not scan shifting
+//     (the scan-in path bypasses D through the scan mux).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bist/misr.hpp"
+#include "fault/fault.hpp"
+#include "scan/test.hpp"
+#include "sim/compiled.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace rls::fault {
+
+/// How test responses are observed.
+enum class ObservationMode : std::uint8_t {
+  /// Every observed value is compared against the fault-free response
+  /// (ideal tester / per-cycle comparison).
+  kPerCycle,
+  /// Responses are compacted into a per-test MISR signature; a fault is
+  /// detected only if its signature differs (real BIST; a nonzero response
+  /// difference aliases with probability ~2^-degree).
+  kSignature,
+};
+
+class SeqFaultSim {
+ public:
+  explicit SeqFaultSim(const sim::CompiledCircuit& cc);
+
+  /// Simulates the test set against the undetected faults of `fl`,
+  /// marking faults detected (fault dropping between tests).
+  /// Returns the number of newly detected faults.
+  std::size_t run_test_set(const scan::TestSet& ts, FaultList& fl);
+
+  /// Simulates one test against an explicit group of <= 64 faults.
+  /// Returns the lane mask of detected faults.
+  sim::Word run_test(const scan::ScanTest& test, std::span<const Fault> group);
+
+  /// Cumulative gate-evaluation count (one count per gate visit per word).
+  [[nodiscard]] std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+
+  /// Additional signals observed at every at-speed time unit (e.g. the
+  /// last flip-flop of each scan chain in a [5]/[6]-style BIST setup).
+  void set_extra_observed(std::vector<netlist::SignalId> signals) {
+    extra_observed_ = std::move(signals);
+  }
+
+  /// Worker threads for run_test_set (fault groups are simulated
+  /// independently, so results are bit-identical at any thread count).
+  /// 0 = use the hardware concurrency. Default: 0.
+  void set_threads(unsigned n) { threads_ = n; }
+
+  /// Selects per-cycle comparison (default) or MISR signature compaction.
+  void set_observation_mode(ObservationMode mode, int misr_degree = 16);
+  [[nodiscard]] ObservationMode observation_mode() const noexcept {
+    return mode_;
+  }
+
+ private:
+  struct PinFix {
+    std::uint8_t lane;
+    std::int16_t pin;
+    std::uint8_t value;
+  };
+  struct ForceMask {
+    sim::Word and_mask = sim::kAllOnes;
+    sim::Word or_mask = 0;
+  };
+  /// Per-group injection plan.
+  struct Overlay {
+    std::vector<std::pair<netlist::SignalId, ForceMask>> out_force;
+    std::unordered_map<netlist::SignalId, std::vector<PinFix>> pin_fix;
+    std::vector<std::pair<std::size_t, PinFix>> dff_d_fix;  // ff position
+    bool has_ff_force = false;
+  };
+  /// Fault-free reference trace of one test.
+  struct Trace {
+    std::vector<scan::BitVector> po_bits;            // per time unit
+    std::vector<scan::BitVector> limited_out_bits;   // per time unit
+    std::vector<scan::BitVector> extra_bits;         // per time unit
+    scan::BitVector final_state;                     // state before scan-out
+    std::uint64_t signature = 0;                     // kSignature mode only
+  };
+
+  Overlay build_overlay(std::span<const Fault> group) const;
+  Trace compute_trace(const scan::ScanTest& test);
+  sim::Word run_test_with_trace(const scan::ScanTest& test,
+                                const Overlay& overlay, const Trace& trace);
+
+  // Faulty-machine primitives (operate on values_).
+  void apply_out_forces(const Overlay& o);
+  void eval_with_overlay(const Overlay& o);
+  sim::Word shift_with_forces(sim::Word scan_in, const Overlay& o);
+  void clock_with_fixes(const Overlay& o);
+
+  const sim::CompiledCircuit* cc_;
+  std::vector<sim::Word> values_;      // faulty machine
+  std::vector<sim::Word> next_state_;  // clock scratch
+  sim::SeqSim ref_;                    // fault-free reference machine
+  std::uint64_t gate_evals_ = 0;
+
+  /// Per-signal overlay kind flags, rebuilt per group (0 none, 1 out-force,
+  /// 2 pin-fix, 3 both). Kept as a member to avoid reallocation.
+  std::vector<std::uint8_t> kind_;
+
+  std::vector<netlist::SignalId> extra_observed_;
+  unsigned threads_ = 0;
+  ObservationMode mode_ = ObservationMode::kPerCycle;
+  int misr_degree_ = 16;
+  std::unique_ptr<bist::LaneMisr> lane_misr_;  // kSignature mode scratch
+  std::vector<sim::Word> misr_inputs_;         // absorb scratch
+};
+
+}  // namespace rls::fault

@@ -1,0 +1,284 @@
+#include "fault/transition.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace rls::fault {
+
+using netlist::GateType;
+using netlist::SignalId;
+using sim::broadcast;
+using sim::kAllOnes;
+using sim::Word;
+
+std::vector<TransitionFault> transition_universe(const netlist::Netlist& nl) {
+  std::vector<TransitionFault> out;
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    out.push_back({id, 1});
+    out.push_back({id, 0});
+  }
+  return out;
+}
+
+std::string transition_fault_name(const netlist::Netlist& nl,
+                                  const TransitionFault& f) {
+  std::ostringstream os;
+  os << nl.signal_name(f.line) << (f.slow_to_rise ? " slow-to-rise"
+                                                  : " slow-to-fall");
+  return os.str();
+}
+
+std::vector<std::size_t> TransitionFaultList::remaining_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (!detected_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+SeqTransitionFaultSim::SeqTransitionFaultSim(const sim::CompiledCircuit& cc)
+    : cc_(&cc), ref_(cc) {
+  values_.assign(cc.num_signals(), 0);
+  next_state_.assign(cc.flip_flops().size(), 0);
+  site_of_gate_.assign(cc.num_signals(), 0);
+  cc.init_constants(values_);
+}
+
+SeqTransitionFaultSim::Trace SeqTransitionFaultSim::compute_trace(
+    const scan::ScanTest& test) {
+  Trace tr;
+  const std::size_t n_sv = cc_->flip_flops().size();
+  ref_.load_state_broadcast(test.scan_in);
+  tr.po_bits.resize(test.length());
+  tr.limited_out_bits.resize(test.length());
+  for (std::size_t u = 0; u < test.vectors.size(); ++u) {
+    const std::uint32_t s = u < test.shift.size() ? test.shift[u] : 0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      const std::uint8_t in_bit =
+          (u < test.scan_bits.size() && j < test.scan_bits[u].size())
+              ? test.scan_bits[u][j]
+              : 0;
+      const Word out = ref_.shift(broadcast(in_bit != 0));
+      tr.limited_out_bits[u].push_back(sim::lane_bit(out, 0) ? 1 : 0);
+    }
+    ref_.set_inputs_broadcast(test.vectors[u]);
+    ref_.eval();
+    tr.po_bits[u] = ref_.output_bits(0);
+    ref_.clock();
+  }
+  tr.final_state.resize(n_sv);
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    tr.final_state[k] = sim::lane_bit(ref_.state_word(k), 0) ? 1 : 0;
+  }
+  return tr;
+}
+
+void SeqTransitionFaultSim::eval_with_holds(const Overlay& o) {
+  for (SignalId id : cc_->order()) {
+    Word w = cc_->eval_gate(id, values_);
+    const std::uint32_t site_plus1 = site_of_gate_[id];
+    if (site_plus1 != 0) {
+      const std::size_t s = site_plus1 - 1;
+      const Overlay::SiteLanes& site = o.sites[s];
+      const Word computed = w;
+      if (prev_valid_) {
+        const Word prev = prev_settled_[s];
+        const Word rising = computed & ~prev;
+        const Word falling = ~computed & prev;
+        const Word matched =
+            ((rising & site.str_lanes) | (falling & ~site.str_lanes)) &
+            site.lanes;
+        w = (w & ~matched) | (prev & matched);
+      }
+      prev_settled_[s] = computed;  // settles before the next cycle
+    }
+    values_[id] = w;
+  }
+}
+
+Word SeqTransitionFaultSim::run_with_trace(const scan::ScanTest& test,
+                                           const Overlay& o,
+                                           const Trace& trace) {
+  const auto ffs = cc_->flip_flops();
+  const std::size_t n_sv = ffs.size();
+  Word detected = 0;
+  prev_valid_ = false;
+  prev_settled_.assign(o.sites.size(), 0);
+
+  // Which sites are flip-flop outputs (handled at the clock edge)?
+  // site_of_gate_ marks combinational sites for eval_with_holds.
+  for (std::size_t s = 0; s < o.sites.size(); ++s) {
+    if (netlist::is_combinational(cc_->type(o.sites[s].line))) {
+      site_of_gate_[o.sites[s].line] = static_cast<std::uint32_t>(s + 1);
+    }
+  }
+
+  // Restores every Q site to its settled value (used before scan ops —
+  // lines settle before the slow scan clock).
+  auto settle_q_sites = [&] {
+    for (std::size_t s = 0; s < o.sites.size(); ++s) {
+      const SignalId line = o.sites[s].line;
+      if (cc_->type(line) == GateType::kDff && prev_valid_) {
+        values_[line] = prev_settled_[s];
+      }
+    }
+  };
+
+  // Scan-in: slow clock, no delay effects.
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    values_[ffs[k]] = broadcast(test.scan_in[k] != 0);
+  }
+
+  for (std::size_t u = 0; u < test.vectors.size(); ++u) {
+    const std::uint32_t s = u < test.shift.size() ? test.shift[u] : 0;
+    if (s > 0) {
+      settle_q_sites();
+      prev_valid_ = false;  // slow shifts break the at-speed pair
+      for (std::uint32_t j = 0; j < s; ++j) {
+        const std::uint8_t in_bit =
+            (u < test.scan_bits.size() && j < test.scan_bits[u].size())
+                ? test.scan_bits[u][j]
+                : 0;
+        const Word out = values_[ffs[n_sv - 1]];
+        for (std::size_t k = n_sv; k-- > 1;) {
+          values_[ffs[k]] = values_[ffs[k - 1]];
+        }
+        values_[ffs[0]] = broadcast(in_bit != 0);
+        detected |= out ^ broadcast(trace.limited_out_bits[u][j] != 0);
+      }
+    }
+    const auto pis = cc_->inputs();
+    for (std::size_t k = 0; k < pis.size(); ++k) {
+      values_[pis[k]] = broadcast(test.vectors[u][k] != 0);
+    }
+    eval_with_holds(o);
+    const auto pos = cc_->outputs();
+    for (std::size_t k = 0; k < pos.size(); ++k) {
+      detected |= values_[pos[k]] ^ broadcast(trace.po_bits[u][k] != 0);
+    }
+    // Functional clock: capture (from visible values), then apply Q-site
+    // transitions at the edge.
+    for (std::size_t k = 0; k < ffs.size(); ++k) {
+      next_state_[k] = values_[cc_->fanin(ffs[k])[0]];
+    }
+    for (std::size_t k = 0; k < ffs.size(); ++k) {
+      values_[ffs[k]] = next_state_[k];
+    }
+    for (std::size_t si = 0; si < o.sites.size(); ++si) {
+      const SignalId line = o.sites[si].line;
+      if (cc_->type(line) != GateType::kDff) continue;
+      const Word computed = values_[line];
+      if (prev_valid_) {
+        const Word prev = prev_settled_[si];
+        const Word rising = computed & ~prev;
+        const Word falling = ~computed & prev;
+        const Word matched =
+            ((rising & o.sites[si].str_lanes) |
+             (falling & ~o.sites[si].str_lanes)) &
+            o.sites[si].lanes;
+        values_[line] = (computed & ~matched) | (prev & matched);
+      }
+      prev_settled_[si] = computed;
+    }
+    prev_valid_ = true;
+  }
+
+  // Final scan-out at the slow clock: settled values shift out.
+  settle_q_sites();
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    const Word out = values_[ffs[n_sv - 1]];
+    for (std::size_t j = n_sv; j-- > 1;) {
+      values_[ffs[j]] = values_[ffs[j - 1]];
+    }
+    values_[ffs[0]] = 0;
+    detected |= out ^ broadcast(trace.final_state[n_sv - 1 - k] != 0);
+  }
+
+  for (const Overlay::SiteLanes& site : o.sites) {
+    site_of_gate_[site.line] = 0;
+  }
+  return detected;
+}
+
+Word SeqTransitionFaultSim::run_test(const scan::ScanTest& test,
+                                     std::span<const TransitionFault> group) {
+  assert(group.size() <= sim::kLanes);
+  const Overlay o = build_overlay(group);
+  const Trace tr = compute_trace(test);
+  Word mask = run_with_trace(test, o, tr);
+  if (group.size() < sim::kLanes) {
+    mask &= (Word{1} << group.size()) - 1;
+  }
+  return mask;
+}
+
+SeqTransitionFaultSim::Overlay SeqTransitionFaultSim::build_overlay(
+    std::span<const TransitionFault> group) {
+  Overlay o;
+  for (std::size_t lane = 0; lane < group.size(); ++lane) {
+    const TransitionFault& f = group[lane];
+    Overlay::SiteLanes* entry = nullptr;
+    for (auto& site : o.sites) {
+      if (site.line == f.line) {
+        entry = &site;
+        break;
+      }
+    }
+    if (!entry) {
+      o.sites.push_back({f.line, 0, 0});
+      entry = &o.sites.back();
+    }
+    entry->lanes |= Word{1} << lane;
+    if (f.slow_to_rise) entry->str_lanes |= Word{1} << lane;
+  }
+  return o;
+}
+
+std::size_t SeqTransitionFaultSim::run_test_set(const scan::TestSet& ts,
+                                                TransitionFaultList& fl) {
+  const std::vector<std::size_t> remaining = fl.remaining_indices();
+  if (remaining.empty() || ts.tests.empty()) return 0;
+
+  struct Group {
+    std::vector<std::size_t> indices;
+    std::vector<TransitionFault> faults;
+    Overlay overlay;
+    Word undetected = 0;
+  };
+  std::vector<Group> groups;
+  for (std::size_t base = 0; base < remaining.size(); base += sim::kLanes) {
+    Group g;
+    const std::size_t count =
+        std::min<std::size_t>(sim::kLanes, remaining.size() - base);
+    for (std::size_t k = 0; k < count; ++k) {
+      g.indices.push_back(remaining[base + k]);
+      g.faults.push_back(fl.fault(remaining[base + k]));
+    }
+    g.undetected = count == sim::kLanes ? kAllOnes : ((Word{1} << count) - 1);
+    g.overlay = build_overlay(g.faults);
+    groups.push_back(std::move(g));
+  }
+
+  std::size_t newly = 0;
+  for (const scan::ScanTest& test : ts.tests) {
+    const Trace tr = compute_trace(test);
+    for (Group& g : groups) {
+      if (g.undetected == 0) continue;
+      const Word mask = run_with_trace(test, g.overlay, tr) & g.undetected;
+      if (mask == 0) continue;
+      for (std::size_t lane = 0; lane < g.indices.size(); ++lane) {
+        if (sim::lane_bit(mask, static_cast<int>(lane))) {
+          fl.mark_detected(g.indices[lane]);
+          ++newly;
+        }
+      }
+      g.undetected &= ~mask;
+    }
+    if (fl.all_detected()) break;
+  }
+  return newly;
+}
+
+}  // namespace rls::fault

@@ -1,0 +1,130 @@
+// Transition (gross-delay) fault model — the reason for *at-speed* testing.
+//
+// A slow-to-rise (STR) / slow-to-fall (STF) fault on a line delays the
+// matching transition past one clock period: when the line would change in
+// the slow direction between two consecutive at-speed cycles, the capture
+// still sees the old value; the transition completes before the following
+// cycle (gross delay in (T, 2T)).
+//
+// Launch-capture semantics: a transition needs two consecutive *at-speed*
+// cycles. Scan shifts run on the slow scan clock, so the first functional
+// cycle after a scan-in — and after every limited scan operation — cannot
+// launch a transition (the hold history is invalidated). This makes the
+// model exhibit exactly the tension the paper manages with D_1: frequent
+// limited scan operations improve stuck-at coverage but shorten the
+// at-speed sequences that transition faults need.
+//
+// Like the stuck-at engine, simulation is parallel-fault: 64 transition
+// faults per word against a shared fault-free trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "scan/test.hpp"
+#include "sim/compiled.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace rls::fault {
+
+struct TransitionFault {
+  netlist::SignalId line = netlist::kNoSignal;  ///< gate output line
+  std::uint8_t slow_to_rise = 1;                ///< 1 = STR, 0 = STF
+
+  friend bool operator==(const TransitionFault&,
+                         const TransitionFault&) = default;
+};
+
+/// Two transition faults per gate-output line (constants excluded; DFF
+/// outputs included — a slow Q delays the functional path but not the
+/// slow-clock scan path).
+std::vector<TransitionFault> transition_universe(const netlist::Netlist& nl);
+
+std::string transition_fault_name(const netlist::Netlist& nl,
+                                  const TransitionFault& f);
+
+/// Detection bookkeeping, mirroring FaultList.
+class TransitionFaultList {
+ public:
+  TransitionFaultList() = default;
+  explicit TransitionFaultList(std::vector<TransitionFault> faults)
+      : faults_(std::move(faults)), detected_(faults_.size(), 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return faults_.size(); }
+  [[nodiscard]] const TransitionFault& fault(std::size_t i) const {
+    return faults_[i];
+  }
+  [[nodiscard]] bool detected(std::size_t i) const { return detected_[i] != 0; }
+  void mark_detected(std::size_t i) {
+    if (!detected_[i]) {
+      detected_[i] = 1;
+      ++num_detected_;
+    }
+  }
+  [[nodiscard]] std::size_t num_detected() const noexcept {
+    return num_detected_;
+  }
+  [[nodiscard]] bool all_detected() const noexcept {
+    return num_detected_ == faults_.size();
+  }
+  [[nodiscard]] double coverage() const noexcept {
+    return faults_.empty() ? 1.0
+                           : static_cast<double>(num_detected_) /
+                                 static_cast<double>(faults_.size());
+  }
+  [[nodiscard]] std::vector<std::size_t> remaining_indices() const;
+
+ private:
+  std::vector<TransitionFault> faults_;
+  std::vector<std::uint8_t> detected_;
+  std::size_t num_detected_ = 0;
+};
+
+class SeqTransitionFaultSim {
+ public:
+  explicit SeqTransitionFaultSim(const sim::CompiledCircuit& cc);
+
+  /// Simulates one test against <= 64 transition faults; returns the lane
+  /// mask of detections.
+  sim::Word run_test(const scan::ScanTest& test,
+                     std::span<const TransitionFault> group);
+
+  /// Simulates a test set with fault dropping; returns new detections.
+  std::size_t run_test_set(const scan::TestSet& ts, TransitionFaultList& fl);
+
+  struct Trace {
+    std::vector<scan::BitVector> po_bits;
+    std::vector<scan::BitVector> limited_out_bits;
+    scan::BitVector final_state;
+  };
+  struct Overlay {
+    /// Per affected gate: lanes with a transition fault on its output.
+    struct SiteLanes {
+      netlist::SignalId line;
+      sim::Word lanes = 0;      ///< lanes whose fault sits on this line
+      sim::Word str_lanes = 0;  ///< of those, the slow-to-rise ones
+    };
+    std::vector<SiteLanes> sites;
+  };
+
+ private:
+  static Overlay build_overlay(std::span<const TransitionFault> group);
+  Trace compute_trace(const scan::ScanTest& test);
+  sim::Word run_with_trace(const scan::ScanTest& test, const Overlay& o,
+                           const Trace& trace);
+  void eval_with_holds(const Overlay& o);
+
+  const sim::CompiledCircuit* cc_;
+  sim::SeqSim ref_;
+  std::vector<sim::Word> values_;
+  std::vector<sim::Word> next_state_;
+  /// Per site (parallel to Overlay::sites): previous settled value word
+  /// and validity.
+  std::vector<sim::Word> prev_settled_;
+  bool prev_valid_ = false;
+  std::vector<std::uint32_t> site_of_gate_;  // gate -> site index + 1, 0 none
+};
+
+}  // namespace rls::fault

@@ -1,0 +1,74 @@
+#include "gen/profiles.hpp"
+
+#include "rand/rng.hpp"
+
+namespace rls::gen {
+
+namespace {
+
+std::vector<Profile> make_profiles() {
+  // name, PI, PO, FF, gates, counter_fraction
+  struct Row {
+    const char* name;
+    std::size_t pi, po, ff, gates;
+    double cf;
+  };
+  // Interface counts follow the published ISCAS-89 / ITC-99 tables; gate
+  // counts include inverters. counter_fraction encodes the qualitative
+  // random-resistance of the original (see header comment).
+  static constexpr Row kRows[] = {
+      {"s208", 10, 1, 8, 104, 0.9},     // fractional divider: counter+decode
+      {"s298", 3, 6, 14, 119, 0.25},    // traffic-light controller
+      {"s344", 9, 11, 15, 160, 0.0},    // multiplier fragment: random-easy
+      {"s382", 3, 6, 21, 158, 0.3},
+      {"s400", 3, 6, 21, 162, 0.3},
+      {"s420", 18, 1, 16, 218, 0.9},    // fractional divider (2x s208)
+      {"s510", 19, 7, 6, 211, 0.0},     // random-easy control
+      {"s641", 35, 24, 19, 379, 0.45},
+      {"s820", 18, 19, 5, 289, 0.75},   // dense FSM: resistant
+      {"s953", 16, 23, 29, 395, 0.4},
+      {"s1196", 14, 14, 18, 529, 0.3},
+      {"s1423", 17, 5, 74, 657, 0.5},
+      {"s5378", 35, 49, 179, 2779, 0.3},
+      {"s35932", 35, 320, 1728, 16065, 0.1},
+      {"s35932s", 35, 40, 216, 2008, 0.1},  // 1/8-scale stand-in
+      {"b01", 2, 2, 5, 45, 0.3},
+      {"b02", 1, 1, 4, 25, 0.0},
+      {"b03", 4, 4, 30, 150, 0.35},
+      {"b04", 11, 8, 66, 650, 0.45},
+      {"b06", 2, 6, 9, 50, 0.0},
+      {"b09", 1, 1, 28, 160, 0.8},      // serial converter: counter-like
+      {"b10", 11, 6, 17, 180, 0.4},
+      {"b11", 7, 6, 31, 480, 0.5},
+  };
+  std::vector<Profile> out;
+  out.reserve(std::size(kRows));
+  for (const Row& r : kRows) {
+    Profile p;
+    p.name = r.name;
+    p.num_inputs = r.pi;
+    p.num_outputs = r.po;
+    p.num_flip_flops = r.ff;
+    p.num_gates = r.gates;
+    p.counter_fraction = r.cf;
+    p.seed = rls::rand::hash_name(r.name) ^ 0x915C0FFEEull;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Profile>& builtin_profiles() {
+  static const std::vector<Profile> kProfiles = make_profiles();
+  return kProfiles;
+}
+
+std::optional<Profile> profile_by_name(std::string_view name) {
+  for (const Profile& p : builtin_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rls::gen

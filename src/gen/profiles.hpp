@@ -1,0 +1,42 @@
+// Published interface/size profiles of the ISCAS-89 and ITC-99 circuits
+// used in the paper, and the knobs of their synthetic stand-ins.
+//
+// The exact netlists are not redistributable in this offline build (except
+// s27, which is embedded verbatim); every other circuit is replaced by a
+// deterministic synthetic circuit matched to the published profile. The
+// `counter_fraction` knob reflects the qualitative random-pattern
+// testability of the original: s208/s420 are fractional dividers (counter
+// + decode — extremely random-resistant), s510/s344 are known random-easy,
+// etc. See DESIGN.md, "Reproduction bands & substitutions".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rls::gen {
+
+struct Profile {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_flip_flops = 0;
+  /// Target number of combinational gates (incl. inverters/buffers).
+  std::size_t num_gates = 0;
+  /// Fraction of flip-flops wired as a synchronous counter core with
+  /// decode monitors (the random-resistance knob), in [0, 1].
+  double counter_fraction = 0.0;
+  /// Per-circuit generator seed (fixed for reproducibility).
+  std::uint64_t seed = 0;
+};
+
+/// All built-in profiles (paper Table 6 circuits, minus s27 which is
+/// exact, plus the `s35932s` 1/8-scale stand-in used by default benches).
+const std::vector<Profile>& builtin_profiles();
+
+/// Profile by circuit name; nullopt if unknown.
+std::optional<Profile> profile_by_name(std::string_view name);
+
+}  // namespace rls::gen

@@ -1,0 +1,26 @@
+#include "gen/registry.hpp"
+
+#include "gen/profiles.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+
+namespace rls::gen {
+
+netlist::Netlist make_circuit(std::string_view name) {
+  if (name == "s27") return make_s27();
+  if (auto p = profile_by_name(name)) {
+    return synthesize(*p);
+  }
+  throw UnknownCircuitError("unknown circuit '" + std::string(name) + "'");
+}
+
+std::vector<std::string> known_circuits() {
+  std::vector<std::string> out;
+  out.emplace_back("s27");
+  for (const Profile& p : builtin_profiles()) {
+    out.push_back(p.name);
+  }
+  return out;
+}
+
+}  // namespace rls::gen

@@ -1,0 +1,30 @@
+// Circuit registry: one call to get any benchmark stand-in by name.
+//
+// "s27" returns the exact embedded ISCAS-89 netlist; every other known
+// name returns the deterministic synthetic stand-in for that circuit's
+// published profile (see profiles.hpp and DESIGN.md).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::gen {
+
+/// Thrown for unknown circuit names.
+class UnknownCircuitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Builds the circuit (exact s27, or a profile-matched synthetic stand-in).
+netlist::Netlist make_circuit(std::string_view name);
+
+/// Names available through make_circuit(), in canonical order
+/// ("s27" first, then the profile list).
+std::vector<std::string> known_circuits();
+
+}  // namespace rls::gen

@@ -1,0 +1,20 @@
+// The exact ISCAS-89 s27 benchmark, embedded.
+//
+// This is the one circuit the reproduction carries verbatim: the paper's
+// Section 2 walk-through (Tables 1 and 2) is defined on it, and our tests
+// check the simulator against the published trace bit-for-bit.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::gen {
+
+/// The s27 `.bench` source text.
+std::string_view s27_bench_text();
+
+/// Parsed, finalized s27 netlist (4 PIs G0..G3, PO G17, DFFs G5,G6,G7).
+netlist::Netlist make_s27();
+
+}  // namespace rls::gen

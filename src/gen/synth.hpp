@@ -1,0 +1,32 @@
+// Deterministic synthetic circuit generator.
+//
+// Produces ISCAS-like sequential circuits matched to a Profile: the exact
+// PI/PO/FF counts, approximately the gate count, and — through the
+// `counter_fraction` knob — a tunable degree of random-pattern resistance.
+//
+// Structure of a generated circuit:
+//   * a synchronous counter core over a fraction of the flip-flops
+//     (enable = AND of primary inputs; D_k = FF_k XOR carry_k with
+//     carry_k = AND(carry_{k-1}, FF_{k-1})), plus wide AND/NOR "decode"
+//     monitors over counter bits. Deep counter bits toggle once per
+//     2^k enabled cycles under functional clocking, so faults behind the
+//     decoders are random-resistant — but any counter state is directly
+//     loadable by scan. This mirrors the fractional-divider structure of
+//     s208/s420 and is the mechanism that makes limited scan valuable;
+//   * random glue logic over primary inputs, state variables and earlier
+//     gates (recency-biased fanin selection keeps depth realistic);
+//   * every flip-flop D, every primary output and all dangling signals are
+//     wired so the result passes netlist::validate() with no findings.
+//
+// Generation is a pure function of the profile (including its seed):
+// the same profile always yields the identical netlist.
+#pragma once
+
+#include "gen/profiles.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rls::gen {
+
+netlist::Netlist synthesize(const Profile& profile);
+
+}  // namespace rls::gen

@@ -1,0 +1,40 @@
+// ISCAS-89 `.bench` format reader and writer.
+//
+// Grammar (as used by the ISCAS-89 / ITC-99 distributions):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = OP(arg1, arg2, ...)       OP in {AND,NAND,OR,NOR,XOR,XNOR,NOT,BUFF,DFF}
+//
+// Forward references are allowed (and required for sequential feedback);
+// OUTPUT lines may precede the defining assignment.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::netlist {
+
+/// Thrown on malformed `.bench` input; the message contains a line number.
+class BenchParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses `.bench` text into a finalized netlist.
+/// `name` becomes the netlist name (usually the circuit name).
+Netlist parse_bench(std::string_view text, std::string name = "bench");
+
+/// Parses a `.bench` file from disk.
+Netlist load_bench_file(const std::string& path);
+
+/// Serializes a finalized netlist to `.bench` text. The output round-trips:
+/// parse_bench(write_bench(nl)) is isomorphic to nl (same names, types,
+/// fanins, I/O and flip-flop order).
+std::string write_bench(const Netlist& nl);
+
+}  // namespace rls::netlist

@@ -1,0 +1,66 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rls::netlist {
+
+Levelization levelize(const Netlist& nl) {
+  assert(nl.finalized() && "levelize requires a finalized netlist");
+  const std::size_t n = nl.num_gates();
+  Levelization out;
+  out.level.assign(n, 0);
+  out.order.reserve(n);
+
+  // Kahn's algorithm over combinational gates only. DFF outputs, inputs and
+  // constants are sources (in-degree contributions from them are ignored).
+  std::vector<int> pending(n, 0);
+  for (SignalId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    if (!is_combinational(g.type)) continue;
+    int deps = 0;
+    for (SignalId in : g.fanin) {
+      if (is_combinational(nl.gate(in).type)) ++deps;
+    }
+    pending[id] = deps;
+  }
+
+  std::vector<SignalId> ready;
+  for (SignalId id = 0; id < n; ++id) {
+    if (is_combinational(nl.gate(id).type) && pending[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const SignalId id = ready[head++];
+    const Gate& g = nl.gate(id);
+    int lvl = 0;
+    for (SignalId in : g.fanin) {
+      lvl = std::max(lvl, out.level[in]);
+    }
+    out.level[id] = lvl + 1;
+    out.max_level = std::max(out.max_level, lvl + 1);
+    out.order.push_back(id);
+    for (SignalId consumer : nl.fanout()[id]) {
+      if (!is_combinational(nl.gate(consumer).type)) continue;
+      if (--pending[consumer] == 0) {
+        ready.push_back(consumer);
+      }
+    }
+  }
+
+  std::size_t comb_count = 0;
+  for (SignalId id = 0; id < n; ++id) {
+    if (is_combinational(nl.gate(id).type)) ++comb_count;
+  }
+  if (out.order.size() != comb_count) {
+    throw CombinationalLoopError(
+        "netlist '" + nl.name() + "' has a combinational cycle (" +
+        std::to_string(comb_count - out.order.size()) + " gates unplaced)");
+  }
+  return out;
+}
+
+}  // namespace rls::netlist

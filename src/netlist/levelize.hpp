@@ -1,0 +1,37 @@
+// Levelization: a topological ordering of the combinational core.
+//
+// Sources of the combinational core are primary inputs, constants and
+// flip-flop outputs (present-state variables). Sinks are primary outputs
+// and flip-flop D inputs (next-state functions). A valid full-scan design
+// has an acyclic combinational core; any cycle through combinational gates
+// is reported as an error.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::netlist {
+
+/// Thrown when the combinational core contains a cycle.
+class CombinationalLoopError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Result of levelization. `order` contains exactly the combinational
+/// gates (no inputs, constants or DFFs), each after all of its fanins that
+/// are themselves combinational. `level[id]` is the logic depth of signal
+/// `id` (0 for sources).
+struct Levelization {
+  std::vector<SignalId> order;
+  std::vector<int> level;
+  int max_level = 0;
+};
+
+/// Computes the levelization. Requires a finalized netlist.
+/// Throws CombinationalLoopError on a combinational cycle.
+Levelization levelize(const Netlist& nl);
+
+}  // namespace rls::netlist

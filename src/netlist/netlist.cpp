@@ -1,0 +1,130 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rls::netlist {
+
+namespace {
+
+void check_arity(GateType type, std::size_t n, const std::string& name) {
+  const bool ok = [&] {
+    if (is_source(type)) return n == 0;
+    if (is_unary(type) || type == GateType::kDff) return n == 1;
+    return n >= 1;  // n-ary gates; .bench allows AND with one input
+  }();
+  if (!ok) {
+    throw NetlistError("gate '" + name + "' of type " +
+                       std::string(to_string(type)) + " has invalid fanin count " +
+                       std::to_string(n));
+  }
+}
+
+}  // namespace
+
+SignalId Netlist::add_named(GateType type, std::string_view name) {
+  if (finalized_) {
+    throw NetlistError("cannot modify a finalized netlist");
+  }
+  std::string key(name);
+  if (key.empty()) {
+    throw NetlistError("signal name must not be empty");
+  }
+  auto [it, inserted] = by_name_.emplace(key, static_cast<SignalId>(gates_.size()));
+  if (!inserted) {
+    throw NetlistError("duplicate signal name '" + key + "'");
+  }
+  gates_.push_back(Gate{type, {}});
+  names_.push_back(std::move(key));
+  return it->second;
+}
+
+SignalId Netlist::add_input(std::string_view name) {
+  const SignalId id = add_named(GateType::kInput, name);
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::add_dff(std::string_view name, SignalId d) {
+  const SignalId id = add_named(GateType::kDff, name);
+  flip_flops_.push_back(id);
+  if (d != kNoSignal) {
+    gates_[id].fanin = {d};
+  }
+  return id;
+}
+
+SignalId Netlist::add_gate(GateType type, std::string_view name,
+                           std::span<const SignalId> fanin) {
+  if (type == GateType::kInput) {
+    throw NetlistError("use add_input for primary inputs");
+  }
+  if (type == GateType::kDff) {
+    throw NetlistError("use add_dff for flip-flops");
+  }
+  const SignalId id = add_named(type, name);
+  gates_[id].fanin.assign(fanin.begin(), fanin.end());
+  return id;
+}
+
+void Netlist::connect(SignalId id, std::span<const SignalId> fanin) {
+  if (finalized_) {
+    throw NetlistError("cannot modify a finalized netlist");
+  }
+  if (id >= gates_.size()) {
+    throw NetlistError("connect: signal id out of range");
+  }
+  gates_[id].fanin.assign(fanin.begin(), fanin.end());
+}
+
+void Netlist::mark_output(SignalId id) {
+  if (finalized_) {
+    throw NetlistError("cannot modify a finalized netlist");
+  }
+  if (id >= gates_.size()) {
+    throw NetlistError("mark_output: signal id out of range");
+  }
+  if (std::find(primary_outputs_.begin(), primary_outputs_.end(), id) ==
+      primary_outputs_.end()) {
+    primary_outputs_.push_back(id);
+  }
+}
+
+void Netlist::finalize() {
+  if (finalized_) return;
+  for (SignalId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    check_arity(g.type, g.fanin.size(), names_[id]);
+    for (SignalId in : g.fanin) {
+      if (in >= gates_.size()) {
+        throw NetlistError("gate '" + names_[id] + "' has dangling fanin");
+      }
+    }
+  }
+  fanout_.assign(gates_.size(), {});
+  for (SignalId id = 0; id < gates_.size(); ++id) {
+    for (SignalId in : gates_[id].fanin) {
+      fanout_[in].push_back(id);
+    }
+  }
+  is_po_.assign(gates_.size(), false);
+  for (SignalId id : primary_outputs_) {
+    is_po_[id] = true;
+  }
+  finalized_ = true;
+}
+
+SignalId Netlist::by_name(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoSignal : it->second;
+}
+
+std::size_t Netlist::fanout_count(SignalId id) const {
+  return fanout_.at(id).size() + (is_primary_output(id) ? 1u : 0u);
+}
+
+bool Netlist::is_primary_output(SignalId id) const {
+  return !is_po_.empty() && id < is_po_.size() && is_po_[id];
+}
+
+}  // namespace rls::netlist

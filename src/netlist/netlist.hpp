@@ -1,0 +1,146 @@
+// Gate-level netlist container and builder.
+//
+// Invariants maintained by the class:
+//   * gates_[id] drives the signal with SignalId `id`;
+//   * names are unique; by_name() resolves any declared name;
+//   * primary_inputs()/flip_flops() list kInput/kDff gates in declaration
+//     order (flip-flop order == scan-chain order used by rls::scan);
+//   * primary_outputs() lists signals marked as observable.
+//
+// Construction supports forward references (needed both by the `.bench`
+// format and by sequential feedback through flip-flops): declare signals by
+// name first, connect fanins later, then call finalize() which checks that
+// every gate is fully connected.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/types.hpp"
+
+namespace rls::netlist {
+
+/// One gate. The driven signal's id equals the gate's index in the netlist.
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<SignalId> fanin;
+};
+
+/// Error thrown on malformed construction (duplicate name, bad arity, ...).
+class NetlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ------------------------------------------------------
+
+  /// Declares a primary input. Returns its signal id.
+  SignalId add_input(std::string_view name);
+
+  /// Declares a D flip-flop whose data fanin will be connected later
+  /// (or immediately if `d != kNoSignal`). Returns the state signal id.
+  SignalId add_dff(std::string_view name, SignalId d = kNoSignal);
+
+  /// Declares a combinational gate. `fanin` may be empty for later
+  /// connection via connect(). Returns the output signal id.
+  SignalId add_gate(GateType type, std::string_view name,
+                    std::span<const SignalId> fanin = {});
+
+  /// Convenience overload.
+  SignalId add_gate(GateType type, std::string_view name,
+                    std::initializer_list<SignalId> fanin) {
+    return add_gate(type, name, std::span<const SignalId>(fanin.begin(), fanin.size()));
+  }
+
+  /// Replaces the fanin list of `id` (used for forward references).
+  void connect(SignalId id, std::span<const SignalId> fanin);
+  void connect(SignalId id, std::initializer_list<SignalId> fanin) {
+    connect(id, std::span<const SignalId>(fanin.begin(), fanin.size()));
+  }
+
+  /// Marks a signal as a primary output. Idempotent per signal.
+  void mark_output(SignalId id);
+
+  /// Checks all arities/connections; throws NetlistError on violation.
+  /// Must be called once after construction; queries below require it.
+  void finalize();
+
+  // ---- queries ------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t num_gates() const noexcept { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(SignalId id) const { return gates_.at(id); }
+  [[nodiscard]] const std::string& signal_name(SignalId id) const {
+    return names_.at(id);
+  }
+
+  [[nodiscard]] const std::vector<SignalId>& primary_inputs() const noexcept {
+    return primary_inputs_;
+  }
+  [[nodiscard]] const std::vector<SignalId>& primary_outputs() const noexcept {
+    return primary_outputs_;
+  }
+  [[nodiscard]] const std::vector<SignalId>& flip_flops() const noexcept {
+    return flip_flops_;
+  }
+
+  [[nodiscard]] std::size_t num_inputs() const noexcept {
+    return primary_inputs_.size();
+  }
+  [[nodiscard]] std::size_t num_outputs() const noexcept {
+    return primary_outputs_.size();
+  }
+  /// Number of state variables N_SV (== number of scanned flip-flops under
+  /// full scan).
+  [[nodiscard]] std::size_t num_state_vars() const noexcept {
+    return flip_flops_.size();
+  }
+
+  /// Resolves a declared name; returns kNoSignal if absent.
+  [[nodiscard]] SignalId by_name(std::string_view name) const;
+
+  /// True once finalize() has run successfully.
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Fanout lists (consumers of each signal, as (gate, pin) pairs flattened
+  /// to gate ids; a gate appears once per pin it consumes the signal on).
+  /// Built by finalize().
+  [[nodiscard]] const std::vector<std::vector<SignalId>>& fanout() const {
+    return fanout_;
+  }
+
+  /// Number of fanout branches of `id` (pins consuming it + 1 if it is a
+  /// primary output).
+  [[nodiscard]] std::size_t fanout_count(SignalId id) const;
+
+  /// True if the signal is marked as a primary output.
+  [[nodiscard]] bool is_primary_output(SignalId id) const;
+
+ private:
+  SignalId add_named(GateType type, std::string_view name);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SignalId> by_name_;
+  std::vector<SignalId> primary_inputs_;
+  std::vector<SignalId> primary_outputs_;
+  std::vector<SignalId> flip_flops_;
+  std::vector<std::vector<SignalId>> fanout_;
+  std::vector<bool> is_po_;
+  bool finalized_ = false;
+};
+
+}  // namespace rls::netlist

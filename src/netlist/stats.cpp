@@ -1,0 +1,50 @@
+#include "netlist/stats.hpp"
+
+#include <sstream>
+
+#include "netlist/levelize.hpp"
+
+namespace rls::netlist {
+
+CircuitStats compute_stats(const Netlist& nl) {
+  CircuitStats s;
+  s.num_inputs = nl.num_inputs();
+  s.num_outputs = nl.num_outputs();
+  s.num_flip_flops = nl.num_state_vars();
+  s.total_gates = nl.num_gates();
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.gate(id).type;
+    s.by_type[static_cast<std::size_t>(t)]++;
+    switch (t) {
+      case GateType::kNot:
+        s.num_inverters++;
+        break;
+      case GateType::kBuf:
+        s.num_buffers++;
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor:
+      case GateType::kXor:
+      case GateType::kXnor:
+        s.num_comb_gates++;
+        break;
+      default:
+        break;
+    }
+  }
+  s.max_level = levelize(nl).max_level;
+  return s;
+}
+
+std::string to_string(const CircuitStats& s) {
+  std::ostringstream out;
+  out << "inputs=" << s.num_inputs << " outputs=" << s.num_outputs
+      << " flip_flops=" << s.num_flip_flops << " gates=" << s.num_comb_gates
+      << " inverters=" << s.num_inverters << " buffers=" << s.num_buffers
+      << " depth=" << s.max_level;
+  return out.str();
+}
+
+}  // namespace rls::netlist

@@ -1,0 +1,31 @@
+// Circuit statistics used for reporting and for matching synthetic
+// circuits against published benchmark profiles.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::netlist {
+
+struct CircuitStats {
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_flip_flops = 0;
+  std::size_t num_comb_gates = 0;     ///< combinational gates (excl. BUF/NOT)
+  std::size_t num_inverters = 0;      ///< NOT gates
+  std::size_t num_buffers = 0;        ///< BUF gates
+  std::size_t total_gates = 0;        ///< everything incl. inputs and DFFs
+  int max_level = 0;                  ///< combinational depth
+  std::array<std::size_t, kNumGateTypes> by_type{};
+};
+
+/// Computes statistics for a finalized netlist.
+CircuitStats compute_stats(const Netlist& nl);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const CircuitStats& s);
+
+}  // namespace rls::netlist

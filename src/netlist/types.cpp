@@ -1,0 +1,73 @@
+#include "netlist/types.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace rls::netlist {
+
+std::string_view to_string(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+      return "input";
+    case GateType::kBuf:
+      return "buf";
+    case GateType::kNot:
+      return "not";
+    case GateType::kAnd:
+      return "and";
+    case GateType::kNand:
+      return "nand";
+    case GateType::kOr:
+      return "or";
+    case GateType::kNor:
+      return "nor";
+    case GateType::kXor:
+      return "xor";
+    case GateType::kXnor:
+      return "xnor";
+    case GateType::kDff:
+      return "dff";
+    case GateType::kConst0:
+      return "const0";
+    case GateType::kConst1:
+      return "const1";
+  }
+  return "?";
+}
+
+bool gate_type_from_string(std::string_view text, GateType& out) noexcept {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  struct Entry {
+    std::string_view name;
+    GateType type;
+  };
+  static constexpr std::array<Entry, 14> kTable{{
+      {"buf", GateType::kBuf},
+      {"buff", GateType::kBuf},
+      {"not", GateType::kNot},
+      {"inv", GateType::kNot},
+      {"and", GateType::kAnd},
+      {"nand", GateType::kNand},
+      {"or", GateType::kOr},
+      {"nor", GateType::kNor},
+      {"xor", GateType::kXor},
+      {"xnor", GateType::kXnor},
+      {"dff", GateType::kDff},
+      {"input", GateType::kInput},
+      {"const0", GateType::kConst0},
+      {"const1", GateType::kConst1},
+  }};
+  for (const Entry& e : kTable) {
+    if (lower == e.name) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rls::netlist

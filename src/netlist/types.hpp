@@ -1,0 +1,87 @@
+// Core identifier and gate-type vocabulary for gate-level netlists.
+//
+// A netlist is a directed graph of gates. Every gate drives exactly one
+// signal, and the gate's index in the netlist doubles as the SignalId of
+// the signal it drives. Primary inputs and D flip-flops are modeled as
+// gates too (kInput has no fanin; kDff has a single D fanin and its output
+// is the present-state variable).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace rls::netlist {
+
+/// Index of a signal (== index of the gate driving it).
+using SignalId = std::uint32_t;
+
+/// Sentinel for "no signal".
+inline constexpr SignalId kNoSignal = std::numeric_limits<SignalId>::max();
+
+/// Gate function vocabulary. Matches the ISCAS-89 `.bench` operator set
+/// plus constants (used by fault-injection helpers and generated logic).
+enum class GateType : std::uint8_t {
+  kInput,   ///< primary input; no fanin
+  kBuf,     ///< identity; 1 fanin
+  kNot,     ///< inversion; 1 fanin
+  kAnd,     ///< conjunction; >= 1 fanin
+  kNand,    ///< negated conjunction; >= 1 fanin
+  kOr,      ///< disjunction; >= 1 fanin
+  kNor,     ///< negated disjunction; >= 1 fanin
+  kXor,     ///< parity; >= 1 fanin
+  kXnor,    ///< negated parity; >= 1 fanin
+  kDff,     ///< D flip-flop; 1 fanin (D); output is the present state
+  kConst0,  ///< constant 0; no fanin
+  kConst1,  ///< constant 1; no fanin
+};
+
+/// Number of distinct gate types (for table sizing).
+inline constexpr int kNumGateTypes = 12;
+
+/// Canonical lower-case name, e.g. "nand". Stable across versions.
+std::string_view to_string(GateType type) noexcept;
+
+/// Parses a `.bench` operator name (case-insensitive). Returns true on
+/// success. "DFF" maps to kDff, "BUFF"/"BUF" to kBuf, etc.
+bool gate_type_from_string(std::string_view text, GateType& out) noexcept;
+
+/// True for gates that take no fanin (kInput, kConst0, kConst1).
+constexpr bool is_source(GateType type) noexcept {
+  return type == GateType::kInput || type == GateType::kConst0 ||
+         type == GateType::kConst1;
+}
+
+/// True for the single-input combinational gates.
+constexpr bool is_unary(GateType type) noexcept {
+  return type == GateType::kBuf || type == GateType::kNot;
+}
+
+/// True for gates whose output participates in combinational evaluation
+/// as a *function* of fanins (everything except sources and DFFs).
+constexpr bool is_combinational(GateType type) noexcept {
+  return !is_source(type) && type != GateType::kDff;
+}
+
+/// Controlling value of an AND/NAND/OR/NOR gate, or -1 if none (XOR family
+/// and unary gates have no controlling value).
+constexpr int controlling_value(GateType type) noexcept {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return 0;
+    case GateType::kOr:
+    case GateType::kNor:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+/// True if the gate inverts its "natural" core function (NAND/NOR/XNOR/NOT).
+constexpr bool is_inverting(GateType type) noexcept {
+  return type == GateType::kNand || type == GateType::kNor ||
+         type == GateType::kXnor || type == GateType::kNot;
+}
+
+}  // namespace rls::netlist

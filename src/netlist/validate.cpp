@@ -1,0 +1,65 @@
+#include "netlist/validate.hpp"
+
+#include <queue>
+
+#include "netlist/levelize.hpp"
+
+namespace rls::netlist {
+
+std::vector<Violation> validate(const Netlist& nl) {
+  std::vector<Violation> out;
+
+  if (nl.primary_outputs().empty()) {
+    out.push_back({Violation::Kind::kNoOutputs, kNoSignal,
+                   "circuit has no primary outputs"});
+  }
+
+  try {
+    (void)levelize(nl);
+  } catch (const CombinationalLoopError& e) {
+    out.push_back({Violation::Kind::kCombinationalLoop, kNoSignal, e.what()});
+  }
+
+  // Dangling: no fanout and not a PO.
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    if (nl.fanout()[id].empty() && !nl.is_primary_output(id)) {
+      out.push_back({Violation::Kind::kDanglingSignal, id,
+                     "signal '" + nl.signal_name(id) +
+                         "' drives nothing and is not an output"});
+    }
+  }
+
+  // Reachability from sources (PIs, constants, DFF outputs) via forward BFS.
+  std::vector<bool> reached(nl.num_gates(), false);
+  std::queue<SignalId> frontier;
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (is_source(t) || t == GateType::kDff) {
+      reached[id] = true;
+      frontier.push(id);
+    }
+  }
+  while (!frontier.empty()) {
+    const SignalId id = frontier.front();
+    frontier.pop();
+    for (SignalId consumer : nl.fanout()[id]) {
+      if (!reached[consumer]) {
+        reached[consumer] = true;
+        frontier.push(consumer);
+      }
+    }
+  }
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    if (!reached[id]) {
+      out.push_back({Violation::Kind::kUnreachableFromInput, id,
+                     "signal '" + nl.signal_name(id) +
+                         "' is not driven (directly or transitively) by any "
+                         "input or state variable"});
+    }
+  }
+  return out;
+}
+
+bool is_clean(const Netlist& nl) { return validate(nl).empty(); }
+
+}  // namespace rls::netlist

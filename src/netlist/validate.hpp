@@ -1,0 +1,33 @@
+// Structural design-rule checks beyond what finalize() enforces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rls::netlist {
+
+/// One design-rule violation.
+struct Violation {
+  enum class Kind {
+    kDanglingSignal,       ///< signal drives nothing and is not a PO
+    kUnreachableFromInput, ///< gate not influenced by any PI or state var
+    kCombinationalLoop,    ///< cycle through combinational gates
+    kNoOutputs,            ///< circuit has no primary outputs
+  };
+  Kind kind;
+  SignalId signal = kNoSignal;
+  std::string message;
+};
+
+/// Runs all checks; returns the (possibly empty) violation list.
+/// Dangling-signal and unreachable checks are warnings in most flows, but
+/// the synthetic generator treats them as hard errors to keep every fault
+/// site potentially detectable.
+std::vector<Violation> validate(const Netlist& nl);
+
+/// Convenience: true if validate() returns no violations.
+bool is_clean(const Netlist& nl);
+
+}  // namespace rls::netlist

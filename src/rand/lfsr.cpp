@@ -1,0 +1,174 @@
+#include "rand/lfsr.hpp"
+
+#include <array>
+#include <bit>
+
+namespace rls::rand {
+
+namespace {
+
+// Primitive polynomials over GF(2), one per degree 3..64, from the standard
+// tables (Xilinx XAPP052 / Press et al.). Entry d holds the tap mask for
+// degree d: bits below d, excluding the implicit x^d term, including x^0.
+constexpr std::array<std::uint64_t, 65> kPrimitiveTaps = [] {
+  std::array<std::uint64_t, 65> t{};
+  auto poly = [&](int degree, std::initializer_list<int> terms) {
+    std::uint64_t m = 1;  // x^0 term always present for primitive polys here
+    for (int e : terms) {
+      m |= (std::uint64_t{1} << e);
+    }
+    t[static_cast<std::size_t>(degree)] = m;
+  };
+  poly(3, {1});
+  poly(4, {1});
+  poly(5, {2});
+  poly(6, {1});
+  poly(7, {1});
+  poly(8, {4, 3, 2});
+  poly(9, {4});
+  poly(10, {3});
+  poly(11, {2});
+  poly(12, {6, 4, 1});
+  poly(13, {4, 3, 1});
+  poly(14, {5, 3, 1});
+  poly(15, {1});
+  poly(16, {5, 3, 2});
+  poly(17, {3});
+  poly(18, {7});
+  poly(19, {5, 2, 1});
+  poly(20, {3});
+  poly(21, {2});
+  poly(22, {1});
+  poly(23, {5});
+  poly(24, {4, 3, 1});
+  poly(25, {3});
+  poly(26, {6, 2, 1});
+  poly(27, {5, 2, 1});
+  poly(28, {3});
+  poly(29, {2});
+  poly(30, {6, 4, 1});
+  poly(31, {3});
+  poly(32, {7, 6, 2});
+  poly(33, {13});
+  poly(34, {8, 4, 3});
+  poly(35, {2});
+  poly(36, {11});
+  poly(37, {6, 4, 1});
+  poly(38, {6, 5, 1});
+  poly(39, {4});
+  poly(40, {5, 4, 3});
+  poly(41, {3});
+  poly(42, {7, 4, 3});
+  poly(43, {6, 4, 3});
+  poly(44, {6, 5, 2});
+  poly(45, {4, 3, 1});
+  poly(46, {8, 7, 6});
+  poly(47, {5});
+  poly(48, {9, 7, 4});
+  poly(49, {9});
+  poly(50, {4, 3, 2});
+  poly(51, {6, 3, 1});
+  poly(52, {3});
+  poly(53, {6, 2, 1});
+  poly(54, {8, 6, 3});
+  poly(55, {24});
+  poly(56, {7, 4, 2});
+  poly(57, {7});
+  poly(58, {19});
+  poly(59, {7, 4, 2});
+  poly(60, {1});
+  poly(61, {5, 2, 1});
+  poly(62, {6, 5, 3});
+  poly(63, {1});
+  poly(64, {4, 3, 1});
+  return t;
+}();
+
+std::uint64_t degree_mask(int degree) {
+  return degree == 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << degree) - 1);
+}
+
+}  // namespace
+
+std::uint64_t primitive_polynomial(int degree) {
+  if (degree < 3 || degree > 64) {
+    throw std::out_of_range("primitive_polynomial: degree must be in [3,64]");
+  }
+  return kPrimitiveTaps[static_cast<std::size_t>(degree)];
+}
+
+GaloisLfsr::GaloisLfsr(int degree, std::uint64_t seed)
+    : GaloisLfsr(degree, primitive_polynomial(degree), seed) {}
+
+GaloisLfsr::GaloisLfsr(int degree, std::uint64_t taps, std::uint64_t seed)
+    : degree_(degree), taps_(taps), mask_(degree_mask(degree)) {
+  if (degree < 3 || degree > 64) {
+    throw std::out_of_range("GaloisLfsr: degree must be in [3,64]");
+  }
+  set_state(seed);
+}
+
+void GaloisLfsr::set_state(std::uint64_t s) {
+  state_ = s & mask_;
+  if (state_ == 0) state_ = 1;  // all-zero state is absorbing; avoid it
+}
+
+bool GaloisLfsr::step() {
+  const bool out = state_ & 1;
+  state_ >>= 1;
+  if (out) {
+    // XOR in the taps (excluding x^0 which produced `out`, including the
+    // reinserted top bit).
+    state_ ^= (taps_ >> 1);
+    state_ |= (std::uint64_t{1} << (degree_ - 1));
+    state_ &= mask_;
+  }
+  return out;
+}
+
+std::uint64_t GaloisLfsr::next_bits(int n) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v |= (static_cast<std::uint64_t>(step()) << i);
+  }
+  return v;
+}
+
+FibonacciLfsr::FibonacciLfsr(int degree, std::uint64_t seed)
+    : FibonacciLfsr(degree, primitive_polynomial(degree), seed) {}
+
+FibonacciLfsr::FibonacciLfsr(int degree, std::uint64_t taps, std::uint64_t seed)
+    : degree_(degree), taps_(taps | 1), mask_(degree_mask(degree)) {
+  if (degree < 3 || degree > 64) {
+    throw std::out_of_range("FibonacciLfsr: degree must be in [3,64]");
+  }
+  set_state(seed);
+}
+
+void FibonacciLfsr::set_state(std::uint64_t s) {
+  state_ = s & mask_;
+  if (state_ == 0) state_ = 1;
+}
+
+bool FibonacciLfsr::step() {
+  const bool out = state_ & 1;
+  // Feedback = parity of tapped state bits. Tap mask bit i corresponds to
+  // the state bit feeding x^i; the top term is implicit and maps to the
+  // output bit itself.
+  const std::uint64_t tapped = state_ & taps_;
+  const bool fb = std::popcount(tapped) & 1;
+  state_ = (state_ >> 1) | (static_cast<std::uint64_t>(fb) << (degree_ - 1));
+  state_ &= mask_;
+  return out;
+}
+
+std::uint64_t FibonacciLfsr::next_bits(int n) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v |= (static_cast<std::uint64_t>(step()) << i);
+  }
+  return v;
+}
+
+}  // namespace rls::rand

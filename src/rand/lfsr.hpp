@@ -1,0 +1,71 @@
+// Linear-feedback shift registers.
+//
+// The paper's test generator is meant to be realized with LFSRs ("these
+// procedures can be easily implemented using LFSRs and additional logic").
+// We provide both Fibonacci (external XOR) and Galois (internal XOR) forms
+// over a primitive characteristic polynomial, plus a table of primitive
+// polynomials for degrees 3..64 so any circuit's scan chain has a
+// maximal-period generator available.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rls::rand {
+
+/// Returns a primitive polynomial of the given degree as a tap mask:
+/// bit i set means term x^i is present (the implicit x^degree term is not
+/// stored). Degrees 3..64 are supported; throws std::out_of_range otherwise.
+std::uint64_t primitive_polynomial(int degree);
+
+/// Galois-form LFSR. For a primitive polynomial the state sequence has
+/// period 2^degree - 1 over nonzero states.
+class GaloisLfsr {
+ public:
+  /// Uses the built-in primitive polynomial for `degree`.
+  explicit GaloisLfsr(int degree, std::uint64_t seed = 1);
+
+  /// Custom polynomial (tap mask, implicit top term).
+  GaloisLfsr(int degree, std::uint64_t taps, std::uint64_t seed);
+
+  /// Advances one step and returns the output bit (LSB before the step).
+  bool step();
+
+  /// Produces the next `n`-bit value, LSB first.
+  std::uint64_t next_bits(int n);
+
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t s);
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+ private:
+  int degree_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+/// Fibonacci-form LFSR (taps XORed into the input bit). Used by the
+/// hardware-facing examples; sequence of output bits matches textbook
+/// presentations.
+class FibonacciLfsr {
+ public:
+  explicit FibonacciLfsr(int degree, std::uint64_t seed = 1);
+  FibonacciLfsr(int degree, std::uint64_t taps, std::uint64_t seed);
+
+  bool step();
+  std::uint64_t next_bits(int n);
+
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t s);
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+ private:
+  int degree_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace rls::rand

@@ -1,0 +1,73 @@
+// Reproducible pseudo-random source for the software model.
+//
+// The paper requires that "the random value selection ... can be repeated"
+// (same seed => same TS_0 and same shift schedules). We use a SplitMix64
+// core: tiny, fast, full 2^64 period, and platform-independent — unlike
+// std::mt19937 distributions, results are bit-identical everywhere, which
+// the golden-value tests rely on.
+//
+// Procedure 1 of the paper draws r1 in [0, R1] with R1 >> D1 and tests
+// `r1 mod D1 == 0` (probability 1/D1), and r2 with `r2 mod D2` uniform in
+// [0, D2-1]. mod_draw() mirrors that construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rls::rand {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits (SplitMix64).
+  constexpr std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// One random bit.
+  constexpr bool next_bit() noexcept { return next_u64() >> 63; }
+
+  /// The paper's `r mod D` draw: uniform in [0, d). `d` must be > 0.
+  /// (SplitMix output is uniform over 2^64, so modulo bias is < 2^-50 for
+  /// the d <= 10 and d <= N_SV+1 values the procedures use.)
+  constexpr std::uint32_t mod_draw(std::uint32_t d) noexcept {
+    return static_cast<std::uint32_t>(next_u64() % d);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_u64() % (hi - lo + 1);
+  }
+
+  /// Derives an independent stream keyed by `stream`. Used to give every
+  /// (circuit, purpose) pair its own deterministic generator.
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream) const noexcept {
+    Rng r(state_ ^ (stream * 0xD6E8FEB86659FD93ull + 0xA5A5A5A5A5A5A5A5ull));
+    (void)r.next_u64();
+    return r;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic 64-bit hash of a string (FNV-1a), for seeding streams from
+/// circuit names.
+constexpr std::uint64_t hash_name(const char* s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  while (*s) {
+    h ^= static_cast<unsigned char>(*s++);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_name(const std::string& s) noexcept {
+  return hash_name(s.c_str());
+}
+
+}  // namespace rls::rand

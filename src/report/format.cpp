@@ -1,0 +1,134 @@
+#include "report/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace rls::report {
+
+std::string format_cycles(std::uint64_t cycles) {
+  std::ostringstream os;
+  auto one_decimal = [&](double v, const char* suffix) {
+    const double r = std::round(v * 10.0) / 10.0;
+    os << r;
+    // Ensure a trailing ".0" is dropped the way the paper prints "316K".
+    std::string s = os.str();
+    os.str("");
+    os << s << suffix;
+    return os.str();
+  };
+  if (cycles < 10000) {
+    if (cycles < 1000) {
+      os << cycles;
+      return os.str();
+    }
+    return one_decimal(static_cast<double>(cycles) / 1000.0, "K");
+  }
+  if (cycles < 100000) {
+    return one_decimal(static_cast<double>(cycles) / 1000.0, "K");
+  }
+  if (cycles < 1000000) {
+    os << (cycles + 500) / 1000 << "K";
+    return os.str();
+  }
+  return one_decimal(static_cast<double>(cycles) / 1000000.0, "M");
+}
+
+std::string format_fixed(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back({std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back({{}, true}); }
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != 'K' && c != 'M' && c != '%') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-';
+}
+
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool align_num) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : header_[c];
+      const bool right = align_num && looks_numeric(cell);
+      if (c) os << "  ";
+      if (right) {
+        os << std::string(width[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(width[c] - cell.size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    } else {
+      emit_row(r.cells, true);
+    }
+  }
+  return os.str();
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      const std::string& s = cells[c];
+      if (s.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : s) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << s;
+      }
+    }
+    os << "\n";
+  };
+  emit(header);
+  for (const auto& r : rows) emit(r);
+  return os.str();
+}
+
+}  // namespace rls::report

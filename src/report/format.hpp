@@ -1,0 +1,46 @@
+// Number formatting and ASCII table rendering in the paper's style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rls::report {
+
+/// Formats a clock-cycle count the way the paper's tables do:
+/// 999 -> "999", 2568 -> "2.6K", 25450 -> "25.4K", 316472 -> "316K",
+/// 1234567 -> "1.2M", 10200000 -> "10.2M".
+std::string format_cycles(std::uint64_t cycles);
+
+/// Fixed-precision double, e.g. format_fixed(0.549, 2) == "0.55".
+std::string format_fixed(double v, int decimals);
+
+/// Simple column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a data row (must match the header width; short rows are padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line.
+  void add_separator();
+
+  /// Renders with single-space-padded columns, right-aligning cells that
+  /// parse as numbers.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Writes rows as CSV (no quoting beyond doubling '"', RFC-4180 basics).
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rls::report

@@ -1,0 +1,49 @@
+#include "scan/chain.hpp"
+
+#include <algorithm>
+
+namespace rls::scan {
+
+ChainConfig ChainConfig::single(std::size_t n_sv) {
+  ChainConfig cfg;
+  cfg.chains.emplace_back();
+  cfg.chains[0].resize(n_sv);
+  for (std::size_t k = 0; k < n_sv; ++k) cfg.chains[0][k] = k;
+  return cfg;
+}
+
+ChainConfig ChainConfig::multi(std::size_t n_sv, std::size_t max_len) {
+  if (max_len == 0) {
+    throw std::invalid_argument("ChainConfig::multi: max_len must be > 0");
+  }
+  ChainConfig cfg;
+  const std::size_t num_chains = (n_sv + max_len - 1) / max_len;
+  cfg.chains.resize(std::max<std::size_t>(num_chains, 1));
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    cfg.chains[k % cfg.chains.size()].push_back(k);
+  }
+  return cfg;
+}
+
+ChainConfig ChainConfig::partial(std::size_t n_sv,
+                                 const std::vector<std::size_t>& scanned) {
+  ChainConfig cfg;
+  cfg.chains.emplace_back();
+  std::vector<bool> in_chain(n_sv, false);
+  for (std::size_t k : scanned) {
+    if (k >= n_sv) {
+      throw std::invalid_argument("ChainConfig::partial: index out of range");
+    }
+    if (in_chain[k]) {
+      throw std::invalid_argument("ChainConfig::partial: duplicate index");
+    }
+    in_chain[k] = true;
+    cfg.chains[0].push_back(k);
+  }
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    if (!in_chain[k]) cfg.unscanned.push_back(k);
+  }
+  return cfg;
+}
+
+}  // namespace rls::scan

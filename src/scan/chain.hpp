@@ -1,0 +1,53 @@
+// Scan-chain configurations.
+//
+// The core method uses a single full-scan chain whose order is the
+// netlist's flip-flop declaration order. Two extensions are modeled:
+//   * multiple balanced chains (the [5]/[6] baseline setup, max length 10,
+//     with the last flip-flop of every chain observable at every cycle);
+//   * partial scan (only a subset of flip-flops is in the chain) — the
+//     paper's Section 5 remark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rls::scan {
+
+struct ChainConfig {
+  /// chains[c] lists flip-flop positions (indices into the netlist's
+  /// flip-flop order), in shift order: element 0 receives scan-in.
+  std::vector<std::vector<std::size_t>> chains;
+  /// Flip-flops not in any chain (partial scan); empty under full scan.
+  std::vector<std::size_t> unscanned;
+
+  [[nodiscard]] std::size_t num_chains() const noexcept { return chains.size(); }
+
+  /// Longest chain length — the cycle cost of one complete scan operation.
+  [[nodiscard]] std::size_t max_chain_length() const noexcept {
+    std::size_t m = 0;
+    for (const auto& c : chains) m = std::max(m, c.size());
+    return m;
+  }
+
+  [[nodiscard]] std::size_t num_scanned() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : chains) n += c.size();
+    return n;
+  }
+
+  /// Single chain over all N_SV flip-flops in declaration order.
+  static ChainConfig single(std::size_t n_sv);
+
+  /// Balanced multiple chains with at most `max_len` flip-flops each,
+  /// filled in declaration order ([5]/[6] use max_len = 10).
+  static ChainConfig multi(std::size_t n_sv, std::size_t max_len);
+
+  /// Partial scan: only flip-flops in `scanned` (declaration-order indices,
+  /// strictly increasing) form a single chain.
+  static ChainConfig partial(std::size_t n_sv,
+                             const std::vector<std::size_t>& scanned);
+};
+
+}  // namespace rls::scan

@@ -1,0 +1,26 @@
+#include "scan/cost.hpp"
+
+namespace rls::scan {
+
+std::uint64_t n_cyc0(std::uint64_t n_sv, std::uint64_t l_a, std::uint64_t l_b,
+                     std::uint64_t n) {
+  return (2 * n + 1) * n_sv + n * (l_a + l_b);
+}
+
+std::uint64_t n_cyc(const TestSet& ts, std::uint64_t n_sv) {
+  return (ts.size() + 1) * n_sv + ts.total_vectors() + ts.total_shift();
+}
+
+double average_limited_scan_units(const TestSet& ts) {
+  const std::uint64_t len = ts.total_vectors();
+  if (len == 0) return 0.0;
+  return static_cast<double>(ts.limited_scan_units()) / static_cast<double>(len);
+}
+
+std::uint64_t n_cyc_multi_chain(const TestSet& ts, std::uint64_t n_sv,
+                                std::uint64_t num_chains) {
+  const std::uint64_t scan_cycles = (n_sv + num_chains - 1) / num_chains;
+  return (ts.size() + 1) * scan_cycles + ts.total_vectors() + ts.total_shift();
+}
+
+}  // namespace rls::scan

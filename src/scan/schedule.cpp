@@ -1,0 +1,81 @@
+#include "scan/schedule.hpp"
+
+#include <sstream>
+
+namespace rls::scan {
+
+std::vector<Cycle> expand_schedule(const ScanTest& test, bool include_scan_out) {
+  std::vector<Cycle> out;
+  const std::size_t n_sv = test.scan_in.size();
+  out.reserve(n_sv * 2 + test.length() + test.total_shift());
+
+  // Scan-in: bits are fed back-to-front so scan_in[0] lands leftmost.
+  for (std::size_t k = 0; k < n_sv; ++k) {
+    Cycle c;
+    c.kind = CycleKind::kScanIn;
+    c.index = static_cast<std::uint32_t>(k);
+    c.scan_in_bit = test.scan_in[n_sv - 1 - k];
+    out.push_back(c);
+  }
+
+  for (std::size_t u = 0; u < test.vectors.size(); ++u) {
+    const std::uint32_t s = u < test.shift.size() ? test.shift[u] : 0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      Cycle c;
+      c.kind = CycleKind::kLimitedScan;
+      c.index = j;
+      c.scan_in_bit =
+          (u < test.scan_bits.size() && j < test.scan_bits[u].size())
+              ? test.scan_bits[u][j]
+              : 0;
+      c.time_unit = static_cast<std::int32_t>(u);
+      out.push_back(c);
+    }
+    Cycle c;
+    c.kind = CycleKind::kVector;
+    c.index = static_cast<std::uint32_t>(u);
+    c.time_unit = static_cast<std::int32_t>(u);
+    out.push_back(c);
+  }
+
+  if (include_scan_out) {
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      Cycle c;
+      c.kind = CycleKind::kScanOut;
+      c.index = static_cast<std::uint32_t>(k);
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::uint64_t test_cycles_excluding_scan_out(const ScanTest& test) {
+  return test.scan_in.size() + test.length() + test.total_shift();
+}
+
+std::string to_string(const std::vector<Cycle>& cycles) {
+  std::ostringstream os;
+  std::size_t cycle_no = 0;
+  for (const Cycle& c : cycles) {
+    os << cycle_no++ << ": ";
+    switch (c.kind) {
+      case CycleKind::kScanIn:
+        os << "scan-in shift " << c.index << " (bit " << int(c.scan_in_bit) << ")";
+        break;
+      case CycleKind::kLimitedScan:
+        os << "limited-scan shift " << c.index << " at unit " << c.time_unit
+           << " (bit " << int(c.scan_in_bit) << ")";
+        break;
+      case CycleKind::kVector:
+        os << "vector " << c.index << " (at-speed)";
+        break;
+      case CycleKind::kScanOut:
+        os << "scan-out shift " << c.index;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rls::scan

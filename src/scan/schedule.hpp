@@ -1,0 +1,49 @@
+// Cycle-accurate expansion of a scan test (the paper's Table 2 view).
+//
+// A ScanTest keeps input vectors indexed by their *original* time units
+// (Table 1(b) presentation); expand_schedule() produces the actual cycle
+// stream: scan-in cycles, interleaved limited-scan cycles (during which the
+// vector of the unit is delayed), vector cycles, and scan-out cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/test.hpp"
+
+namespace rls::scan {
+
+enum class CycleKind : std::uint8_t {
+  kScanIn,       ///< one shift of the full scan-in operation
+  kLimitedScan,  ///< one shift of a limited scan operation
+  kVector,       ///< one primary input vector applied at speed
+  kScanOut,      ///< one shift of the full scan-out operation
+};
+
+struct Cycle {
+  CycleKind kind;
+  /// For kVector: index into ScanTest::vectors. For scan kinds: the shift
+  /// ordinal within its operation.
+  std::uint32_t index = 0;
+  /// For kLimitedScan / kScanIn: the bit scanned into the leftmost FF.
+  std::uint8_t scan_in_bit = 0;
+  /// Original time unit this cycle belongs to (kVector / kLimitedScan);
+  /// -1 for scan-in/out.
+  std::int32_t time_unit = -1;
+};
+
+/// Expands a test to its cycle stream. `include_scan_out` appends the
+/// final complete scan-out (N_SV cycles).
+std::vector<Cycle> expand_schedule(const ScanTest& test,
+                                   bool include_scan_out = true);
+
+/// Total clock cycles of a single test under the single-chain cost model
+/// (scan-in + vectors + limited shifts; scan-out excluded because it
+/// overlaps the next scan-in, matching the (|TS|+1)*N_SV accounting).
+std::uint64_t test_cycles_excluding_scan_out(const ScanTest& test);
+
+/// Human-readable rendering of the stream (one line per cycle).
+std::string to_string(const std::vector<Cycle>& cycles);
+
+}  // namespace rls::scan

@@ -1,0 +1,151 @@
+#include "sim/compiled.hpp"
+
+#include <cassert>
+
+namespace rls::sim {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+CompiledCircuit::CompiledCircuit(const netlist::Netlist& nl) : nl_(&nl) {
+  assert(nl.finalized());
+  const std::size_t n = nl.num_gates();
+  types_.resize(n);
+  fanin_off_.resize(n + 1, 0);
+  for (SignalId id = 0; id < n; ++id) {
+    types_[id] = nl.gate(id).type;
+    fanin_off_[id + 1] =
+        fanin_off_[id] + static_cast<std::uint32_t>(nl.gate(id).fanin.size());
+  }
+  fanin_flat_.reserve(fanin_off_[n]);
+  for (SignalId id = 0; id < n; ++id) {
+    for (SignalId in : nl.gate(id).fanin) {
+      fanin_flat_.push_back(in);
+    }
+  }
+  netlist::Levelization lv = netlist::levelize(nl);
+  order_ = std::move(lv.order);
+  levels_ = std::move(lv.level);
+  max_level_ = lv.max_level;
+}
+
+Word CompiledCircuit::eval_gate(SignalId id, std::span<const Word> values) const {
+  const auto fi = fanin(id);
+  switch (types_[id]) {
+    case GateType::kBuf:
+      return values[fi[0]];
+    case GateType::kNot:
+      return ~values[fi[0]];
+    case GateType::kAnd: {
+      Word v = kAllOnes;
+      for (SignalId in : fi) v &= values[in];
+      return v;
+    }
+    case GateType::kNand: {
+      Word v = kAllOnes;
+      for (SignalId in : fi) v &= values[in];
+      return ~v;
+    }
+    case GateType::kOr: {
+      Word v = 0;
+      for (SignalId in : fi) v |= values[in];
+      return v;
+    }
+    case GateType::kNor: {
+      Word v = 0;
+      for (SignalId in : fi) v |= values[in];
+      return ~v;
+    }
+    case GateType::kXor: {
+      Word v = 0;
+      for (SignalId in : fi) v ^= values[in];
+      return v;
+    }
+    case GateType::kXnor: {
+      Word v = 0;
+      for (SignalId in : fi) v ^= values[in];
+      return ~v;
+    }
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return kAllOnes;
+    case GateType::kInput:
+    case GateType::kDff:
+      return values[id];  // sources: value already present
+  }
+  return 0;
+}
+
+bool CompiledCircuit::eval_gate_lane(SignalId id, std::span<const Word> values,
+                                     int lane, int forced_pin,
+                                     bool forced_value) const {
+  const auto fi = fanin(id);
+  auto in_bit = [&](std::size_t k) -> bool {
+    if (static_cast<int>(k) == forced_pin) return forced_value;
+    return lane_bit(values[fi[k]], lane);
+  };
+  switch (types_[id]) {
+    case GateType::kBuf:
+      return in_bit(0);
+    case GateType::kNot:
+      return !in_bit(0);
+    case GateType::kAnd: {
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (!in_bit(k)) return false;
+      }
+      return true;
+    }
+    case GateType::kNand: {
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (!in_bit(k)) return true;
+      }
+      return false;
+    }
+    case GateType::kOr: {
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (in_bit(k)) return true;
+      }
+      return false;
+    }
+    case GateType::kNor: {
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (in_bit(k)) return false;
+      }
+      return true;
+    }
+    case GateType::kXor: {
+      bool v = false;
+      for (std::size_t k = 0; k < fi.size(); ++k) v ^= in_bit(k);
+      return v;
+    }
+    case GateType::kXnor: {
+      bool v = true;
+      for (std::size_t k = 0; k < fi.size(); ++k) v ^= in_bit(k);
+      return v;
+    }
+    case GateType::kConst0:
+      return false;
+    case GateType::kConst1:
+      return true;
+    case GateType::kInput:
+    case GateType::kDff:
+      return lane_bit(values[id], lane);
+  }
+  return false;
+}
+
+void CompiledCircuit::eval(std::span<Word> values) const {
+  for (SignalId id : order_) {
+    values[id] = eval_gate(id, values);
+  }
+}
+
+void CompiledCircuit::init_constants(std::span<Word> values) const {
+  for (SignalId id = 0; id < types_.size(); ++id) {
+    if (types_[id] == GateType::kConst0) values[id] = 0;
+    if (types_[id] == GateType::kConst1) values[id] = kAllOnes;
+  }
+}
+
+}  // namespace rls::sim

@@ -1,0 +1,102 @@
+// Flattened, cache-friendly circuit representation shared by all
+// simulators. A CompiledCircuit freezes a finalized netlist into flat
+// arrays: combinational gates in levelized order, fanin lists in one
+// contiguous buffer, and the I/O / flip-flop index lists.
+//
+// All engines operate on a per-signal array of 64-bit words. The lane
+// semantics are up to the caller: 64 independent patterns (PPSFP),
+// 64 independent faults (parallel-fault sequential simulation), or one
+// broadcast value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rls::sim {
+
+using Word = std::uint64_t;
+inline constexpr Word kAllOnes = ~Word{0};
+inline constexpr int kLanes = 64;
+
+/// Broadcasts a scalar bit to all 64 lanes.
+constexpr Word broadcast(bool bit) noexcept { return bit ? kAllOnes : Word{0}; }
+
+/// Extracts the bit of `lane` from a word.
+constexpr bool lane_bit(Word w, int lane) noexcept {
+  return (w >> lane) & 1u;
+}
+
+/// Sets/clears the bit of `lane`.
+constexpr Word with_lane(Word w, int lane, bool bit) noexcept {
+  const Word m = Word{1} << lane;
+  return bit ? (w | m) : (w & ~m);
+}
+
+class CompiledCircuit {
+ public:
+  explicit CompiledCircuit(const netlist::Netlist& nl);
+
+  [[nodiscard]] const netlist::Netlist& nl() const noexcept { return *nl_; }
+  [[nodiscard]] std::size_t num_signals() const noexcept { return types_.size(); }
+
+  /// Combinational gates in evaluation (levelized) order.
+  [[nodiscard]] std::span<const netlist::SignalId> order() const noexcept {
+    return order_;
+  }
+  [[nodiscard]] netlist::GateType type(netlist::SignalId id) const noexcept {
+    return types_[id];
+  }
+  [[nodiscard]] std::span<const netlist::SignalId> fanin(
+      netlist::SignalId id) const noexcept {
+    return {fanin_flat_.data() + fanin_off_[id],
+            fanin_off_[id + 1] - fanin_off_[id]};
+  }
+  [[nodiscard]] int level(netlist::SignalId id) const noexcept {
+    return levels_[id];
+  }
+  [[nodiscard]] int max_level() const noexcept { return max_level_; }
+
+  [[nodiscard]] std::span<const netlist::SignalId> inputs() const noexcept {
+    return nl_->primary_inputs();
+  }
+  [[nodiscard]] std::span<const netlist::SignalId> outputs() const noexcept {
+    return nl_->primary_outputs();
+  }
+  [[nodiscard]] std::span<const netlist::SignalId> flip_flops() const noexcept {
+    return nl_->flip_flops();
+  }
+
+  /// Evaluates one combinational gate from already-computed fanin words.
+  /// Exposed so fault overlays can recompute single gates.
+  [[nodiscard]] Word eval_gate(netlist::SignalId id,
+                               std::span<const Word> values) const;
+
+  /// Evaluates a single lane of a gate with one fanin pin optionally forced
+  /// (pin < 0 means no forcing). Used for input-pin stuck-at injection.
+  [[nodiscard]] bool eval_gate_lane(netlist::SignalId id,
+                                    std::span<const Word> values, int lane,
+                                    int forced_pin, bool forced_value) const;
+
+  /// Full combinational sweep: assumes source words (inputs, constants,
+  /// flip-flop outputs) are already set in `values`; fills every
+  /// combinational gate's word in levelized order.
+  void eval(std::span<Word> values) const;
+
+  /// Sets constant-gate words (call once after resizing a value array).
+  void init_constants(std::span<Word> values) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<netlist::GateType> types_;
+  std::vector<netlist::SignalId> order_;
+  std::vector<std::uint32_t> fanin_off_;
+  std::vector<netlist::SignalId> fanin_flat_;
+  std::vector<int> levels_;
+  int max_level_ = 0;
+};
+
+}  // namespace rls::sim

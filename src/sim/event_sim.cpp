@@ -1,0 +1,141 @@
+#include "sim/event_sim.hpp"
+
+#include <cassert>
+
+namespace rls::sim {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+EventSim::EventSim(const CompiledCircuit& cc) : cc_(&cc) {
+  values_.assign(cc.num_signals(), 0);
+  pending_.assign(cc.num_signals(), 0);
+  queue_.resize(static_cast<std::size_t>(cc.max_level()) + 1);
+  for (SignalId id = 0; id < cc.num_signals(); ++id) {
+    if (cc.type(id) == GateType::kConst1) values_[id] = 1;
+  }
+  // Establish consistent initial values for the all-zero sources.
+  for (SignalId id : cc.order()) {
+    schedule(id);
+  }
+  propagate();
+}
+
+void EventSim::schedule(SignalId id) {
+  if (!pending_[id]) {
+    pending_[id] = 1;
+    queue_[static_cast<std::size_t>(cc_->level(id))].push_back(id);
+  }
+}
+
+void EventSim::schedule_fanout(SignalId id) {
+  for (SignalId consumer : cc_->nl().fanout()[id]) {
+    if (netlist::is_combinational(cc_->type(consumer))) {
+      schedule(consumer);
+    }
+  }
+}
+
+void EventSim::set_source(SignalId id, bool value) {
+  assert(!netlist::is_combinational(cc_->type(id)));
+  if (values_[id] != static_cast<std::uint8_t>(value)) {
+    values_[id] = value ? 1 : 0;
+    schedule_fanout(id);
+  }
+}
+
+std::size_t EventSim::propagate() {
+  std::size_t evals = 0;
+  for (std::size_t lvl = 1; lvl < queue_.size(); ++lvl) {
+    // Gates scheduled at this level may schedule higher levels only
+    // (levelized order guarantees fanout level > own level).
+    for (std::size_t k = 0; k < queue_[lvl].size(); ++k) {
+      const SignalId id = queue_[lvl][k];
+      pending_[id] = 0;
+      ++evals;
+      // Scalar evaluation via the shared per-lane evaluator (lane 0 of a
+      // broadcast view would be wasteful; do it directly).
+      bool v = false;
+      const auto fi = cc_->fanin(id);
+      switch (cc_->type(id)) {
+        case GateType::kBuf:
+          v = values_[fi[0]];
+          break;
+        case GateType::kNot:
+          v = !values_[fi[0]];
+          break;
+        case GateType::kAnd: {
+          v = true;
+          for (SignalId in : fi) v = v && values_[in];
+          break;
+        }
+        case GateType::kNand: {
+          v = true;
+          for (SignalId in : fi) v = v && values_[in];
+          v = !v;
+          break;
+        }
+        case GateType::kOr: {
+          v = false;
+          for (SignalId in : fi) v = v || values_[in];
+          break;
+        }
+        case GateType::kNor: {
+          v = false;
+          for (SignalId in : fi) v = v || values_[in];
+          v = !v;
+          break;
+        }
+        case GateType::kXor: {
+          v = false;
+          for (SignalId in : fi) v = v != static_cast<bool>(values_[in]);
+          break;
+        }
+        case GateType::kXnor: {
+          v = true;
+          for (SignalId in : fi) v = v != static_cast<bool>(values_[in]);
+          break;
+        }
+        default:
+          continue;  // sources/DFFs are not evaluated here
+      }
+      if (values_[id] != static_cast<std::uint8_t>(v)) {
+        values_[id] = v ? 1 : 0;
+        schedule_fanout(id);
+      }
+    }
+    queue_[lvl].clear();
+  }
+  return evals;
+}
+
+void EventSim::clock() {
+  const auto ffs = cc_->flip_flops();
+  std::vector<std::uint8_t> next(ffs.size());
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    next[k] = values_[cc_->fanin(ffs[k])[0]];
+  }
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    set_source(ffs[k], next[k] != 0);
+  }
+}
+
+void EventSim::apply_inputs(std::span<const std::uint8_t> bits) {
+  const auto pis = cc_->inputs();
+  assert(bits.size() == pis.size());
+  for (std::size_t k = 0; k < pis.size(); ++k) {
+    set_source(pis[k], bits[k] != 0);
+  }
+  propagate();
+}
+
+void EventSim::load_state(std::span<const std::uint8_t> bits) {
+  const auto ffs = cc_->flip_flops();
+  assert(bits.size() == ffs.size());
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    set_source(ffs[k], bits[k] != 0);
+  }
+  propagate();
+}
+
+}  // namespace rls::sim

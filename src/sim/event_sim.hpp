@@ -1,0 +1,52 @@
+// Single-pattern event-driven reference simulator.
+//
+// Scalar, selective-trace evaluation: only the fanout cone of changed
+// signals is recomputed, using a per-level pending queue. This engine is
+// deliberately independent of the word-parallel sweep in CompiledCircuit
+// so the two can cross-check each other in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/compiled.hpp"
+
+namespace rls::sim {
+
+class EventSim {
+ public:
+  explicit EventSim(const CompiledCircuit& cc);
+
+  /// Sets a source value (primary input or flip-flop) and schedules its
+  /// fanout if the value changed.
+  void set_source(netlist::SignalId id, bool value);
+
+  /// Propagates all pending events until quiescence. Returns the number of
+  /// gate evaluations performed (useful as an activity metric).
+  std::size_t propagate();
+
+  /// Current value of any signal.
+  [[nodiscard]] bool value(netlist::SignalId id) const { return values_[id]; }
+
+  /// Functional clock: captures each flip-flop's D value, then schedules
+  /// fanout of the flip-flops that changed.
+  void clock();
+
+  /// Convenience: applies an input vector (bit per PI), propagates.
+  void apply_inputs(std::span<const std::uint8_t> bits);
+
+  /// Loads a state (bit per flip-flop), scheduling changed fanouts.
+  void load_state(std::span<const std::uint8_t> bits);
+
+ private:
+  void schedule_fanout(netlist::SignalId id);
+  void schedule(netlist::SignalId id);
+
+  const CompiledCircuit* cc_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> pending_;               // in-queue flag per signal
+  std::vector<std::vector<netlist::SignalId>> queue_;  // per level
+};
+
+}  // namespace rls::sim

@@ -1,0 +1,119 @@
+#include "sim/seq_sim.hpp"
+
+#include <cassert>
+
+namespace rls::sim {
+
+using netlist::SignalId;
+
+SeqSim::SeqSim(const CompiledCircuit& cc) : cc_(&cc) {
+  values_.assign(cc.num_signals(), 0);
+  next_state_.assign(cc.flip_flops().size(), 0);
+  cc.init_constants(values_);
+}
+
+void SeqSim::reset() {
+  values_.assign(values_.size(), 0);
+  cc_->init_constants(values_);
+}
+
+void SeqSim::load_state_broadcast(std::span<const std::uint8_t> bits) {
+  const auto ffs = cc_->flip_flops();
+  assert(bits.size() == ffs.size());
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    values_[ffs[k]] = broadcast(bits[k] != 0);
+  }
+}
+
+void SeqSim::load_state_words(std::span<const Word> words) {
+  const auto ffs = cc_->flip_flops();
+  assert(words.size() == ffs.size());
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    values_[ffs[k]] = words[k];
+  }
+}
+
+std::vector<std::uint8_t> SeqSim::state_bits(int lane) const {
+  const auto ffs = cc_->flip_flops();
+  std::vector<std::uint8_t> out(ffs.size());
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    out[k] = lane_bit(values_[ffs[k]], lane) ? 1 : 0;
+  }
+  return out;
+}
+
+Word SeqSim::state_word(std::size_t ff_index) const {
+  return values_[cc_->flip_flops()[ff_index]];
+}
+
+void SeqSim::set_input(std::size_t pi_index, Word w) {
+  values_[cc_->inputs()[pi_index]] = w;
+}
+
+void SeqSim::set_inputs_broadcast(std::span<const std::uint8_t> bits) {
+  const auto pis = cc_->inputs();
+  assert(bits.size() == pis.size());
+  for (std::size_t k = 0; k < pis.size(); ++k) {
+    values_[pis[k]] = broadcast(bits[k] != 0);
+  }
+}
+
+void SeqSim::eval() { cc_->eval(values_); }
+
+Word SeqSim::output_word(std::size_t po_index) const {
+  return values_[cc_->outputs()[po_index]];
+}
+
+std::vector<std::uint8_t> SeqSim::output_bits(int lane) const {
+  const auto pos = cc_->outputs();
+  std::vector<std::uint8_t> out(pos.size());
+  for (std::size_t k = 0; k < pos.size(); ++k) {
+    out[k] = lane_bit(values_[pos[k]], lane) ? 1 : 0;
+  }
+  return out;
+}
+
+void SeqSim::clock() {
+  const auto ffs = cc_->flip_flops();
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    next_state_[k] = values_[cc_->fanin(ffs[k])[0]];
+  }
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    values_[ffs[k]] = next_state_[k];
+  }
+}
+
+Word SeqSim::shift(Word scan_in) {
+  const auto ffs = cc_->flip_flops();
+  if (ffs.empty()) return 0;
+  const Word out = values_[ffs[ffs.size() - 1]];
+  for (std::size_t k = ffs.size(); k-- > 1;) {
+    values_[ffs[k]] = values_[ffs[k - 1]];
+  }
+  values_[ffs[0]] = scan_in;
+  return out;
+}
+
+std::vector<Word> SeqSim::shift_sequence(std::span<const std::uint8_t> bits) {
+  std::vector<Word> out;
+  out.reserve(bits.size());
+  for (std::uint8_t b : bits) {
+    out.push_back(shift(broadcast(b != 0)));
+  }
+  return out;
+}
+
+std::vector<Word> SeqSim::scan_in_state(std::span<const std::uint8_t> bits) {
+  const auto ffs = cc_->flip_flops();
+  assert(bits.size() == ffs.size());
+  // To land bits[0] at the leftmost flip-flop after N_SV right-shifts, the
+  // last bit scanned in must be bits[0]; feed back-to-front.
+  std::vector<Word> out;
+  out.reserve(ffs.size());
+  for (std::size_t k = bits.size(); k-- > 0;) {
+    out.push_back(shift(broadcast(bits[k] != 0)));
+  }
+  return out;
+}
+
+}  // namespace rls::sim

@@ -1,0 +1,97 @@
+// Lane-parallel sequential simulator with scan-shift support.
+//
+// The simulator models a mux-scan full-scan design:
+//   * functional cycle: primary inputs are applied, the combinational core
+//     is evaluated, primary outputs become observable, and flip-flops
+//     capture their D inputs on the clock edge;
+//   * scan cycle: the chain shifts one position to the *right* (paper
+//     Section 2 convention): the scan-in bit enters the leftmost flip-flop
+//     (flip_flops()[0]) and the rightmost flip-flop's value
+//     (flip_flops()[N_SV-1]) is shifted out and observable.
+//
+// Lanes are caller-defined: 64 independent patterns, 64 faults, or a
+// broadcast value. The fault simulator layers value forcing on top via
+// the hooks in rls::fault; this class is the clean fault-free machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/compiled.hpp"
+
+namespace rls::sim {
+
+class SeqSim {
+ public:
+  explicit SeqSim(const CompiledCircuit& cc);
+
+  /// Zeroes every signal (state included) and re-initializes constants.
+  void reset();
+
+  // ---- state --------------------------------------------------------------
+
+  /// Loads the same state into all lanes. `bits[k]` is the value of
+  /// flip-flop k (k = 0 is the leftmost / scan-in side).
+  void load_state_broadcast(std::span<const std::uint8_t> bits);
+
+  /// Loads per-lane state words, one word per flip-flop.
+  void load_state_words(std::span<const Word> words);
+
+  /// Reads the state of one lane as a bit vector.
+  [[nodiscard]] std::vector<std::uint8_t> state_bits(int lane) const;
+
+  /// Word of flip-flop `ff_index` (position in the scan chain).
+  [[nodiscard]] Word state_word(std::size_t ff_index) const;
+
+  // ---- functional cycle -----------------------------------------------------
+
+  /// Sets the word of primary input `pi_index`.
+  void set_input(std::size_t pi_index, Word w);
+
+  /// Broadcasts a scalar input vector to all lanes.
+  void set_inputs_broadcast(std::span<const std::uint8_t> bits);
+
+  /// Evaluates the combinational core (call after setting inputs/state).
+  void eval();
+
+  /// Word of primary output `po_index` (valid after eval()).
+  [[nodiscard]] Word output_word(std::size_t po_index) const;
+
+  /// Output bits of one lane (valid after eval()).
+  [[nodiscard]] std::vector<std::uint8_t> output_bits(int lane) const;
+
+  /// Captures D inputs into the flip-flops (clock edge). eval() must have
+  /// run since the last input/state change.
+  void clock();
+
+  // ---- scan ----------------------------------------------------------------
+
+  /// One scan shift to the right. `scan_in` enters the leftmost flip-flop;
+  /// the previous rightmost value is returned (this is the observed
+  /// scan-out word).
+  Word shift(Word scan_in);
+
+  /// Convenience: shifts `bits.size()` times, feeding `bits` front-to-back
+  /// (bits[0] is scanned in first and ends up rightmost of the scanned-in
+  /// run). Returns the words shifted out, in shift order.
+  std::vector<Word> shift_sequence(std::span<const std::uint8_t> bits);
+
+  /// Performs a full scan-in of a broadcast state: after N_SV shifts the
+  /// state equals `bits` (bits[0] = leftmost). Returns the observed
+  /// scan-out words (the previous state leaving the chain).
+  std::vector<Word> scan_in_state(std::span<const std::uint8_t> bits);
+
+  // ---- raw access ------------------------------------------------------------
+
+  [[nodiscard]] const CompiledCircuit& circuit() const noexcept { return *cc_; }
+  [[nodiscard]] std::span<const Word> values() const noexcept { return values_; }
+  [[nodiscard]] std::span<Word> mutable_values() noexcept { return values_; }
+
+ private:
+  const CompiledCircuit* cc_;
+  std::vector<Word> values_;
+  std::vector<Word> next_state_;  // scratch for clock()
+};
+
+}  // namespace rls::sim

@@ -1,0 +1,97 @@
+#include "sim/tv_logic.hpp"
+
+namespace rls::sim {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+int tv_lane(const TvWord& w, int lane) noexcept {
+  const bool c0 = lane_bit(w.can0, lane);
+  const bool c1 = lane_bit(w.can1, lane);
+  if (c0 && c1) return 2;
+  return c1 ? 1 : 0;
+}
+
+TvSim::TvSim(const CompiledCircuit& cc) : cc_(&cc) {
+  values_.assign(cc.num_signals(), TvWord::all_x());
+  for (SignalId id = 0; id < cc.num_signals(); ++id) {
+    if (cc.type(id) == GateType::kConst0) values_[id] = TvWord::all(false);
+    if (cc.type(id) == GateType::kConst1) values_[id] = TvWord::all(true);
+  }
+}
+
+void TvSim::set_state_unknown() {
+  for (SignalId ff : cc_->flip_flops()) {
+    values_[ff] = TvWord::all_x();
+  }
+}
+
+void TvSim::eval() {
+  for (SignalId id : cc_->order()) {
+    const auto fi = cc_->fanin(id);
+    TvWord v;
+    switch (cc_->type(id)) {
+      case GateType::kBuf:
+        v = values_[fi[0]];
+        break;
+      case GateType::kNot:
+        v = tv_not(values_[fi[0]]);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        v = TvWord::all(true);
+        for (SignalId in : fi) v = tv_and(v, values_[in]);
+        if (cc_->type(id) == GateType::kNand) v = tv_not(v);
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        v = TvWord::all(false);
+        for (SignalId in : fi) v = tv_or(v, values_[in]);
+        if (cc_->type(id) == GateType::kNor) v = tv_not(v);
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        v = TvWord::all(false);
+        for (SignalId in : fi) v = tv_xor(v, values_[in]);
+        if (cc_->type(id) == GateType::kXnor) v = tv_not(v);
+        break;
+      }
+      default:
+        continue;
+    }
+    values_[id] = v;
+  }
+}
+
+void TvSim::clock() {
+  const auto ffs = cc_->flip_flops();
+  std::vector<TvWord> next(ffs.size());
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    next[k] = values_[cc_->fanin(ffs[k])[0]];
+  }
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    values_[ffs[k]] = next[k];
+  }
+}
+
+TvWord TvSim::shift(TvWord in) {
+  const auto ffs = cc_->flip_flops();
+  if (ffs.empty()) return TvWord::all(false);
+  const TvWord out = values_[ffs[ffs.size() - 1]];
+  for (std::size_t k = ffs.size(); k-- > 1;) {
+    values_[ffs[k]] = values_[ffs[k - 1]];
+  }
+  values_[ffs[0]] = in;
+  return out;
+}
+
+bool TvSim::state_fully_known() const {
+  for (SignalId ff : cc_->flip_flops()) {
+    if (values_[ff].is_x() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rls::sim

@@ -1,0 +1,81 @@
+// Three-valued (0/1/X) lane-parallel logic.
+//
+// Encoding: a TvWord carries two 64-bit planes, `can0` and `can1`.
+// Per lane:  0 -> can0=1, can1=0;  1 -> can0=0, can1=1;  X -> both set.
+// (Both clear is invalid and never produced by the operations below.)
+// This "possible values" encoding makes the standard pessimistic
+// three-valued gate semantics a handful of bitwise operations per gate.
+//
+// The engine mirrors CompiledCircuit::eval and is used for unknown-state
+// analysis: e.g. proving that a scan-in fully determines the circuit state
+// regardless of the pre-scan contents of the flip-flops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/compiled.hpp"
+
+namespace rls::sim {
+
+struct TvWord {
+  Word can0 = kAllOnes;  // default: all lanes X
+  Word can1 = kAllOnes;
+
+  [[nodiscard]] constexpr Word known() const noexcept { return can0 ^ can1; }
+  [[nodiscard]] constexpr Word is_x() const noexcept { return can0 & can1; }
+
+  static constexpr TvWord all(bool v) noexcept {
+    return v ? TvWord{0, kAllOnes} : TvWord{kAllOnes, 0};
+  }
+  static constexpr TvWord all_x() noexcept { return TvWord{kAllOnes, kAllOnes}; }
+
+  friend constexpr bool operator==(const TvWord&, const TvWord&) = default;
+};
+
+constexpr TvWord tv_not(TvWord a) noexcept { return {a.can1, a.can0}; }
+constexpr TvWord tv_and(TvWord a, TvWord b) noexcept {
+  return {a.can0 | b.can0, a.can1 & b.can1};
+}
+constexpr TvWord tv_or(TvWord a, TvWord b) noexcept {
+  return {a.can0 & b.can0, a.can1 | b.can1};
+}
+constexpr TvWord tv_xor(TvWord a, TvWord b) noexcept {
+  return {(a.can0 & b.can0) | (a.can1 & b.can1),
+          (a.can0 & b.can1) | (a.can1 & b.can0)};
+}
+
+/// Three-valued lane value of one lane: 0, 1 or 2 (X).
+int tv_lane(const TvWord& w, int lane) noexcept;
+
+/// Three-valued combinational + sequential evaluator.
+class TvSim {
+ public:
+  explicit TvSim(const CompiledCircuit& cc);
+
+  void set_source(netlist::SignalId id, TvWord w) { values_[id] = w; }
+  [[nodiscard]] TvWord value(netlist::SignalId id) const { return values_[id]; }
+
+  /// Sets all flip-flops to X in every lane (power-up state).
+  void set_state_unknown();
+
+  /// Evaluates the combinational core in levelized order.
+  void eval();
+
+  /// Clock edge: captures D values into flip-flops.
+  void clock();
+
+  /// Scan shift right by one, scanning in `in` (may be X).
+  /// Returns the word shifted out.
+  TvWord shift(TvWord in);
+
+  /// True if every flip-flop is fully known (no X) in all lanes.
+  [[nodiscard]] bool state_fully_known() const;
+
+ private:
+  const CompiledCircuit* cc_;
+  std::vector<TvWord> values_;
+};
+
+}  // namespace rls::sim

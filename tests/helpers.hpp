@@ -1,0 +1,91 @@
+// Shared test utilities: reference (brute-force) fault injection and
+// random stimulus, used to cross-check the production fault simulators.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gen/profiles.hpp"
+#include "rand/rng.hpp"
+#include "scan/test.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::test {
+
+/// Full combinational sweep with one fault injected (no event pruning):
+/// sources (PIs, PPIs) must already be set in `val`; every combinational
+/// gate is recomputed with the fault applied.
+inline void eval_with_fault(const sim::CompiledCircuit& cc,
+                            std::vector<sim::Word>& val,
+                            const fault::Fault& f) {
+  using netlist::GateType;
+  // Output fault on a source line.
+  if (f.pin < 0 && !netlist::is_combinational(cc.type(f.gate))) {
+    val[f.gate] = f.stuck ? sim::kAllOnes : 0;
+  }
+  for (netlist::SignalId id : cc.order()) {
+    sim::Word w = cc.eval_gate(id, val);
+    if (f.pin >= 0 && id == f.gate) {
+      // Recompute every lane with the pin forced.
+      w = 0;
+      for (int lane = 0; lane < sim::kLanes; ++lane) {
+        if (cc.eval_gate_lane(id, val, lane, f.pin, f.stuck != 0)) {
+          w |= sim::Word{1} << lane;
+        }
+      }
+    }
+    if (f.pin < 0 && id == f.gate) {
+      w = f.stuck ? sim::kAllOnes : 0;
+    }
+    val[id] = w;
+  }
+}
+
+/// Random word stimulus for all PIs / PPIs.
+inline void random_words(rls::rand::Rng& rng, std::vector<sim::Word>& out,
+                         std::size_t n) {
+  out.resize(n);
+  for (sim::Word& w : out) w = rng.next_u64();
+}
+
+/// A small synthetic profile for property tests.
+inline gen::Profile small_profile(std::uint64_t seed, double counter = 0.4) {
+  gen::Profile p;
+  p.name = "prop" + std::to_string(seed);
+  p.num_inputs = 5;
+  p.num_outputs = 4;
+  p.num_flip_flops = 6;
+  p.num_gates = 50;
+  p.counter_fraction = counter;
+  p.seed = seed * 0x9E3779B9ull + 0x1234;
+  return p;
+}
+
+/// Random scan test for a circuit interface.
+inline scan::ScanTest random_test(rls::rand::Rng& rng, std::size_t n_sv,
+                                  std::size_t n_pi, std::size_t length,
+                                  bool with_limited_scan) {
+  scan::ScanTest t;
+  t.scan_in.resize(n_sv);
+  for (auto& b : t.scan_in) b = rng.next_bit();
+  t.vectors.resize(length);
+  for (auto& v : t.vectors) {
+    v.resize(n_pi);
+    for (auto& b : v) b = rng.next_bit();
+  }
+  if (with_limited_scan) {
+    t.shift.assign(length, 0);
+    t.scan_bits.assign(length, {});
+    for (std::size_t u = 1; u < length; ++u) {
+      if (rng.mod_draw(3) == 0) {
+        const std::uint32_t s = rng.mod_draw(static_cast<std::uint32_t>(n_sv + 1));
+        t.shift[u] = s;
+        t.scan_bits[u].resize(s);
+        for (auto& b : t.scan_bits[u]) b = rng.next_bit();
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace rls::test

@@ -1,0 +1,137 @@
+// Weighted-random and multi-seed baseline tests.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/cop.hpp"
+#include "core/alternatives.hpp"
+#include "fault/collapse.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "scan/cost.hpp"
+
+namespace rls::core {
+namespace {
+
+TEST(WeightedTs0, ShapeMatchesPlainTs0) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  Ts0Config cfg;
+  cfg.n = 8;
+  const std::vector<double> w(nl.num_inputs(), 0.5);
+  const scan::TestSet ts = make_weighted_ts0(nl, cfg, w);
+  EXPECT_EQ(ts.size(), 16u);
+  EXPECT_EQ(ts.tests[0].length(), cfg.l_a);
+  EXPECT_EQ(ts.tests[8].length(), cfg.l_b);
+}
+
+TEST(WeightedTs0, WeightsBiasTheBits) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  Ts0Config cfg;
+  cfg.n = 128;
+  std::vector<double> w(nl.num_inputs(), 0.5);
+  w[0] = 0.875;
+  w[1] = 0.125;
+  const scan::TestSet ts = make_weighted_ts0(nl, cfg, w);
+  std::size_t ones0 = 0, ones1 = 0, total = 0;
+  for (const auto& t : ts.tests) {
+    for (const auto& v : t.vectors) {
+      ones0 += v[0];
+      ones1 += v[1];
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones0) / total, 0.875, 0.03);
+  EXPECT_NEAR(static_cast<double>(ones1) / total, 0.125, 0.03);
+}
+
+TEST(WeightedTs0, Deterministic) {
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  Ts0Config cfg;
+  const std::vector<double> w(nl.num_inputs(), 0.75);
+  const scan::TestSet a = make_weighted_ts0(nl, cfg, w);
+  const scan::TestSet b = make_weighted_ts0(nl, cfg, w);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.tests[i].vectors, b.tests[i].vectors);
+  }
+}
+
+TEST(DeriveWeights, ReturnsOnePerInput) {
+  const netlist::Netlist nl = gen::make_circuit("s208");
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const std::vector<double> w = derive_weights(cc, faults);
+  ASSERT_EQ(w.size(), nl.num_inputs());
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(DeriveWeights, EasyCircuitKeepsUniform) {
+  // With no hard faults the derivation must return 0.5 everywhere.
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const std::vector<double> w = derive_weights(cc, faults, /*threshold=*/1e-6);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(DeriveWeights, ImprovesHardFaultDetectionEstimate) {
+  const netlist::Netlist nl = gen::make_circuit("s208");
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const std::vector<double> w = derive_weights(cc, faults, 1e-3);
+
+  const analysis::CopResult before = analysis::compute_cop(cc);
+  const analysis::CopResult after = analysis::compute_cop(cc, w);
+  double sum_before = 0, sum_after = 0;
+  for (const auto& f : faults) {
+    const double p0 = analysis::detection_probability(before, cc, f);
+    if (p0 >= 1e-3) continue;
+    sum_before += std::log10(std::max(p0, 1e-12));
+    sum_after += std::log10(
+        std::max(analysis::detection_probability(after, cc, f), 1e-12));
+  }
+  EXPECT_GE(sum_after, sum_before);
+}
+
+TEST(MultiSeed, AppliesSeedsUntilBudget) {
+  const netlist::Netlist nl = gen::make_circuit("s208");
+  const sim::CompiledCircuit cc(nl);
+  fault::FaultList fl(fault::collapsed_universe(nl));
+  Ts0Config base;
+  base.n = 16;
+  const MultiSeedResult res = run_multi_seed(cc, fl, base, 4);
+  EXPECT_LE(res.seeds_used, 4u);
+  EXPECT_GT(res.detected, 0u);
+  EXPECT_EQ(res.detected, fl.num_detected());
+  EXPECT_EQ(res.cycles,
+            res.seeds_used * scan::n_cyc0(nl.num_state_vars(), base.l_a,
+                                          base.l_b, base.n));
+}
+
+TEST(MultiSeed, MoreSeedsNeverWorse) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  Ts0Config base;
+  base.n = 8;
+  fault::FaultList one(fault::collapsed_universe(nl));
+  fault::FaultList four(fault::collapsed_universe(nl));
+  run_multi_seed(cc, one, base, 1);
+  run_multi_seed(cc, four, base, 4);
+  EXPECT_GE(four.num_detected(), one.num_detected());
+}
+
+TEST(MultiSeed, StopsEarlyWhenComplete) {
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  const sim::CompiledCircuit cc(nl);
+  fault::FaultList fl(fault::collapsed_universe(nl));
+  Ts0Config base;
+  const MultiSeedResult res = run_multi_seed(cc, fl, base, 100);
+  EXPECT_TRUE(fl.all_detected());
+  EXPECT_LT(res.seeds_used, 100u);
+}
+
+}  // namespace
+}  // namespace rls::core

@@ -1,0 +1,92 @@
+// Budgeted-random baseline ([5]/[6]-style) tests.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "fault/collapse.hpp"
+#include "gen/registry.hpp"
+
+namespace rls::core {
+namespace {
+
+TEST(Baseline, RespectsCycleBudget) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  fault::FaultList fl(fault::collapsed_universe(nl));
+  BaselineConfig cfg;
+  cfg.cycle_budget = 5000;
+  const BaselineResult res = run_budgeted_random(cc, fl, cfg);
+  EXPECT_LE(res.cycles_used, cfg.cycle_budget);
+  EXPECT_GT(res.tests_applied, 0u);
+  EXPECT_EQ(res.detected, fl.num_detected());
+  EXPECT_DOUBLE_EQ(res.coverage, fl.coverage());
+}
+
+TEST(Baseline, MoreBudgetNeverHurts) {
+  const netlist::Netlist nl = gen::make_circuit("s208");
+  const sim::CompiledCircuit cc(nl);
+  BaselineConfig small_cfg, big_cfg;
+  small_cfg.cycle_budget = 2000;
+  big_cfg.cycle_budget = 50000;
+  fault::FaultList fl_small(fault::collapsed_universe(nl));
+  fault::FaultList fl_big(fault::collapsed_universe(nl));
+  const BaselineResult small = run_budgeted_random(cc, fl_small, small_cfg);
+  const BaselineResult big = run_budgeted_random(cc, fl_big, big_cfg);
+  EXPECT_GE(big.detected, small.detected);
+}
+
+TEST(Baseline, MultiChainCostsFewerCyclesPerTest) {
+  // With chains of max length 10 on a 14-FF circuit, each test costs
+  // 7 + L cycles instead of 14 + L, so more tests fit in the budget.
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  BaselineConfig single_cfg, multi_cfg;
+  single_cfg.cycle_budget = multi_cfg.cycle_budget = 10000;
+  single_cfg.max_chain_length = 1000;  // one chain
+  multi_cfg.max_chain_length = 10;
+  fault::FaultList fl_a(fault::collapsed_universe(nl));
+  fault::FaultList fl_b(fault::collapsed_universe(nl));
+  const BaselineResult single = run_budgeted_random(cc, fl_a, single_cfg);
+  const BaselineResult multi = run_budgeted_random(cc, fl_b, multi_cfg);
+  EXPECT_GT(multi.tests_applied, single.tests_applied);
+}
+
+TEST(Baseline, SingleLengthModelsTsai99) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  fault::FaultList fl(fault::collapsed_universe(nl));
+  BaselineConfig cfg;
+  cfg.lengths = {16};
+  cfg.cycle_budget = 20000;
+  const BaselineResult res = run_budgeted_random(cc, fl, cfg);
+  EXPECT_GT(res.detected, 0u);
+}
+
+TEST(Baseline, Deterministic) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  BaselineConfig cfg;
+  cfg.cycle_budget = 8000;
+  fault::FaultList a(fault::collapsed_universe(nl));
+  fault::FaultList b(fault::collapsed_universe(nl));
+  const BaselineResult ra = run_budgeted_random(cc, a, cfg);
+  const BaselineResult rb = run_budgeted_random(cc, b, cfg);
+  EXPECT_EQ(ra.detected, rb.detected);
+  EXPECT_EQ(ra.tests_applied, rb.tests_applied);
+  EXPECT_EQ(ra.cycles_used, rb.cycles_used);
+}
+
+TEST(Baseline, StopsEarlyWhenComplete) {
+  // A generous budget on an easy circuit: must stop once everything is
+  // detected rather than consuming the budget.
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  const sim::CompiledCircuit cc(nl);
+  fault::FaultList fl(fault::collapsed_universe(nl));
+  BaselineConfig cfg;
+  cfg.cycle_budget = 100000000;
+  const BaselineResult res = run_budgeted_random(cc, fl, cfg);
+  EXPECT_TRUE(fl.all_detected());
+  EXPECT_LT(res.cycles_used, cfg.cycle_budget / 100);
+}
+
+}  // namespace
+}  // namespace rls::core

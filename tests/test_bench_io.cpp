@@ -1,0 +1,124 @@
+// Tests for the ISCAS-89 .bench reader/writer.
+#include <gtest/gtest.h>
+
+#include "gen/s27.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/validate.hpp"
+
+namespace rls::netlist {
+namespace {
+
+TEST(BenchIo, ParsesS27) {
+  const Netlist nl = gen::make_s27();
+  EXPECT_EQ(nl.name(), "s27");
+  EXPECT_EQ(nl.num_inputs(), 4u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_state_vars(), 3u);
+  EXPECT_EQ(nl.num_gates(), 17u);  // 4 PI + 3 DFF + 10 gates
+  // Flip-flop order is declaration order: G5, G6, G7.
+  EXPECT_EQ(nl.signal_name(nl.flip_flops()[0]), "G5");
+  EXPECT_EQ(nl.signal_name(nl.flip_flops()[1]), "G6");
+  EXPECT_EQ(nl.signal_name(nl.flip_flops()[2]), "G7");
+  EXPECT_TRUE(is_clean(nl));
+}
+
+TEST(BenchIo, CommentsAndBlankLines) {
+  const Netlist nl = parse_bench(R"(
+# full-line comment
+INPUT(a)   # trailing comment
+
+OUTPUT(y)
+y = NOT(a)
+)");
+  EXPECT_EQ(nl.num_inputs(), 1u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(BenchIo, ForwardReferences) {
+  // OUTPUT and uses precede definitions.
+  const Netlist nl = parse_bench(R"(
+OUTPUT(y)
+INPUT(a)
+y = AND(b, a)
+b = NOT(a)
+)");
+  EXPECT_EQ(nl.gate(nl.by_name("y")).fanin[0], nl.by_name("b"));
+}
+
+TEST(BenchIo, SequentialFeedback) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, a)
+)");
+  EXPECT_EQ(nl.num_state_vars(), 1u);
+  EXPECT_EQ(nl.gate(nl.by_name("q")).fanin[0], nl.by_name("d"));
+}
+
+TEST(BenchIo, OperatorSpellings) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(x1)
+OUTPUT(x2)
+x1 = BUFF(a)
+x2 = nand(a, b)
+)");
+  EXPECT_EQ(nl.gate(nl.by_name("x1")).type, GateType::kBuf);
+  EXPECT_EQ(nl.gate(nl.by_name("x2")).type, GateType::kNand);
+}
+
+TEST(BenchIo, ErrorUnknownGate) {
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, ErrorUndefinedSignal) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, ErrorUndefinedOutput) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(ghost)\n"), BenchParseError);
+}
+
+TEST(BenchIo, ErrorMalformedLine) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nthis is not bench\n"), BenchParseError);
+}
+
+TEST(BenchIo, ErrorMessageHasLineNumber) {
+  try {
+    parse_bench("INPUT(a)\n\ny = FROB(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RoundTripS27) {
+  const Netlist original = gen::make_s27();
+  const std::string text = write_bench(original);
+  const Netlist back = parse_bench(text, "s27");
+  ASSERT_EQ(back.num_gates(), original.num_gates());
+  EXPECT_EQ(back.num_inputs(), original.num_inputs());
+  EXPECT_EQ(back.num_outputs(), original.num_outputs());
+  EXPECT_EQ(back.num_state_vars(), original.num_state_vars());
+  for (SignalId id = 0; id < original.num_gates(); ++id) {
+    const SignalId bid = back.by_name(original.signal_name(id));
+    ASSERT_NE(bid, kNoSignal);
+    EXPECT_EQ(back.gate(bid).type, original.gate(id).type);
+    ASSERT_EQ(back.gate(bid).fanin.size(), original.gate(id).fanin.size());
+    for (std::size_t k = 0; k < original.gate(id).fanin.size(); ++k) {
+      EXPECT_EQ(back.signal_name(back.gate(bid).fanin[k]),
+                original.signal_name(original.gate(id).fanin[k]));
+    }
+  }
+}
+
+TEST(BenchIo, LoadFileMissing) {
+  EXPECT_THROW(load_bench_file("/nonexistent/file.bench"), BenchParseError);
+}
+
+}  // namespace
+}  // namespace rls::netlist

@@ -1,0 +1,183 @@
+// Equivalence-collapsing tests: rule correctness and the semantic property
+// that collapsed classes are detection-equivalent under combinational
+// simulation.
+#include <gtest/gtest.h>
+
+#include "fault/collapse.hpp"
+#include "fault/comb_fsim.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+#include "helpers.hpp"
+
+namespace rls::fault {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+std::size_t index_of(const std::vector<Fault>& universe, const Fault& f) {
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (universe[i] == f) return i;
+  }
+  ADD_FAILURE() << "fault not in universe";
+  return 0;
+}
+
+TEST(Collapse, AndGateInputStuck0EqualsOutputStuck0) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+  const std::size_t out0 = index_of(universe, Fault{g, -1, 0});
+  const std::size_t in0_0 = index_of(universe, Fault{g, 0, 0});
+  const std::size_t in1_0 = index_of(universe, Fault{g, 1, 0});
+  EXPECT_EQ(res.representative[in0_0], res.representative[out0]);
+  EXPECT_EQ(res.representative[in1_0], res.representative[out0]);
+  // s-a-1 faults are NOT equivalent on an AND gate.
+  const std::size_t out1 = index_of(universe, Fault{g, -1, 1});
+  const std::size_t in0_1 = index_of(universe, Fault{g, 0, 1});
+  EXPECT_NE(res.representative[in0_1], res.representative[out1]);
+}
+
+TEST(Collapse, NandNorRules) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId gn = nl.add_gate(GateType::kNand, "gn", {a, b});
+  const SignalId gr = nl.add_gate(GateType::kNor, "gr", {a, b});
+  nl.mark_output(gn);
+  nl.mark_output(gr);
+  nl.finalize();
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+  // NAND: input s-a-0 == output s-a-1.
+  EXPECT_EQ(res.representative[index_of(universe, Fault{gn, 0, 0})],
+            res.representative[index_of(universe, Fault{gn, -1, 1})]);
+  // NOR: input s-a-1 == output s-a-0.
+  EXPECT_EQ(res.representative[index_of(universe, Fault{gr, 1, 1})],
+            res.representative[index_of(universe, Fault{gr, -1, 0})]);
+}
+
+TEST(Collapse, InverterAndBuffer) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId n = nl.add_gate(GateType::kNot, "n", {a});
+  const SignalId b = nl.add_gate(GateType::kBuf, "b", {n});
+  nl.mark_output(b);
+  nl.finalize();
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+  // NOT: in s-a-0 == out s-a-1.
+  EXPECT_EQ(res.representative[index_of(universe, Fault{n, 0, 0})],
+            res.representative[index_of(universe, Fault{n, -1, 1})]);
+  // BUF: in s-a-v == out s-a-v.
+  EXPECT_EQ(res.representative[index_of(universe, Fault{b, 0, 1})],
+            res.representative[index_of(universe, Fault{b, -1, 1})]);
+}
+
+TEST(Collapse, FanoutFreeStemMerges) {
+  // a -> NOT n -> AND g (single consumer): n/O faults == g/IN0 faults.
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId n = nl.add_gate(GateType::kNot, "n", {a});
+  const SignalId g = nl.add_gate(GateType::kAnd, "g", {n, b});
+  nl.mark_output(g);
+  nl.finalize();
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+  EXPECT_EQ(res.representative[index_of(universe, Fault{n, -1, 1})],
+            res.representative[index_of(universe, Fault{g, 0, 1})]);
+}
+
+TEST(Collapse, FanoutStemDoesNotMerge) {
+  // n feeds two gates: stem faults stay distinct from branch faults.
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId n = nl.add_gate(GateType::kNot, "n", {a});
+  const SignalId g1 = nl.add_gate(GateType::kAnd, "g1", {n, b});
+  const SignalId g2 = nl.add_gate(GateType::kOr, "g2", {n, b});
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  nl.finalize();
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+  EXPECT_NE(res.representative[index_of(universe, Fault{n, -1, 1})],
+            res.representative[index_of(universe, Fault{g1, 0, 1})]);
+}
+
+TEST(Collapse, NoCollapseAcrossFlipFlop) {
+  // Q/D faults of a DFF must stay distinct (scan-path semantics).
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId f = nl.add_dff("f");
+  const SignalId g = nl.add_gate(GateType::kNot, "g", {f});
+  nl.connect(f, {a});
+  nl.mark_output(g);
+  nl.finalize();
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+  EXPECT_NE(res.representative[index_of(universe, Fault{f, 0, 0})],
+            res.representative[index_of(universe, Fault{f, -1, 0})]);
+  // Stem driving only a DFF D pin must not merge either ("a" has a single
+  // consumer, the DFF).
+  EXPECT_NE(res.representative[index_of(universe, Fault{a, -1, 0})],
+            res.representative[index_of(universe, Fault{f, 0, 0})]);
+}
+
+TEST(Collapse, S27CollapsedSizeIsStable) {
+  const Netlist nl = gen::make_s27();
+  const auto primes = collapsed_universe(nl);
+  const auto universe = full_universe(nl);
+  EXPECT_LT(primes.size(), universe.size());
+  // Golden value: keeps refactoring honest (recorded from first run and
+  // double-checked by the equivalence property below).
+  EXPECT_EQ(primes.size(), 36u);
+}
+
+// Property: every fault in a class has the same combinational detection
+// signature (same patterns detect it) — the definition of equivalence.
+class CollapseEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseEquivalence, ClassMembersShareDetectionSignature) {
+  const netlist::Netlist nl =
+      GetParam() == 0
+          ? gen::make_s27()
+          : gen::synthesize(rls::test::small_profile(GetParam()));
+  const sim::CompiledCircuit cc(nl);
+  const auto universe = full_universe(nl);
+  const auto res = collapse(nl, universe);
+
+  CombFaultSim fsim(cc);
+  rls::rand::Rng rng(GetParam() + 99);
+  std::vector<sim::Word> pi, ppi;
+  rls::test::random_words(rng, pi, cc.inputs().size());
+  rls::test::random_words(rng, ppi, cc.flip_flops().size());
+  fsim.set_patterns(pi, ppi);
+
+  std::vector<sim::Word> sig(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    sig[i] = fsim.detect_mask(universe[i]);
+  }
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const std::size_t rep = res.representative[i];
+    // Skip classes involving DFF terminals: their scan-view signatures
+    // legitimately differ from the pure combinational view.
+    if (nl.gate(universe[i].gate).type == netlist::GateType::kDff) continue;
+    if (nl.gate(universe[rep].gate).type == netlist::GateType::kDff) continue;
+    EXPECT_EQ(sig[i], sig[rep])
+        << fault_name(nl, universe[i]) << " vs " << fault_name(nl, universe[rep]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace rls::fault

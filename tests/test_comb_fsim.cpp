@@ -1,0 +1,123 @@
+// PPSFP combinational fault simulator vs brute-force re-evaluation.
+#include <gtest/gtest.h>
+
+#include "fault/comb_fsim.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+#include "helpers.hpp"
+
+namespace rls::fault {
+namespace {
+
+using rls::test::eval_with_fault;
+using rls::test::random_words;
+
+sim::Word brute_force_mask(const sim::CompiledCircuit& cc,
+                           const std::vector<sim::Word>& pi,
+                           const std::vector<sim::Word>& ppi, const Fault& f) {
+  std::vector<sim::Word> good(cc.num_signals(), 0), bad(cc.num_signals(), 0);
+  cc.init_constants(good);
+  cc.init_constants(bad);
+  for (std::size_t k = 0; k < pi.size(); ++k) {
+    good[cc.inputs()[k]] = pi[k];
+    bad[cc.inputs()[k]] = pi[k];
+  }
+  for (std::size_t k = 0; k < ppi.size(); ++k) {
+    good[cc.flip_flops()[k]] = ppi[k];
+    bad[cc.flip_flops()[k]] = ppi[k];
+  }
+  cc.eval(good);
+  eval_with_fault(cc, bad, f);
+  sim::Word det = 0;
+  for (netlist::SignalId id : cc.outputs()) det |= good[id] ^ bad[id];
+  for (netlist::SignalId ff : cc.flip_flops()) {
+    const netlist::SignalId d = cc.fanin(ff)[0];
+    sim::Word diff = good[d] ^ bad[d];
+    // A DFF D-pin fault overrides what the PPO captures.
+    if (f.pin >= 0 && f.gate == ff) {
+      diff = good[d] ^ (f.stuck ? sim::kAllOnes : 0);
+    }
+    det |= diff;
+  }
+  return det;
+}
+
+class CombFsimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CombFsimProperty, MatchesBruteForceOnAllFaults) {
+  const netlist::Netlist nl =
+      GetParam() == 0
+          ? gen::make_s27()
+          : gen::synthesize(rls::test::small_profile(GetParam()));
+  const sim::CompiledCircuit cc(nl);
+  CombFaultSim fsim(cc);
+  rls::rand::Rng rng(GetParam() * 31 + 7);
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<sim::Word> pi, ppi;
+    random_words(rng, pi, cc.inputs().size());
+    random_words(rng, ppi, cc.flip_flops().size());
+    fsim.set_patterns(pi, ppi);
+    for (const Fault& f : full_universe(nl)) {
+      const sim::Word expect = brute_force_mask(cc, pi, ppi, f);
+      const sim::Word got = fsim.detect_mask(f);
+      ASSERT_EQ(got, expect) << fault_name(nl, f) << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombFsimProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(CombFsim, RestoresStateBetweenFaults) {
+  // Running the same fault twice against the same patterns must give the
+  // same mask (the faulty array is restored after each call).
+  const netlist::Netlist nl = gen::make_s27();
+  const sim::CompiledCircuit cc(nl);
+  CombFaultSim fsim(cc);
+  rls::rand::Rng rng(3);
+  std::vector<sim::Word> pi, ppi;
+  random_words(rng, pi, cc.inputs().size());
+  random_words(rng, ppi, cc.flip_flops().size());
+  fsim.set_patterns(pi, ppi);
+  const auto universe = full_universe(nl);
+  std::vector<sim::Word> first;
+  for (const Fault& f : universe) first.push_back(fsim.detect_mask(f));
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    EXPECT_EQ(fsim.detect_mask(universe[i]), first[i]);
+  }
+}
+
+TEST(CombFsim, RunDropsDetectedFaults) {
+  const netlist::Netlist nl = gen::make_s27();
+  const sim::CompiledCircuit cc(nl);
+  CombFaultSim fsim(cc);
+  rls::rand::Rng rng(11);
+  std::vector<sim::Word> pi, ppi;
+  random_words(rng, pi, cc.inputs().size());
+  random_words(rng, ppi, cc.flip_flops().size());
+  fsim.set_patterns(pi, ppi);
+  FaultList fl(full_universe(nl));
+  const std::size_t newly = fsim.run(fl);
+  EXPECT_EQ(newly, fl.num_detected());
+  EXPECT_GT(newly, 0u);
+  // A second pass with the same patterns detects nothing new.
+  EXPECT_EQ(fsim.run(fl), 0u);
+}
+
+TEST(CombFsim, GateEvalsAccumulate) {
+  const netlist::Netlist nl = gen::make_s27();
+  const sim::CompiledCircuit cc(nl);
+  CombFaultSim fsim(cc);
+  rls::rand::Rng rng(5);
+  std::vector<sim::Word> pi, ppi;
+  random_words(rng, pi, cc.inputs().size());
+  random_words(rng, ppi, cc.flip_flops().size());
+  fsim.set_patterns(pi, ppi);
+  const auto before = fsim.gate_evals();
+  fsim.detect_mask(Fault{nl.by_name("G11"), -1, 0});
+  EXPECT_GT(fsim.gate_evals(), before);
+}
+
+}  // namespace
+}  // namespace rls::fault

@@ -1,0 +1,176 @@
+// COP testability analysis tests: exact values on hand-computable
+// circuits, structural properties, and correlation with measured random
+// detection probability.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/cop.hpp"
+#include "fault/collapse.hpp"
+#include "fault/comb_fsim.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+#include "helpers.hpp"
+
+namespace rls::analysis {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+TEST(Cop, HandComputedControllabilities) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId c = nl.add_input("c");
+  const SignalId g_and = nl.add_gate(GateType::kAnd, "g_and", {a, b});
+  const SignalId g_or = nl.add_gate(GateType::kOr, "g_or", {g_and, c});
+  const SignalId g_not = nl.add_gate(GateType::kNot, "g_not", {g_or});
+  nl.mark_output(g_not);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const CopResult cop = compute_cop(cc);
+  EXPECT_DOUBLE_EQ(cop.c1[a], 0.5);
+  EXPECT_DOUBLE_EQ(cop.c1[g_and], 0.25);
+  EXPECT_DOUBLE_EQ(cop.c1[g_or], 1.0 - 0.75 * 0.5);  // 0.625
+  EXPECT_DOUBLE_EQ(cop.c1[g_not], 0.375);
+}
+
+TEST(Cop, HandComputedObservabilities) {
+  // y = AND(a, b): a observed iff b == 1 (p = 0.5); output observed fully.
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(y);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const CopResult cop = compute_cop(cc);
+  EXPECT_DOUBLE_EQ(cop.obs[y], 1.0);
+  EXPECT_DOUBLE_EQ(cop.obs[a], 0.5);
+  EXPECT_DOUBLE_EQ(cop.obs[b], 0.5);
+}
+
+TEST(Cop, XorPropagatesUnconditionally) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_gate(GateType::kXor, "y", {a, b});
+  nl.mark_output(y);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const CopResult cop = compute_cop(cc);
+  EXPECT_DOUBLE_EQ(cop.obs[a], 1.0);
+  EXPECT_DOUBLE_EQ(cop.c1[y], 0.5);
+}
+
+TEST(Cop, WeightsShiftControllability) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(y);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const double w[] = {0.9, 0.9};
+  const CopResult cop = compute_cop(cc, w);
+  EXPECT_NEAR(cop.c1[y], 0.81, 1e-12);
+}
+
+TEST(Cop, PpoCountsAsObservation) {
+  // A signal feeding only a flip-flop D is fully observable (PPO).
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_gate(GateType::kNot, "g", {a});
+  const SignalId f = nl.add_dff("f");
+  nl.connect(f, {g});
+  nl.mark_output(f);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const CopResult cop = compute_cop(cc);
+  EXPECT_DOUBLE_EQ(cop.obs[g], 1.0);
+}
+
+TEST(Cop, DetectionProbabilityExcitationTimesObservation) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(y);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const CopResult cop = compute_cop(cc);
+  // y s-a-0: excite requires y == 1 (p 0.25), observed fully.
+  EXPECT_DOUBLE_EQ(detection_probability(cop, cc, {y, -1, 0}), 0.25);
+  // y s-a-1: excite requires y == 0 (p 0.75).
+  EXPECT_DOUBLE_EQ(detection_probability(cop, cc, {y, -1, 1}), 0.75);
+  // a-pin s-a-1 of y: excite a == 0 (0.5) and b == 1 (0.5).
+  EXPECT_DOUBLE_EQ(detection_probability(cop, cc, {y, 0, 1}), 0.25);
+}
+
+TEST(Cop, ExpectedPatternCount) {
+  EXPECT_NEAR(expected_pattern_count(0.5), 1.0, 1e-9);
+  EXPECT_GT(expected_pattern_count(0.001), 600.0);
+  EXPECT_GT(expected_pattern_count(0.0), 1e100);
+}
+
+// Property: COP detection probability correlates with measured detection
+// frequency over random patterns (Spearman-lite: high-prob faults are
+// detected no later than low-prob ones, statistically).
+class CopCorrelation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CopCorrelation, PredictsMeasuredDetectionFrequency) {
+  const Netlist nl = gen::synthesize(rls::test::small_profile(GetParam(), 0.3));
+  const sim::CompiledCircuit cc(nl);
+  const CopResult cop = compute_cop(cc);
+  fault::CombFaultSim fsim(cc);
+  rls::rand::Rng rng(GetParam() + 3);
+
+  const auto faults = fault::collapsed_universe(nl);
+  std::vector<double> predicted, measured;
+  std::vector<int> hits(faults.size(), 0);
+  const int rounds = 32;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<sim::Word> pi, ppi;
+    rls::test::random_words(rng, pi, cc.inputs().size());
+    rls::test::random_words(rng, ppi, cc.flip_flops().size());
+    fsim.set_patterns(pi, ppi);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      hits[i] += std::popcount(
+          static_cast<unsigned long long>(fsim.detect_mask(faults[i])));
+    }
+  }
+  double corr_num = 0, corr_den_a = 0, corr_den_b = 0;
+  double mean_p = 0, mean_m = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (nl.gate(faults[i].gate).type == netlist::GateType::kDff) continue;
+    const double p = std::log10(
+        std::max(detection_probability(cop, cc, faults[i]), 1e-9));
+    const double m = std::log10(
+        std::max(hits[i] / (64.0 * rounds), 1e-9));
+    predicted.push_back(p);
+    measured.push_back(m);
+    mean_p += p;
+    mean_m += m;
+    ++n;
+  }
+  mean_p /= static_cast<double>(n);
+  mean_m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    corr_num += (predicted[i] - mean_p) * (measured[i] - mean_m);
+    corr_den_a += (predicted[i] - mean_p) * (predicted[i] - mean_p);
+    corr_den_b += (measured[i] - mean_m) * (measured[i] - mean_m);
+  }
+  const double corr =
+      corr_num / std::sqrt(std::max(corr_den_a * corr_den_b, 1e-30));
+  EXPECT_GT(corr, 0.4) << "COP poorly correlated with measurement";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CopCorrelation,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace rls::analysis

@@ -1,0 +1,131 @@
+// Golden tests against the paper's *analytic* numbers: the N_cyc0 grids of
+// Tables 3 and 4 (bottom halves) and the combination ordering of Table 5.
+// These values must reproduce exactly — they depend only on the published
+// formula, not on any netlist.
+#include <gtest/gtest.h>
+
+#include "core/param_select.hpp"
+#include "scan/cost.hpp"
+
+namespace rls {
+namespace {
+
+using core::Combo;
+using scan::n_cyc0;
+
+// Table 3 (s208, N_SV = 8), N_cyc0 grid.
+TEST(CostPaper, Table3Ncyc0Grid) {
+  struct Row {
+    std::size_t n, la, lb;
+    std::uint64_t expect;
+  };
+  const Row rows[] = {
+      {64, 8, 16, 2568},    {64, 8, 32, 3592},   {64, 8, 64, 5640},
+      {64, 8, 128, 9736},   {64, 8, 256, 17928}, {64, 16, 32, 4104},
+      {64, 16, 64, 6152},   {64, 16, 128, 10248},{64, 16, 256, 18440},
+      {64, 32, 64, 7176},   {64, 32, 128, 11272},{64, 32, 256, 19464},
+      {64, 64, 128, 13320}, {64, 64, 256, 21512},
+      {128, 8, 16, 5128},   {128, 8, 32, 7176},  {128, 8, 64, 11272},
+      {128, 8, 128, 19464}, {128, 8, 256, 35848},{128, 16, 32, 8200},
+      {128, 16, 64, 12296}, {128, 16, 128, 20488},{128, 16, 256, 36872},
+      {128, 32, 64, 14344}, {128, 32, 128, 22536},{128, 32, 256, 38920},
+      {128, 64, 128, 26632},{128, 64, 256, 43016},
+      {256, 8, 16, 10248},  {256, 8, 32, 14344}, {256, 8, 64, 22536},
+      {256, 8, 128, 38920}, {256, 8, 256, 71688},{256, 16, 32, 16392},
+      {256, 16, 64, 24584}, {256, 16, 128, 40968},{256, 16, 256, 73736},
+      {256, 32, 64, 28680}, {256, 32, 128, 45064},{256, 32, 256, 77832},
+      {256, 64, 128, 53256},{256, 64, 256, 86024},
+  };
+  for (const Row& r : rows) {
+    EXPECT_EQ(n_cyc0(8, r.la, r.lb, r.n), r.expect)
+        << "LA=" << r.la << " LB=" << r.lb << " N=" << r.n;
+  }
+}
+
+// Table 4 (s420, N_SV = 16), N_cyc0 grid (spot-check all N=64 rows plus
+// corners of the others).
+TEST(CostPaper, Table4Ncyc0Grid) {
+  struct Row {
+    std::size_t n, la, lb;
+    std::uint64_t expect;
+  };
+  const Row rows[] = {
+      {64, 8, 16, 3600},    {64, 8, 32, 4624},   {64, 8, 64, 6672},
+      {64, 8, 128, 10768},  {64, 8, 256, 18960}, {64, 16, 32, 5136},
+      {64, 16, 64, 7184},   {64, 16, 128, 11280},{64, 16, 256, 19472},
+      {64, 32, 64, 8208},   {64, 32, 128, 12304},{64, 32, 256, 20496},
+      {64, 64, 128, 14352}, {64, 64, 256, 22544},
+      {128, 8, 16, 7184},   {128, 8, 256, 37904},{128, 64, 256, 45072},
+      {256, 8, 16, 14352},  {256, 8, 256, 75792},{256, 64, 256, 90128},
+      {128, 16, 32, 10256}, {256, 32, 128, 49168},
+  };
+  for (const Row& r : rows) {
+    EXPECT_EQ(n_cyc0(16, r.la, r.lb, r.n), r.expect)
+        << "LA=" << r.la << " LB=" << r.lb << " N=" << r.n;
+  }
+}
+
+// Table 5: the first 10 combinations by increasing N_cyc0, for N_SV = 21
+// (s382/s400) and N_SV = 74 (s1423).
+TEST(CostPaper, Table5OrderingNsv21) {
+  const auto combos = core::enumerate_default_combos(21);
+  struct Expect {
+    std::size_t la, lb, n;
+    std::uint64_t ncyc0;
+  };
+  const Expect expect[] = {
+      {8, 16, 64, 4245},   {8, 32, 64, 5269},  {16, 32, 64, 5781},
+      {8, 64, 64, 7317},   {16, 64, 64, 7829}, {8, 16, 128, 8469},
+      {32, 64, 64, 8853},  {8, 32, 128, 10517},{8, 128, 64, 11413},
+      {16, 32, 128, 11541},
+  };
+  ASSERT_GE(combos.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(combos[i].l_a, expect[i].la) << "row " << i;
+    EXPECT_EQ(combos[i].l_b, expect[i].lb) << "row " << i;
+    EXPECT_EQ(combos[i].n, expect[i].n) << "row " << i;
+    EXPECT_EQ(combos[i].ncyc0, expect[i].ncyc0) << "row " << i;
+  }
+}
+
+TEST(CostPaper, Table5OrderingNsv74) {
+  const auto combos = core::enumerate_default_combos(74);
+  struct Expect {
+    std::size_t la, lb, n;
+    std::uint64_t ncyc0;
+  };
+  const Expect expect[] = {
+      {8, 16, 64, 11082},  {8, 32, 64, 12106},  {16, 32, 64, 12618},
+      {8, 64, 64, 14154},  {16, 64, 64, 14666}, {32, 64, 64, 15690},
+      {8, 128, 64, 18250}, {16, 128, 64, 18762},{32, 128, 64, 19786},
+      {64, 128, 64, 21834},
+  };
+  ASSERT_GE(combos.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(combos[i].l_a, expect[i].la) << "row " << i;
+    EXPECT_EQ(combos[i].l_b, expect[i].lb) << "row " << i;
+    EXPECT_EQ(combos[i].n, expect[i].n) << "row " << i;
+    EXPECT_EQ(combos[i].ncyc0, expect[i].ncyc0) << "row " << i;
+  }
+}
+
+TEST(CostPaper, ComboEnumerationRespectsLaLessThanLb) {
+  for (const Combo& c : core::enumerate_default_combos(10)) {
+    EXPECT_LT(c.l_a, c.l_b);
+    EXPECT_EQ(c.ncyc0, n_cyc0(10, c.l_a, c.l_b, c.n));
+  }
+}
+
+TEST(CostPaper, ComboEnumerationIsSortedByNcyc0) {
+  const auto combos = core::enumerate_default_combos(21);
+  for (std::size_t i = 1; i < combos.size(); ++i) {
+    EXPECT_LE(combos[i - 1].ncyc0, combos[i].ncyc0);
+  }
+  // 6*5 grid minus L_A >= L_B, times 3 N values:
+  // pairs with L_A < L_B: (8,*)=5, (16,*)=4, (32,*)=3, (64,*)=2, (128,256)=1,
+  // (256,*)=0 -> 15 pairs * 3 = 45 combos.
+  EXPECT_EQ(combos.size(), 45u);
+}
+
+}  // namespace
+}  // namespace rls

@@ -1,0 +1,109 @@
+// Detectability classification tests.
+#include <gtest/gtest.h>
+
+#include "atpg/detectability.hpp"
+#include "fault/collapse.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+#include "helpers.hpp"
+
+namespace rls::atpg {
+namespace {
+
+using fault::Fault;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+TEST(Detectability, S27AllCollapsedFaultsDetectable) {
+  const Netlist nl = gen::make_s27();
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const DetectabilityReport rep = classify(cc, faults);
+  EXPECT_EQ(rep.num_faults(), faults.size());
+  EXPECT_EQ(rep.num_detectable, faults.size());
+  EXPECT_EQ(rep.num_untestable, 0u);
+  EXPECT_EQ(rep.num_aborted, 0u);
+  EXPECT_EQ(rep.num_detectable,
+            rep.detected_by_random + rep.detected_by_atpg +
+                (rep.num_detectable - rep.detected_by_random -
+                 rep.detected_by_atpg));
+}
+
+TEST(Detectability, QOutputFaultsAlwaysDetectable) {
+  // Even a flip-flop whose Q never influences logic is detectable through
+  // the scan chain.
+  Netlist nl("deadq");
+  const SignalId a = nl.add_input("a");
+  const SignalId f1 = nl.add_dff("f1");
+  const SignalId f2 = nl.add_dff("f2");
+  const SignalId g = nl.add_gate(GateType::kNot, "g", {a});
+  nl.connect(f1, {g});
+  nl.connect(f2, {f1});  // f2's Q feeds nothing combinational
+  nl.mark_output(g);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const std::vector<Fault> faults{{f2, -1, 0}, {f2, -1, 1}};
+  const DetectabilityReport rep = classify(cc, faults);
+  EXPECT_EQ(rep.num_detectable, 2u);
+}
+
+TEST(Detectability, RedundantFaultClassifiedUntestable) {
+  Netlist nl("red");
+  const SignalId x = nl.add_input("x");
+  const SignalId nx = nl.add_gate(GateType::kNot, "nx", {x});
+  const SignalId y = nl.add_gate(GateType::kOr, "y", {x, nx});
+  nl.mark_output(y);
+  nl.finalize();
+  const sim::CompiledCircuit cc(nl);
+  const std::vector<Fault> faults{{y, -1, 1}};
+  const DetectabilityReport rep = classify(cc, faults);
+  EXPECT_EQ(rep.num_untestable, 1u);
+  EXPECT_EQ(rep.cls[0], FaultClass::kUntestable);
+}
+
+TEST(Detectability, RandomPhaseCarriesMostFaults) {
+  const Netlist nl = gen::synthesize(rls::test::small_profile(21, 0.0));
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const DetectabilityReport rep = classify(cc, faults);
+  // Random-easy synthetic logic: the PPSFP phase should settle the clear
+  // majority, leaving little for PODEM.
+  EXPECT_GT(rep.detected_by_random, rep.detected_by_atpg);
+  EXPECT_EQ(rep.num_detectable + rep.num_untestable + rep.num_aborted,
+            faults.size());
+}
+
+class DetectabilityConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectabilityConsistency, ClassificationPartitionsUniverse) {
+  const Netlist nl = gen::synthesize(rls::test::small_profile(GetParam(), 0.6));
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const DetectabilityReport rep = classify(cc, faults);
+  std::size_t d = 0, u = 0, a = 0;
+  for (const FaultClass c : rep.cls) {
+    if (c == FaultClass::kDetectable) ++d;
+    if (c == FaultClass::kUntestable) ++u;
+    if (c == FaultClass::kAborted) ++a;
+  }
+  EXPECT_EQ(d, rep.num_detectable);
+  EXPECT_EQ(u, rep.num_untestable);
+  EXPECT_EQ(a, rep.num_aborted);
+  EXPECT_EQ(d + u + a, faults.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectabilityConsistency,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(Detectability, DeterministicAcrossRuns) {
+  const Netlist nl = gen::synthesize(rls::test::small_profile(4, 0.5));
+  const sim::CompiledCircuit cc(nl);
+  const auto faults = fault::collapsed_universe(nl);
+  const DetectabilityReport a = classify(cc, faults);
+  const DetectabilityReport b = classify(cc, faults);
+  EXPECT_EQ(a.cls, b.cls);
+}
+
+}  // namespace
+}  // namespace rls::atpg

@@ -1,0 +1,103 @@
+// Fault model tests: universe enumeration, naming, FaultList bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault.hpp"
+#include "gen/s27.hpp"
+
+namespace rls::fault {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+TEST(FaultUniverse, CountMatchesTerminals) {
+  const Netlist nl = gen::make_s27();
+  const auto universe = full_universe(nl);
+  // Per gate: 2 output faults + 2 per input pin; constants excluded.
+  std::size_t expected = 0;
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const auto& g = nl.gate(id);
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) continue;
+    expected += 2 + 2 * g.fanin.size();
+  }
+  EXPECT_EQ(universe.size(), expected);
+  // s27: 17 gates (4 PI no fanin, 3 DFF 1 fanin, 2 NOT 1 fanin,
+  // 1 AND 2, 2 OR 2, 1 NAND 2, 4 NOR 2) = 2*17 + 2*(3+2+2+4+2+8) ...
+  // just check it is the known total: 34 outputs + 2*(3+2+12+... )
+  std::size_t pins = 0;
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    pins += nl.gate(id).fanin.size();
+  }
+  EXPECT_EQ(universe.size(), 2 * nl.num_gates() + 2 * pins);
+}
+
+TEST(FaultUniverse, NoDuplicates) {
+  const Netlist nl = gen::make_s27();
+  const auto universe = full_universe(nl);
+  std::set<std::tuple<SignalId, int, int>> seen;
+  for (const Fault& f : universe) {
+    EXPECT_TRUE(seen.insert({f.gate, f.pin, f.stuck}).second);
+  }
+}
+
+TEST(FaultUniverse, CanonicalOrder) {
+  const Netlist nl = gen::make_s27();
+  const auto universe = full_universe(nl);
+  // Gates ascending; within a gate: output s-a-0, s-a-1, then pins.
+  for (std::size_t i = 1; i < universe.size(); ++i) {
+    const Fault& a = universe[i - 1];
+    const Fault& b = universe[i];
+    if (a.gate == b.gate) {
+      const int ka = (a.pin + 1) * 2 + a.stuck;
+      const int kb = (b.pin + 1) * 2 + b.stuck;
+      EXPECT_LT(ka, kb);
+    } else {
+      EXPECT_LT(a.gate, b.gate);
+    }
+  }
+}
+
+TEST(FaultName, Formats) {
+  const Netlist nl = gen::make_s27();
+  const SignalId g9 = nl.by_name("G9");
+  EXPECT_EQ(fault_name(nl, Fault{g9, -1, 1}), "G9/O s-a-1");
+  EXPECT_EQ(fault_name(nl, Fault{g9, 0, 0}), "G9/IN0(G16) s-a-0");
+  EXPECT_EQ(fault_name(nl, Fault{g9, 1, 0}), "G9/IN1(G15) s-a-0");
+}
+
+TEST(FaultList, DroppingAndCoverage) {
+  const Netlist nl = gen::make_s27();
+  FaultList fl(full_universe(nl));
+  EXPECT_EQ(fl.num_detected(), 0u);
+  EXPECT_EQ(fl.num_remaining(), fl.size());
+  EXPECT_FALSE(fl.all_detected());
+  EXPECT_DOUBLE_EQ(fl.coverage(), 0.0);
+
+  fl.mark_detected(0);
+  fl.mark_detected(0);  // idempotent
+  fl.mark_detected(3);
+  EXPECT_EQ(fl.num_detected(), 2u);
+  EXPECT_TRUE(fl.detected(0));
+  EXPECT_FALSE(fl.detected(1));
+  EXPECT_NEAR(fl.coverage(), 2.0 / fl.size(), 1e-12);
+
+  const auto rem = fl.remaining_indices();
+  EXPECT_EQ(rem.size(), fl.size() - 2);
+  EXPECT_EQ(rem[0], 1u);
+
+  for (std::size_t i = 0; i < fl.size(); ++i) fl.mark_detected(i);
+  EXPECT_TRUE(fl.all_detected());
+  EXPECT_DOUBLE_EQ(fl.coverage(), 1.0);
+}
+
+TEST(FaultList, EmptyListIsComplete) {
+  FaultList fl;
+  EXPECT_TRUE(fl.all_detected());
+  EXPECT_DOUBLE_EQ(fl.coverage(), 1.0);
+}
+
+}  // namespace
+}  // namespace rls::fault

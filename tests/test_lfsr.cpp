@@ -1,0 +1,117 @@
+// LFSR properties: maximal period for the built-in primitive polynomials,
+// determinism, nonzero-state invariant.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rand/lfsr.hpp"
+
+namespace rls::rand {
+namespace {
+
+class LfsrPeriod : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrPeriod, GaloisMaximalPeriod) {
+  const int degree = GetParam();
+  GaloisLfsr lfsr(degree, 1);
+  const std::uint64_t start = lfsr.state();
+  std::uint64_t period = 0;
+  do {
+    lfsr.step();
+    ++period;
+  } while (lfsr.state() != start);
+  EXPECT_EQ(period, (std::uint64_t{1} << degree) - 1);
+}
+
+TEST_P(LfsrPeriod, FibonacciMaximalPeriod) {
+  const int degree = GetParam();
+  FibonacciLfsr lfsr(degree, 1);
+  const std::uint64_t start = lfsr.state();
+  std::uint64_t period = 0;
+  do {
+    lfsr.step();
+    ++period;
+  } while (lfsr.state() != start);
+  EXPECT_EQ(period, (std::uint64_t{1} << degree) - 1);
+}
+
+TEST_P(LfsrPeriod, GaloisVisitsAllNonzeroStates) {
+  const int degree = GetParam();
+  if (degree > 12) GTEST_SKIP() << "state enumeration capped at degree 12";
+  GaloisLfsr lfsr(degree, 1);
+  std::set<std::uint64_t> seen;
+  const std::uint64_t count = (std::uint64_t{1} << degree) - 1;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    seen.insert(lfsr.state());
+    lfsr.step();
+  }
+  EXPECT_EQ(seen.size(), count);
+  EXPECT_EQ(seen.count(0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LfsrPeriod,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                           14, 15, 16));
+
+TEST(Lfsr, ZeroSeedIsCoerced) {
+  GaloisLfsr g(8, 0);
+  EXPECT_NE(g.state(), 0u);
+  FibonacciLfsr f(8, 0);
+  EXPECT_NE(f.state(), 0u);
+}
+
+TEST(Lfsr, Deterministic) {
+  GaloisLfsr a(16, 0xACE1), b(16, 0xACE1);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.step(), b.step());
+  }
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Lfsr, NextBitsLsbFirst) {
+  GaloisLfsr a(16, 0xACE1), b(16, 0xACE1);
+  const std::uint64_t bits = a.next_bits(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((bits >> i) & 1, static_cast<std::uint64_t>(b.step()));
+  }
+}
+
+TEST(Lfsr, DegreeOutOfRangeThrows) {
+  EXPECT_THROW(primitive_polynomial(2), std::out_of_range);
+  EXPECT_THROW(primitive_polynomial(65), std::out_of_range);
+  EXPECT_THROW(GaloisLfsr(2), std::out_of_range);
+  EXPECT_THROW(FibonacciLfsr(65), std::out_of_range);
+}
+
+TEST(Lfsr, PolynomialTableCoversAllDegrees) {
+  for (int d = 3; d <= 64; ++d) {
+    const std::uint64_t taps = primitive_polynomial(d);
+    EXPECT_NE(taps, 0u) << "degree " << d;
+    EXPECT_EQ(taps & 1, 1u) << "x^0 term required, degree " << d;
+    if (d < 64) {
+      EXPECT_EQ(taps >> d, 0u) << "taps above degree " << d;
+    }
+  }
+}
+
+TEST(Lfsr, Degree64Runs) {
+  GaloisLfsr g(64, 0xDEADBEEFCAFEF00Dull);
+  std::uint64_t x = 0;
+  for (int i = 0; i < 128; ++i) x ^= g.next_bits(32);
+  EXPECT_NE(g.state(), 0u);
+  (void)x;
+}
+
+TEST(Lfsr, BitBalanceOverPeriod) {
+  // Over a full period of a maximal LFSR, output bits are balanced
+  // (2^{n-1} ones, 2^{n-1}-1 zeros).
+  const int degree = 10;
+  GaloisLfsr g(degree);
+  int ones = 0;
+  const int period = (1 << degree) - 1;
+  for (int i = 0; i < period; ++i) ones += g.step() ? 1 : 0;
+  EXPECT_EQ(ones, 1 << (degree - 1));
+}
+
+}  // namespace
+}  // namespace rls::rand

@@ -1,0 +1,151 @@
+// MISR output-compaction tests: scalar/lane equivalence, sensitivity,
+// aliasing bounds, and signature-mode fault simulation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bist/misr.hpp"
+#include "fault/collapse.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "helpers.hpp"
+#include "rand/rng.hpp"
+
+namespace rls::bist {
+namespace {
+
+TEST(Misr, DifferentStreamsDifferentSignatures) {
+  Misr a(16), b(16);
+  std::vector<std::uint8_t> bits{1, 0, 1};
+  for (int i = 0; i < 10; ++i) {
+    a.absorb(bits);
+    b.absorb(bits);
+  }
+  EXPECT_EQ(a.signature(), b.signature());
+  // One flipped bit anywhere must change the signature (linearity: the
+  // difference stream is nonzero).
+  Misr c(16);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> mod = bits;
+    if (i == 5) mod[1] ^= 1;
+    c.absorb(mod);
+  }
+  EXPECT_NE(c.signature(), a.signature());
+}
+
+TEST(Misr, ResetRestoresInitialState) {
+  Misr m(12, 0);
+  m.absorb(std::vector<std::uint8_t>{1, 1});
+  EXPECT_NE(m.signature(), 0u);
+  m.reset();
+  EXPECT_EQ(m.signature(), 0u);
+}
+
+TEST(LaneMisr, BroadcastMatchesScalar) {
+  // All 64 lanes fed the scalar stream must produce the scalar signature.
+  Misr scalar(16);
+  LaneMisr lanes(16);
+  rls::rand::Rng rng(42);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    std::vector<std::uint8_t> bits(5);
+    std::vector<sim::Word> words(5);
+    for (std::size_t k = 0; k < 5; ++k) {
+      bits[k] = rng.next_bit() ? 1 : 0;
+      words[k] = sim::broadcast(bits[k] != 0);
+    }
+    scalar.absorb(bits);
+    lanes.absorb(words);
+  }
+  for (int lane = 0; lane < sim::kLanes; ++lane) {
+    ASSERT_EQ(lanes.signature(lane), scalar.signature()) << lane;
+  }
+  EXPECT_EQ(lanes.differs_from(scalar.signature()), 0u);
+}
+
+TEST(LaneMisr, LanesAreIndependent) {
+  LaneMisr lanes(16);
+  rls::rand::Rng rng(7);
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    lanes.absorb_one(rng.next_u64());
+  }
+  // Random per-lane streams: signatures should (almost surely) differ.
+  std::set<std::uint64_t> sigs;
+  for (int lane = 0; lane < sim::kLanes; ++lane) {
+    sigs.insert(lanes.signature(lane));
+  }
+  EXPECT_GT(sigs.size(), 60u);
+}
+
+TEST(LaneMisr, SingleBitErrorAlwaysDetected) {
+  // A single-bit difference can never alias (the MISR is linear and a
+  // weight-1 error polynomial is not divisible by the characteristic
+  // polynomial).
+  rls::rand::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Misr good(16);
+    Misr bad(16);
+    const int err_cycle = static_cast<int>(rng.mod_draw(30));
+    const int err_bit = static_cast<int>(rng.mod_draw(4));
+    for (int cycle = 0; cycle < 30; ++cycle) {
+      std::vector<std::uint8_t> bits(4);
+      for (auto& b : bits) b = rng.next_bit() ? 1 : 0;
+      good.absorb(bits);
+      if (cycle == err_cycle) bits[static_cast<std::size_t>(err_bit)] ^= 1;
+      bad.absorb(bits);
+    }
+    EXPECT_NE(good.signature(), bad.signature()) << "trial " << trial;
+  }
+}
+
+TEST(SignatureMode, DetectsLikePerCycleOnS27) {
+  // On a tiny circuit with a 16-bit MISR, aliasing is ~2^-16: signature
+  // mode should detect the same faults as per-cycle comparison.
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  const sim::CompiledCircuit cc(nl);
+  rls::rand::Rng rng(5);
+  scan::TestSet ts;
+  for (int i = 0; i < 30; ++i) {
+    ts.tests.push_back(rls::test::random_test(rng, 3, 4, 6, i % 2 == 0));
+  }
+  fault::FaultList per_cycle(fault::collapsed_universe(nl));
+  fault::SeqFaultSim sim_pc(cc);
+  sim_pc.run_test_set(ts, per_cycle);
+
+  fault::FaultList sig(fault::collapsed_universe(nl));
+  fault::SeqFaultSim sim_sig(cc);
+  sim_sig.set_observation_mode(fault::ObservationMode::kSignature, 16);
+  sim_sig.run_test_set(ts, sig);
+
+  EXPECT_EQ(sig.num_detected(), per_cycle.num_detected());
+}
+
+TEST(SignatureMode, NeverExceedsPerCycleDetection) {
+  // Aliasing can only lose detections, never add them.
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  rls::rand::Rng rng(11);
+  scan::TestSet ts;
+  for (int i = 0; i < 20; ++i) {
+    ts.tests.push_back(rls::test::random_test(rng, nl.num_state_vars(),
+                                              nl.num_inputs(), 8, true));
+  }
+  fault::FaultList per_cycle(fault::collapsed_universe(nl));
+  fault::SeqFaultSim sim_pc(cc);
+  sim_pc.run_test_set(ts, per_cycle);
+
+  for (const int degree : {4, 8, 16}) {
+    fault::FaultList sig(fault::collapsed_universe(nl));
+    fault::SeqFaultSim sim_sig(cc);
+    sim_sig.set_observation_mode(fault::ObservationMode::kSignature, degree);
+    sim_sig.run_test_set(ts, sig);
+    EXPECT_LE(sig.num_detected(), per_cycle.num_detected())
+        << "degree " << degree;
+    // With a reasonable degree, losses should be small.
+    if (degree >= 16) {
+      EXPECT_GE(sig.num_detected() + 5, per_cycle.num_detected());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rls::bist

@@ -1,0 +1,245 @@
+// Unit tests for the netlist container, builder and structural analyses.
+#include <gtest/gtest.h>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/validate.hpp"
+
+namespace rls::netlist {
+namespace {
+
+Netlist simple_comb() {
+  // c = AND(a, b); d = NOT(c); outputs: d
+  Netlist nl("simple");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId c = nl.add_gate(GateType::kAnd, "c", {a, b});
+  const SignalId d = nl.add_gate(GateType::kNot, "d", {c});
+  nl.mark_output(d);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl = simple_comb();
+  EXPECT_EQ(nl.num_gates(), 4u);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_state_vars(), 0u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(Netlist, NamesResolve) {
+  Netlist nl = simple_comb();
+  EXPECT_NE(nl.by_name("a"), kNoSignal);
+  EXPECT_NE(nl.by_name("d"), kNoSignal);
+  EXPECT_EQ(nl.by_name("zz"), kNoSignal);
+  EXPECT_EQ(nl.signal_name(nl.by_name("c")), "c");
+}
+
+TEST(Netlist, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_input("x"), NetlistError);
+}
+
+TEST(Netlist, EmptyNameThrows) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_input(""), NetlistError);
+}
+
+TEST(Netlist, AddGateRejectsInputAndDffTypes) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_gate(GateType::kInput, "i", {}), NetlistError);
+  EXPECT_THROW(nl.add_gate(GateType::kDff, "f", {}), NetlistError);
+}
+
+TEST(Netlist, FinalizeRejectsBadArity) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  nl.add_gate(GateType::kNot, "n", {a, b});  // NOT with two fanins
+  EXPECT_THROW(nl.finalize(), NetlistError);
+}
+
+TEST(Netlist, FinalizeRejectsUnconnectedDff) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_dff("f");  // D never connected
+  EXPECT_THROW(nl.finalize(), NetlistError);
+}
+
+TEST(Netlist, ModificationAfterFinalizeThrows) {
+  Netlist nl = simple_comb();
+  EXPECT_THROW(nl.add_input("new"), NetlistError);
+  EXPECT_THROW(nl.mark_output(0), NetlistError);
+}
+
+TEST(Netlist, ForwardReferenceViaConnect) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId f = nl.add_dff("f");
+  const SignalId g = nl.add_gate(GateType::kXor, "g", {a, f});
+  nl.connect(f, {g});  // feedback through the flip-flop
+  nl.mark_output(g);
+  nl.finalize();
+  EXPECT_EQ(nl.gate(f).fanin[0], g);
+  EXPECT_EQ(nl.num_state_vars(), 1u);
+}
+
+TEST(Netlist, FanoutListsAreBuilt) {
+  Netlist nl = simple_comb();
+  const SignalId a = nl.by_name("a");
+  const SignalId c = nl.by_name("c");
+  ASSERT_EQ(nl.fanout()[a].size(), 1u);
+  EXPECT_EQ(nl.fanout()[a][0], c);
+  EXPECT_EQ(nl.fanout_count(nl.by_name("d")), 1u);  // PO counts as fanout
+  EXPECT_TRUE(nl.is_primary_output(nl.by_name("d")));
+  EXPECT_FALSE(nl.is_primary_output(c));
+}
+
+TEST(Netlist, MarkOutputIsIdempotent) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_gate(GateType::kBuf, "b", {a});
+  nl.mark_output(b);
+  nl.mark_output(b);
+  nl.finalize();
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(Levelize, SimpleDepths) {
+  Netlist nl = simple_comb();
+  const Levelization lv = levelize(nl);
+  EXPECT_EQ(lv.max_level, 2);
+  EXPECT_EQ(lv.level[nl.by_name("c")], 1);
+  EXPECT_EQ(lv.level[nl.by_name("d")], 2);
+  ASSERT_EQ(lv.order.size(), 2u);
+  EXPECT_EQ(lv.order[0], nl.by_name("c"));
+  EXPECT_EQ(lv.order[1], nl.by_name("d"));
+}
+
+TEST(Levelize, SequentialFeedbackIsNotACycle) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId f = nl.add_dff("f");
+  const SignalId g = nl.add_gate(GateType::kXor, "g", {a, f});
+  nl.connect(f, {g});
+  nl.mark_output(g);
+  nl.finalize();
+  EXPECT_NO_THROW(levelize(nl));
+}
+
+TEST(Levelize, CombinationalCycleDetected) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId x = nl.add_gate(GateType::kAnd, "x", {});
+  const SignalId y = nl.add_gate(GateType::kOr, "y", {x, a});
+  nl.connect(x, {y, a});
+  nl.mark_output(y);
+  nl.finalize();
+  EXPECT_THROW(levelize(nl), CombinationalLoopError);
+}
+
+TEST(Levelize, OrderRespectsDependencies) {
+  // Diamond: out = AND(NOT(a), BUF(a))
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId n = nl.add_gate(GateType::kNot, "n", {a});
+  const SignalId b = nl.add_gate(GateType::kBuf, "b", {a});
+  const SignalId o = nl.add_gate(GateType::kAnd, "o", {n, b});
+  nl.mark_output(o);
+  nl.finalize();
+  const Levelization lv = levelize(nl);
+  std::vector<int> position(nl.num_gates(), -1);
+  for (std::size_t i = 0; i < lv.order.size(); ++i) {
+    position[lv.order[i]] = static_cast<int>(i);
+  }
+  EXPECT_LT(position[n], position[o]);
+  EXPECT_LT(position[b], position[o]);
+}
+
+TEST(Validate, CleanCircuit) {
+  EXPECT_TRUE(is_clean(simple_comb()));
+}
+
+TEST(Validate, DetectsDangling) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  nl.add_gate(GateType::kNot, "n", {a});  // drives nothing, not a PO
+  const SignalId b = nl.add_gate(GateType::kBuf, "b", {a});
+  nl.mark_output(b);
+  nl.finalize();
+  const auto v = validate(nl);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].kind, Violation::Kind::kDanglingSignal);
+}
+
+TEST(Validate, DetectsNoOutputs) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId f = nl.add_dff("f", a);
+  (void)f;
+  nl.finalize();
+  const auto v = validate(nl);
+  bool found = false;
+  for (const auto& viol : v) {
+    if (viol.kind == Violation::Kind::kNoOutputs) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Stats, CountsAreConsistent) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId f = nl.add_dff("f");
+  const SignalId g1 = nl.add_gate(GateType::kNand, "g1", {a, b, f});
+  const SignalId g2 = nl.add_gate(GateType::kNot, "g2", {g1});
+  nl.connect(f, {g2});
+  nl.mark_output(g2);
+  nl.finalize();
+  const CircuitStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_inputs, 2u);
+  EXPECT_EQ(s.num_flip_flops, 1u);
+  EXPECT_EQ(s.num_comb_gates, 1u);
+  EXPECT_EQ(s.num_inverters, 1u);
+  EXPECT_EQ(s.max_level, 2);
+  EXPECT_EQ(s.total_gates, 5u);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(Types, GateTypeRoundTrip) {
+  for (int t = 0; t < kNumGateTypes; ++t) {
+    const GateType type = static_cast<GateType>(t);
+    GateType back;
+    if (type == GateType::kInput) continue;  // "input" is a directive
+    ASSERT_TRUE(gate_type_from_string(to_string(type), back))
+        << to_string(type);
+    EXPECT_EQ(back, type);
+  }
+}
+
+TEST(Types, ControllingValues) {
+  EXPECT_EQ(controlling_value(GateType::kAnd), 0);
+  EXPECT_EQ(controlling_value(GateType::kNand), 0);
+  EXPECT_EQ(controlling_value(GateType::kOr), 1);
+  EXPECT_EQ(controlling_value(GateType::kNor), 1);
+  EXPECT_EQ(controlling_value(GateType::kXor), -1);
+  EXPECT_EQ(controlling_value(GateType::kNot), -1);
+}
+
+TEST(Types, Predicates) {
+  EXPECT_TRUE(is_source(GateType::kInput));
+  EXPECT_TRUE(is_source(GateType::kConst0));
+  EXPECT_FALSE(is_source(GateType::kDff));
+  EXPECT_TRUE(is_unary(GateType::kNot));
+  EXPECT_FALSE(is_combinational(GateType::kDff));
+  EXPECT_TRUE(is_combinational(GateType::kXnor));
+  EXPECT_TRUE(is_inverting(GateType::kNor));
+  EXPECT_FALSE(is_inverting(GateType::kOr));
+}
+
+}  // namespace
+}  // namespace rls::netlist

@@ -1,0 +1,97 @@
+// The fault-group-parallel path of SeqFaultSim must be bit-identical to
+// the serial path at any thread count (forced here, independent of the
+// host's core count).
+#include <gtest/gtest.h>
+
+#include "fault/collapse.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "helpers.hpp"
+
+namespace rls::fault {
+namespace {
+
+scan::TestSet make_set(const netlist::Netlist& nl, std::uint64_t seed,
+                       int tests) {
+  rls::rand::Rng rng(seed);
+  scan::TestSet ts;
+  for (int i = 0; i < tests; ++i) {
+    ts.tests.push_back(rls::test::random_test(
+        rng, nl.num_state_vars(), nl.num_inputs(), 6, i % 2 == 0));
+  }
+  return ts;
+}
+
+class ParallelFsim : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelFsim, MatchesSerialDetectionSet) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 99, 12);
+  const auto universe = full_universe(nl);  // several 64-fault groups
+
+  FaultList serial(universe);
+  SeqFaultSim s_sim(cc);
+  s_sim.set_threads(1);
+  s_sim.run_test_set(ts, serial);
+
+  FaultList parallel(universe);
+  SeqFaultSim p_sim(cc);
+  p_sim.set_threads(GetParam());
+  p_sim.run_test_set(ts, parallel);
+
+  ASSERT_EQ(parallel.num_detected(), serial.num_detected());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    ASSERT_EQ(parallel.detected(i), serial.detected(i))
+        << fault_name(nl, universe[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelFsim, ::testing::Values(2u, 4u, 8u));
+
+TEST(ParallelFsim, SignatureModeAcrossThreads) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 7, 10);
+  const auto universe = full_universe(nl);
+
+  FaultList serial(universe);
+  SeqFaultSim s_sim(cc);
+  s_sim.set_threads(1);
+  s_sim.set_observation_mode(ObservationMode::kSignature, 24);
+  s_sim.run_test_set(ts, serial);
+
+  FaultList parallel(universe);
+  SeqFaultSim p_sim(cc);
+  p_sim.set_threads(4);
+  p_sim.set_observation_mode(ObservationMode::kSignature, 24);
+  p_sim.run_test_set(ts, parallel);
+
+  EXPECT_EQ(parallel.num_detected(), serial.num_detected());
+}
+
+TEST(ParallelFsim, ExtraObservedAcrossThreads) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 5, 8);
+  const auto universe = full_universe(nl);
+  const std::vector<netlist::SignalId> extra{cc.flip_flops()[0],
+                                             cc.flip_flops()[3]};
+
+  FaultList serial(universe);
+  SeqFaultSim s_sim(cc);
+  s_sim.set_threads(1);
+  s_sim.set_extra_observed(extra);
+  s_sim.run_test_set(ts, serial);
+
+  FaultList parallel(universe);
+  SeqFaultSim p_sim(cc);
+  p_sim.set_threads(3);
+  p_sim.set_extra_observed(extra);
+  p_sim.run_test_set(ts, parallel);
+
+  EXPECT_EQ(parallel.num_detected(), serial.num_detected());
+}
+
+}  // namespace
+}  // namespace rls::fault

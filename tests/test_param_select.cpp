@@ -1,0 +1,72 @@
+// Parameter-selection tests (combination search policy).
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/param_select.hpp"
+#include "scan/cost.hpp"
+
+namespace rls::core {
+namespace {
+
+TEST(ParamSelect, RunComboIsSelfContained) {
+  const Workbench wb("s27");
+  Combo c{8, 16, 16, 0};
+  c.ncyc0 = scan::n_cyc0(3, 8, 16, 16);
+  Procedure2Options opt;
+  const ComboRun a = run_combo(wb.cc(), wb.target_faults(), c, opt, wb.ts0_seed());
+  const ComboRun b = run_combo(wb.cc(), wb.target_faults(), c, opt, wb.ts0_seed());
+  EXPECT_EQ(a.result.total_detected, b.result.total_detected);
+  EXPECT_EQ(a.combo.l_a, 8u);
+}
+
+TEST(ParamSelect, FirstCompleteStopsAtFirstHit) {
+  const Workbench wb("s27");
+  Procedure2Options opt;
+  std::vector<ComboRun> runs;
+  const auto hit = first_complete_combo(wb.cc(), wb.target_faults(), opt,
+                                        wb.ts0_seed(), &runs);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->result.complete);
+  ASSERT_FALSE(runs.empty());
+  // Every earlier attempt failed; the last attempt is the hit.
+  for (std::size_t k = 0; k + 1 < runs.size(); ++k) {
+    EXPECT_FALSE(runs[k].result.complete);
+  }
+  EXPECT_TRUE(runs.back().result.complete);
+  // s27 is tiny: the very first combination should already succeed.
+  EXPECT_EQ(runs.size(), 1u);
+  EXPECT_EQ(hit->combo.l_a, 8u);
+  EXPECT_EQ(hit->combo.l_b, 16u);
+  EXPECT_EQ(hit->combo.n, 64u);
+}
+
+TEST(ParamSelect, WorkbenchExposesConsistentState) {
+  const Workbench wb("s27");
+  EXPECT_EQ(wb.name(), "s27");
+  EXPECT_EQ(wb.nl().num_state_vars(), 3u);
+  EXPECT_FALSE(wb.universe().empty());
+  EXPECT_LE(wb.target_faults().size(), wb.universe().size());
+  EXPECT_EQ(wb.detectability().num_faults(), wb.universe().size());
+  // s27: every collapsed fault is detectable.
+  EXPECT_EQ(wb.target_faults().size(), wb.universe().size());
+}
+
+TEST(ParamSelect, RunFirstCompleteProducesRow) {
+  const Workbench wb("s27");
+  Procedure2Options opt;
+  const ExperimentRow row = run_first_complete(wb, opt);
+  EXPECT_TRUE(row.found_complete);
+  EXPECT_EQ(row.circuit, "s27");
+  EXPECT_EQ(row.result.total_detected, row.target_faults);
+  EXPECT_GT(row.result.total_cycles(), 0u);
+}
+
+TEST(ParamSelect, RunSingleComboFillsNcyc0) {
+  const Workbench wb("s27");
+  Procedure2Options opt;
+  const ExperimentRow row = run_single_combo(wb, Combo{8, 32, 16, 0}, opt);
+  EXPECT_EQ(row.combo.ncyc0, scan::n_cyc0(3, 8, 32, 16));
+}
+
+}  // namespace
+}  // namespace rls::core

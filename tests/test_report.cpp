@@ -1,0 +1,77 @@
+// Number formatting (paper style) and table rendering tests.
+#include <gtest/gtest.h>
+
+#include "report/format.hpp"
+
+namespace rls::report {
+namespace {
+
+TEST(FormatCycles, PaperStyleValues) {
+  EXPECT_EQ(format_cycles(999), "999");
+  EXPECT_EQ(format_cycles(2568), "2.6K");
+  EXPECT_EQ(format_cycles(2100), "2.1K");
+  EXPECT_EQ(format_cycles(25420), "25.4K");
+  EXPECT_EQ(format_cycles(87500), "87.5K");
+  EXPECT_EQ(format_cycles(316472), "316K");
+  EXPECT_EQ(format_cycles(999499), "999K");
+  EXPECT_EQ(format_cycles(1200000), "1.2M");
+  EXPECT_EQ(format_cycles(10200000), "10.2M");
+}
+
+TEST(FormatCycles, Boundaries) {
+  EXPECT_EQ(format_cycles(0), "0");
+  EXPECT_EQ(format_cycles(1000), "1K");
+  EXPECT_EQ(format_cycles(99999), "100K");  // rounds up across the style edge
+  EXPECT_EQ(format_cycles(100000), "100K");
+  EXPECT_EQ(format_cycles(1000000), "1M");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(0.549, 2), "0.55");
+  EXPECT_EQ(format_fixed(0.5, 2), "0.50");
+  EXPECT_EQ(format_fixed(1.0, 1), "1.0");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"circuit", "det", "cycles"});
+  t.add_row({"s208", "215", "25.4K"});
+  t.add_row({"s5378", "4563", "3.8M"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("circuit"), std::string::npos);
+  EXPECT_NE(s.find("s5378"), std::string::npos);
+  EXPECT_NE(s.find("25.4K"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, SeparatorRows) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Two data rows, two separator lines (header + explicit).
+  std::size_t dashes = 0, pos = 0;
+  while ((pos = s.find("-\n", pos)) != std::string::npos) {
+    ++dashes;
+    pos += 2;
+  }
+  EXPECT_EQ(dashes, 2u);
+}
+
+TEST(Csv, BasicAndQuoting) {
+  const std::string csv =
+      to_csv({"name", "value"}, {{"plain", "1"}, {"has,comma", "quote\"x"}});
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rls::report

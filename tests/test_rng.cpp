@@ -1,0 +1,94 @@
+// Tests for the reproducible SplitMix64 generator.
+#include <gtest/gtest.h>
+
+#include "rand/rng.hpp"
+
+namespace rls::rand {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, KnownSplitMixValue) {
+  // SplitMix64 reference value: seed 0 -> first output.
+  Rng r(0);
+  EXPECT_EQ(r.next_u64(), 0xE220A8397B1DCDAFull);
+}
+
+TEST(Rng, ModDrawInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.mod_draw(10), 10u);
+  }
+}
+
+TEST(Rng, ModDrawIsRoughlyUniform) {
+  // The paper's r mod D draw must hit 0 with probability ~1/D.
+  Rng r(123);
+  const int trials = 100000;
+  const std::uint32_t d = 5;
+  int zeros = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (r.mod_draw(d) == 0) ++zeros;
+  }
+  const double p = static_cast<double>(zeros) / trials;
+  EXPECT_NEAR(p, 1.0 / d, 0.01);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng base(5);
+  Rng s1 = base.fork(1);
+  Rng s2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1.next_u64() == s2.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(5), b(5);
+  Rng fa = a.fork(9), fb = b.fork(9);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(fa.next_u64(), fb.next_u64());
+  }
+}
+
+TEST(Rng, BitBalance) {
+  Rng r(2024);
+  int ones = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) ones += r.next_bit() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.02);
+}
+
+TEST(Rng, HashNameStableAndDistinct) {
+  EXPECT_EQ(hash_name("s27"), hash_name(std::string("s27")));
+  EXPECT_NE(hash_name("s27"), hash_name("s208"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+}  // namespace
+}  // namespace rls::rand

@@ -1,0 +1,151 @@
+// Scan test containers, chain configurations and schedule expansion.
+#include <gtest/gtest.h>
+
+#include "scan/chain.hpp"
+#include "scan/cost.hpp"
+#include "scan/schedule.hpp"
+#include "scan/test.hpp"
+
+namespace rls::scan {
+namespace {
+
+ScanTest make_test(std::size_t n_sv, std::size_t len,
+                   std::vector<std::uint32_t> shift = {}) {
+  ScanTest t;
+  t.scan_in.assign(n_sv, 0);
+  t.vectors.assign(len, BitVector(2, 0));
+  t.shift = std::move(shift);
+  t.scan_bits.resize(t.shift.size());
+  for (std::size_t u = 0; u < t.shift.size(); ++u) {
+    t.scan_bits[u].assign(t.shift[u], 0);
+  }
+  return t;
+}
+
+TEST(ScanTest, LengthAndShiftAccounting) {
+  const ScanTest t = make_test(5, 4, {0, 2, 0, 3});
+  EXPECT_EQ(t.length(), 4u);
+  EXPECT_TRUE(t.has_limited_scan());
+  EXPECT_EQ(t.total_shift(), 5u);
+  EXPECT_EQ(t.limited_scan_units(), 2u);
+}
+
+TEST(ScanTest, NoLimitedScan) {
+  const ScanTest t = make_test(5, 4);
+  EXPECT_FALSE(t.has_limited_scan());
+  EXPECT_EQ(t.total_shift(), 0u);
+  EXPECT_EQ(t.limited_scan_units(), 0u);
+}
+
+TEST(TestSet, Aggregates) {
+  TestSet ts;
+  ts.tests.push_back(make_test(5, 4, {0, 2, 0, 3}));
+  ts.tests.push_back(make_test(5, 6));
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.total_vectors(), 10u);
+  EXPECT_EQ(ts.total_shift(), 5u);
+  EXPECT_EQ(ts.limited_scan_units(), 2u);
+}
+
+TEST(Cost, NCyc0Formula) {
+  // N_cyc0 = (2N+1) N_SV + N (L_A + L_B).
+  EXPECT_EQ(n_cyc0(8, 8, 16, 64), (2 * 64 + 1) * 8 + 64 * 24);
+}
+
+TEST(Cost, NCycMatchesManualAccounting) {
+  TestSet ts;
+  ts.tests.push_back(make_test(5, 4, {0, 2, 0, 3}));
+  ts.tests.push_back(make_test(5, 6));
+  // (2+1)*5 scan cycles + 10 vectors + 5 shifts.
+  EXPECT_EQ(n_cyc(ts, 5), 15u + 10u + 5u);
+  EXPECT_EQ(n_sh(ts), 5u);
+}
+
+TEST(Cost, NCycEqualsNCyc0ForPlainTs0Shape) {
+  // A TS_0-shaped set (N tests of L_A, N of L_B, no limited scan) must
+  // reproduce the closed-form N_cyc0.
+  const std::size_t n_sv = 7, la = 8, lb = 16, n = 10;
+  TestSet ts;
+  for (std::size_t i = 0; i < n; ++i) ts.tests.push_back(make_test(n_sv, la));
+  for (std::size_t i = 0; i < n; ++i) ts.tests.push_back(make_test(n_sv, lb));
+  EXPECT_EQ(n_cyc(ts, n_sv), n_cyc0(n_sv, la, lb, n));
+}
+
+TEST(Cost, AverageLimitedScanUnits) {
+  TestSet ts;
+  ts.tests.push_back(make_test(5, 4, {0, 2, 0, 3}));  // 2 units of 4
+  ts.tests.push_back(make_test(5, 4));                // 0 units of 4
+  EXPECT_DOUBLE_EQ(average_limited_scan_units(ts), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(average_limited_scan_units(TestSet{}), 0.0);
+}
+
+TEST(Cost, MultiChainScanCycles) {
+  TestSet ts;
+  ts.tests.push_back(make_test(25, 4));
+  // 25 FFs in chains of <=10 -> scan op costs ceil(25/10)=3 cycles... no:
+  // chains of max length 10 -> 3 chains, max length ceil(25/3)=9 when
+  // balanced; the cost model uses N_SV/num_chains rounded up.
+  EXPECT_EQ(n_cyc_multi_chain(ts, 25, 3), (1 + 1) * 9 + 4);
+}
+
+TEST(Chain, SingleCoversAll) {
+  const ChainConfig c = ChainConfig::single(5);
+  EXPECT_EQ(c.num_chains(), 1u);
+  EXPECT_EQ(c.max_chain_length(), 5u);
+  EXPECT_EQ(c.num_scanned(), 5u);
+  EXPECT_TRUE(c.unscanned.empty());
+}
+
+TEST(Chain, MultiIsBalanced) {
+  const ChainConfig c = ChainConfig::multi(25, 10);
+  EXPECT_EQ(c.num_chains(), 3u);
+  EXPECT_EQ(c.num_scanned(), 25u);
+  EXPECT_LE(c.max_chain_length(), 9u);
+  // Every flip-flop appears exactly once.
+  std::vector<int> seen(25, 0);
+  for (const auto& chain : c.chains) {
+    for (std::size_t k : chain) seen[k]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Chain, MultiDegenerate) {
+  EXPECT_EQ(ChainConfig::multi(5, 10).num_chains(), 1u);
+  EXPECT_THROW(ChainConfig::multi(5, 0), std::invalid_argument);
+}
+
+TEST(Chain, PartialTracksUnscanned) {
+  const ChainConfig c = ChainConfig::partial(6, {1, 3, 5});
+  EXPECT_EQ(c.num_scanned(), 3u);
+  EXPECT_EQ(c.unscanned, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_THROW(ChainConfig::partial(6, {7}), std::invalid_argument);
+  EXPECT_THROW(ChainConfig::partial(6, {1, 1}), std::invalid_argument);
+}
+
+TEST(Schedule, PlainTestShape) {
+  const ScanTest t = make_test(3, 2);
+  const auto cycles = expand_schedule(t, true);
+  ASSERT_EQ(cycles.size(), 3u + 2u + 3u);
+  EXPECT_EQ(cycles.front().kind, CycleKind::kScanIn);
+  EXPECT_EQ(cycles[3].kind, CycleKind::kVector);
+  EXPECT_EQ(cycles.back().kind, CycleKind::kScanOut);
+}
+
+TEST(Schedule, ScanInFeedsBitsBackToFront) {
+  ScanTest t = make_test(3, 1);
+  t.scan_in = {1, 0, 0};
+  const auto cycles = expand_schedule(t, false);
+  // First shifted-in bit is scan_in.back(); the last is scan_in.front().
+  EXPECT_EQ(cycles[0].scan_in_bit, 0);
+  EXPECT_EQ(cycles[1].scan_in_bit, 0);
+  EXPECT_EQ(cycles[2].scan_in_bit, 1);
+}
+
+TEST(Schedule, CycleCountMatchesCostModel) {
+  const ScanTest t = make_test(4, 5, {0, 1, 0, 2, 0});
+  const auto cycles = expand_schedule(t, false);
+  EXPECT_EQ(cycles.size(), test_cycles_excluding_scan_out(t));
+}
+
+}  // namespace
+}  // namespace rls::scan

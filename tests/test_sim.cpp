@@ -1,0 +1,234 @@
+// Simulation engine tests: word-parallel sweep vs event-driven reference,
+// sequential clocking, and scan-shift semantics.
+#include <gtest/gtest.h>
+
+#include "gen/profiles.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+#include "rand/rng.hpp"
+#include "sim/compiled.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace rls::sim {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+Netlist all_gates_circuit() {
+  Netlist nl("allgates");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId c = nl.add_input("c");
+  nl.mark_output(nl.add_gate(GateType::kAnd, "g_and", {a, b, c}));
+  nl.mark_output(nl.add_gate(GateType::kNand, "g_nand", {a, b, c}));
+  nl.mark_output(nl.add_gate(GateType::kOr, "g_or", {a, b, c}));
+  nl.mark_output(nl.add_gate(GateType::kNor, "g_nor", {a, b, c}));
+  nl.mark_output(nl.add_gate(GateType::kXor, "g_xor", {a, b, c}));
+  nl.mark_output(nl.add_gate(GateType::kXnor, "g_xnor", {a, b, c}));
+  nl.mark_output(nl.add_gate(GateType::kNot, "g_not", {a}));
+  nl.mark_output(nl.add_gate(GateType::kBuf, "g_buf", {a}));
+  nl.finalize();
+  return nl;
+}
+
+TEST(CompiledCircuit, TruthTablesAllGateTypes) {
+  const Netlist nl = all_gates_circuit();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  for (int pattern = 0; pattern < 8; ++pattern) {
+    const bool a = pattern & 1, b = pattern & 2, c = pattern & 4;
+    const std::vector<std::uint8_t> bits{a, b, c};
+    sim.set_inputs_broadcast(bits);
+    sim.eval();
+    auto val = [&](const char* name) {
+      return lane_bit(sim.values()[nl.by_name(name)], 0);
+    };
+    EXPECT_EQ(val("g_and"), a && b && c);
+    EXPECT_EQ(val("g_nand"), !(a && b && c));
+    EXPECT_EQ(val("g_or"), a || b || c);
+    EXPECT_EQ(val("g_nor"), !(a || b || c));
+    EXPECT_EQ(val("g_xor"), a ^ b ^ c);
+    EXPECT_EQ(val("g_xnor"), !(a ^ b ^ c));
+    EXPECT_EQ(val("g_not"), !a);
+    EXPECT_EQ(val("g_buf"), a);
+  }
+}
+
+TEST(CompiledCircuit, LanesAreIndependent) {
+  const Netlist nl = all_gates_circuit();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  // Lane k gets pattern k (k in 0..7, repeated).
+  Word wa = 0, wb = 0, wc = 0;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    const int p = lane % 8;
+    if (p & 1) wa |= Word{1} << lane;
+    if (p & 2) wb |= Word{1} << lane;
+    if (p & 4) wc |= Word{1} << lane;
+  }
+  sim.set_input(0, wa);
+  sim.set_input(1, wb);
+  sim.set_input(2, wc);
+  sim.eval();
+  for (int lane = 0; lane < kLanes; ++lane) {
+    const int p = lane % 8;
+    const bool a = p & 1, b = p & 2, c = p & 4;
+    EXPECT_EQ(lane_bit(sim.values()[nl.by_name("g_xor")], lane), a ^ b ^ c);
+    EXPECT_EQ(lane_bit(sim.values()[nl.by_name("g_nand")], lane), !(a && b && c));
+  }
+}
+
+TEST(CompiledCircuit, EvalGateLaneWithForcedPin) {
+  const Netlist nl = all_gates_circuit();
+  const CompiledCircuit cc(nl);
+  std::vector<Word> vals(cc.num_signals(), 0);
+  vals[nl.by_name("a")] = kAllOnes;
+  vals[nl.by_name("b")] = kAllOnes;
+  vals[nl.by_name("c")] = 0;
+  cc.eval(vals);
+  const SignalId g = nl.by_name("g_and");
+  EXPECT_FALSE(lane_bit(vals[g], 5));
+  // Forcing pin 2 (input c) to 1 makes the AND true.
+  EXPECT_TRUE(cc.eval_gate_lane(g, vals, 5, 2, true));
+  // Forcing pin 0 to 0 keeps it false.
+  EXPECT_FALSE(cc.eval_gate_lane(g, vals, 5, 0, false));
+  // No forcing reproduces the stored value.
+  EXPECT_EQ(cc.eval_gate_lane(g, vals, 5, -1, false), lane_bit(vals[g], 5));
+}
+
+// Property: the word-parallel sweep agrees with the event-driven reference
+// on random synthetic circuits under random stimulus.
+class SweepVsEvent : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepVsEvent, RandomCircuitsAgree) {
+  gen::Profile p;
+  p.name = "rnd" + std::to_string(GetParam());
+  p.num_inputs = 6;
+  p.num_outputs = 4;
+  p.num_flip_flops = 5;
+  p.num_gates = 60;
+  p.counter_fraction = GetParam() % 2 ? 0.5 : 0.0;
+  p.seed = GetParam() * 1234567 + 1;
+  const Netlist nl = gen::synthesize(p);
+  const CompiledCircuit cc(nl);
+  SeqSim sweep(cc);
+  EventSim event(cc);
+
+  rls::rand::Rng rng(GetParam());
+  std::vector<std::uint8_t> state(nl.num_state_vars());
+  for (auto& bit : state) bit = rng.next_bit();
+  sweep.load_state_broadcast(state);
+  event.load_state(state);
+
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::vector<std::uint8_t> inputs(nl.num_inputs());
+    for (auto& bit : inputs) bit = rng.next_bit();
+    sweep.set_inputs_broadcast(inputs);
+    sweep.eval();
+    event.apply_inputs(inputs);
+    for (SignalId id = 0; id < nl.num_gates(); ++id) {
+      ASSERT_EQ(lane_bit(sweep.values()[id], 0), event.value(id))
+          << "cycle " << cycle << " signal " << nl.signal_name(id);
+    }
+    sweep.clock();
+    event.clock();
+    event.propagate();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepVsEvent, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(SeqSim, ShiftRightSemantics) {
+  const Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  sim.load_state_broadcast(std::vector<std::uint8_t>{0, 1, 0});
+  // One right shift, scanning in 1: state 010 -> 101, shifted-out bit 0.
+  const Word out = sim.shift(kAllOnes);
+  EXPECT_EQ(lane_bit(out, 0), false);
+  const auto bits = sim.state_bits(0);
+  EXPECT_EQ(bits, (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(SeqSim, PaperShiftExample) {
+  // Section 2: shifting 010 by one with scan-in 0 gives 001.
+  const Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  sim.load_state_broadcast(std::vector<std::uint8_t>{0, 1, 0});
+  sim.shift(0);
+  EXPECT_EQ(sim.state_bits(0), (std::vector<std::uint8_t>{0, 0, 1}));
+}
+
+TEST(SeqSim, ScanInStateLandsExactly) {
+  const Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  sim.load_state_broadcast(std::vector<std::uint8_t>{1, 1, 1});
+  const std::vector<std::uint8_t> target{1, 0, 1};
+  const auto outs = sim.scan_in_state(target);
+  EXPECT_EQ(sim.state_bits(0), target);
+  // The bits pushed out are the previous state, rightmost first.
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_TRUE(lane_bit(outs[0], 0));
+  EXPECT_TRUE(lane_bit(outs[1], 0));
+  EXPECT_TRUE(lane_bit(outs[2], 0));
+}
+
+TEST(SeqSim, ScanOutObservesStateRightmostFirst) {
+  const Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  sim.load_state_broadcast(std::vector<std::uint8_t>{1, 0, 0});
+  // Shifting three times pushes out state[2], state[1], state[0].
+  EXPECT_FALSE(lane_bit(sim.shift(0), 0));
+  EXPECT_FALSE(lane_bit(sim.shift(0), 0));
+  EXPECT_TRUE(lane_bit(sim.shift(0), 0));
+}
+
+TEST(SeqSim, ClockCapturesD) {
+  Netlist nl("t");
+  const SignalId a = nl.add_input("a");
+  const SignalId f = nl.add_dff("f");
+  const SignalId g = nl.add_gate(GateType::kNot, "g", {a});
+  nl.connect(f, {g});
+  nl.mark_output(f);
+  nl.finalize();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  sim.set_inputs_broadcast(std::vector<std::uint8_t>{0});
+  sim.eval();
+  sim.clock();
+  EXPECT_TRUE(lane_bit(sim.state_word(0), 0));
+  sim.set_inputs_broadcast(std::vector<std::uint8_t>{1});
+  sim.eval();
+  sim.clock();
+  EXPECT_FALSE(lane_bit(sim.state_word(0), 0));
+}
+
+TEST(SeqSim, ResetClearsState) {
+  const Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  SeqSim sim(cc);
+  sim.load_state_broadcast(std::vector<std::uint8_t>{1, 1, 1});
+  sim.reset();
+  EXPECT_EQ(sim.state_bits(0), (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(EventSim, ActivityIsSelective) {
+  const Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  EventSim sim(cc);
+  const std::vector<std::uint8_t> v{0, 1, 1, 1};
+  sim.apply_inputs(v);
+  // Re-applying the identical vector must cause zero evaluations.
+  sim.apply_inputs(v);
+  const std::size_t evals = sim.propagate();
+  EXPECT_EQ(evals, 0u);
+}
+
+}  // namespace
+}  // namespace rls::sim

@@ -1,0 +1,196 @@
+// Transition-fault model tests: launch/capture semantics, at-speed
+// requirements, and the interaction with scan operations.
+#include <gtest/gtest.h>
+
+#include "fault/transition.hpp"
+#include "gen/registry.hpp"
+#include "gen/s27.hpp"
+#include "helpers.hpp"
+
+namespace rls::fault {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+/// A 1-bit toggler: q' = XOR(q, en); out = BUF(q).
+Netlist toggler() {
+  Netlist nl("toggler");
+  const SignalId en = nl.add_input("en");
+  const SignalId q = nl.add_dff("q");
+  const SignalId d = nl.add_gate(GateType::kXor, "d", {q, en});
+  nl.connect(q, {d});
+  nl.mark_output(nl.add_gate(GateType::kBuf, "out", {q}));
+  nl.finalize();
+  return nl;
+}
+
+TEST(TransitionUniverse, TwoPerLine) {
+  const Netlist nl = gen::make_s27();
+  const auto universe = transition_universe(nl);
+  EXPECT_EQ(universe.size(), 2 * nl.num_gates());
+  EXPECT_EQ(transition_fault_name(nl, universe[0]), "G0 slow-to-rise");
+}
+
+TEST(TransitionFaultListTest, Bookkeeping) {
+  TransitionFaultList fl(
+      std::vector<TransitionFault>{{0, 1}, {0, 0}, {1, 1}});
+  EXPECT_EQ(fl.size(), 3u);
+  fl.mark_detected(1);
+  fl.mark_detected(1);
+  EXPECT_EQ(fl.num_detected(), 1u);
+  EXPECT_EQ(fl.remaining_indices(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_NEAR(fl.coverage(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TransitionSim, SlowToRiseOnTogglerDetected) {
+  // Scan in q=0, enable twice: q goes 0 -> 1 -> 0. The rising edge at the
+  // first clock is delayed by an STR fault on d (the XOR output): q stays
+  // 0 where it should read 1, visible at the output in cycle 2.
+  const Netlist nl = toggler();
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+  scan::ScanTest t;
+  t.scan_in = {0};
+  // u0 settles d=0 (at-speed reference), u1 raises en: d rises between two
+  // at-speed cycles -> the held 0 is captured into q and diverges.
+  t.vectors = {{0}, {1}, {0}, {0}};
+  const TransitionFault str{nl.by_name("d"), 1};
+  const TransitionFault group[1] = {str};
+  EXPECT_EQ(fsim.run_test(t, group) & 1, 1u);
+}
+
+TEST(TransitionSim, NoLaunchNoDetection) {
+  // A test whose vectors never cause the site to change cannot detect a
+  // transition fault on it.
+  const Netlist nl = toggler();
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+  scan::ScanTest t;
+  t.scan_in = {0};
+  t.vectors = {{0}, {0}, {0}};  // en = 0: d stays 0, q stays 0
+  for (const std::uint8_t str : {1, 0}) {
+    const TransitionFault f{nl.by_name("d"), str};
+    const TransitionFault group[1] = {f};
+    EXPECT_EQ(fsim.run_test(t, group) & 1, 0u) << int(str);
+  }
+}
+
+TEST(TransitionSim, DirectionMatters) {
+  // q: 0 -> 1 transition only; slow-to-fall must NOT be detected by a test
+  // that only rises.
+  const Netlist nl = toggler();
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+  scan::ScanTest t;
+  t.scan_in = {0};
+  t.vectors = {{0}, {1}, {0}};  // d rises at u1; it never falls at speed
+  const TransitionFault stf{nl.by_name("d"), 0};
+  const TransitionFault group[1] = {stf};
+  EXPECT_EQ(fsim.run_test(t, group) & 1, 0u);
+}
+
+TEST(TransitionSim, FirstCycleAfterScanCannotLaunch) {
+  // The value change between the scanned-in state and the first functional
+  // cycle happens on the slow clock; it must not count as a launch.
+  // q scanned in as 0, en=1 in cycle 0 only: d = 1 in cycle 0 (rise vs its
+  // pre-scan value is NOT a launch), q captures 1; with only one vector no
+  // at-speed pair exists for d's rise, so an STR on d goes undetected...
+  const Netlist nl = toggler();
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+  scan::ScanTest t;
+  t.scan_in = {0};
+  t.vectors = {{1}};  // single vector: no consecutive at-speed pair
+  const TransitionFault str_d{nl.by_name("d"), 1};
+  const TransitionFault group[1] = {str_d};
+  EXPECT_EQ(fsim.run_test(t, group) & 1, 0u);
+}
+
+TEST(TransitionSim, LimitedScanBreaksTheAtSpeedPair) {
+  // The same launch/capture sequence with a limited scan inserted between
+  // the launch and the capture must lose the detection (the shift runs on
+  // the slow clock).
+  const Netlist nl = toggler();
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+
+  scan::ScanTest at_speed;
+  at_speed.scan_in = {0};
+  at_speed.vectors = {{0}, {1}, {0}, {0}};
+  const TransitionFault str{nl.by_name("d"), 1};
+  const TransitionFault group[1] = {str};
+  ASSERT_EQ(fsim.run_test(at_speed, group) & 1, 1u);
+
+  scan::ScanTest broken = at_speed;
+  broken.shift = {0, 1, 0, 0};
+  broken.scan_bits = {{}, {0}, {}, {}};
+  // The shift at unit 1 replaces the captured q with a scanned bit equal
+  // to the fault-free value, and invalidates the launch history.
+  EXPECT_EQ(fsim.run_test(broken, group) & 1, 0u);
+}
+
+TEST(TransitionSim, LongerAtSpeedSequencesDetectMore) {
+  // The motivation for [5]/[6]-style tests: transition coverage grows with
+  // the length of the sequences applied at speed.
+  const Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  rls::rand::Rng rng(13);
+  const auto universe = transition_universe(nl);
+
+  std::vector<std::size_t> detected;
+  for (const std::size_t len : {1u, 4u, 16u}) {
+    SeqTransitionFaultSim fsim(cc);
+    TransitionFaultList fl(universe);
+    scan::TestSet ts;
+    rls::rand::Rng local(13);
+    // Equal number of at-speed vectors per variant: tests x len = 192.
+    for (std::size_t i = 0; i < 192 / len; ++i) {
+      ts.tests.push_back(rls::test::random_test(
+          local, nl.num_state_vars(), nl.num_inputs(), len, false));
+    }
+    fsim.run_test_set(ts, fl);
+    detected.push_back(fl.num_detected());
+  }
+  // Length-1 tests have no consecutive at-speed pair: zero transition
+  // coverage — the core motivation for [5]/[6]-style multi-vector tests.
+  EXPECT_EQ(detected[0], 0u);
+  EXPECT_GT(detected[1], 50u);
+  // Longer sequences keep detecting in the same ballpark (they trade
+  // fresh random scan-in states for more launch pairs per test).
+  EXPECT_GT(detected[2] * 2, detected[1]);
+}
+
+TEST(TransitionSim, DropsFaultsAcrossTests) {
+  const Netlist nl = gen::make_circuit("s27");
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+  TransitionFaultList fl(transition_universe(nl));
+  rls::rand::Rng rng(21);
+  scan::TestSet ts;
+  for (int i = 0; i < 40; ++i) {
+    ts.tests.push_back(rls::test::random_test(rng, 3, 4, 8, false));
+  }
+  const std::size_t newly = fsim.run_test_set(ts, fl);
+  EXPECT_EQ(newly, fl.num_detected());
+  EXPECT_GT(fl.coverage(), 0.3);
+  EXPECT_EQ(fsim.run_test_set(ts, fl), 0u);
+}
+
+TEST(TransitionSim, QOutputDelayFault) {
+  // STR on q itself: the captured 1 arrives late at the logic; out (BUF of
+  // q) shows the stale 0 one cycle long.
+  const Netlist nl = toggler();
+  const sim::CompiledCircuit cc(nl);
+  SeqTransitionFaultSim fsim(cc);
+  scan::ScanTest t;
+  t.scan_in = {0};
+  t.vectors = {{0}, {1}, {0}, {0}};
+  const TransitionFault str_q{nl.by_name("q"), 1};
+  const TransitionFault group[1] = {str_q};
+  EXPECT_EQ(fsim.run_test(t, group) & 1, 1u);
+}
+
+}  // namespace
+}  // namespace rls::fault

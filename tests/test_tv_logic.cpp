@@ -1,0 +1,194 @@
+// Three-valued logic: operation tables, pessimism, and the scan-in
+// determinism property (a full scan-in removes all X from the state).
+#include <gtest/gtest.h>
+
+#include "gen/profiles.hpp"
+#include "gen/s27.hpp"
+#include "gen/synth.hpp"
+#include "rand/rng.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/tv_logic.hpp"
+
+namespace rls::sim {
+namespace {
+
+TvWord tw(int v) {
+  // one lane: 0, 1 or X (2)
+  switch (v) {
+    case 0:
+      return TvWord{1, 0};
+    case 1:
+      return TvWord{0, 1};
+    default:
+      return TvWord{1, 1};
+  }
+}
+
+int lane0(TvWord w) { return tv_lane(w, 0); }
+
+TEST(TvLogic, NotTable) {
+  EXPECT_EQ(lane0(tv_not(tw(0))), 1);
+  EXPECT_EQ(lane0(tv_not(tw(1))), 0);
+  EXPECT_EQ(lane0(tv_not(tw(2))), 2);
+}
+
+TEST(TvLogic, AndTable) {
+  EXPECT_EQ(lane0(tv_and(tw(0), tw(0))), 0);
+  EXPECT_EQ(lane0(tv_and(tw(0), tw(1))), 0);
+  EXPECT_EQ(lane0(tv_and(tw(1), tw(1))), 1);
+  EXPECT_EQ(lane0(tv_and(tw(0), tw(2))), 0);  // controlled by 0
+  EXPECT_EQ(lane0(tv_and(tw(1), tw(2))), 2);
+  EXPECT_EQ(lane0(tv_and(tw(2), tw(2))), 2);
+}
+
+TEST(TvLogic, OrTable) {
+  EXPECT_EQ(lane0(tv_or(tw(0), tw(0))), 0);
+  EXPECT_EQ(lane0(tv_or(tw(1), tw(0))), 1);
+  EXPECT_EQ(lane0(tv_or(tw(1), tw(2))), 1);  // controlled by 1
+  EXPECT_EQ(lane0(tv_or(tw(0), tw(2))), 2);
+  EXPECT_EQ(lane0(tv_or(tw(2), tw(2))), 2);
+}
+
+TEST(TvLogic, XorTable) {
+  EXPECT_EQ(lane0(tv_xor(tw(0), tw(1))), 1);
+  EXPECT_EQ(lane0(tv_xor(tw(1), tw(1))), 0);
+  EXPECT_EQ(lane0(tv_xor(tw(1), tw(2))), 2);  // X propagates through XOR
+  EXPECT_EQ(lane0(tv_xor(tw(2), tw(2))), 2);
+}
+
+TEST(TvLogic, BinaryLanesMatchBooleanSim) {
+  // When no X is present, the three-valued engine must agree with the
+  // two-valued engine on s27.
+  const netlist::Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  SeqSim bin(cc);
+
+  const std::vector<std::uint8_t> state{0, 0, 1};
+  const std::vector<std::uint8_t> in{0, 1, 1, 1};
+  bin.load_state_broadcast(state);
+  bin.set_inputs_broadcast(in);
+  bin.eval();
+  for (std::size_t k = 0; k < 3; ++k) {
+    tv.set_source(cc.flip_flops()[k], TvWord::all(state[k] != 0));
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    tv.set_source(cc.inputs()[k], TvWord::all(in[k] != 0));
+  }
+  tv.eval();
+  for (netlist::SignalId id = 0; id < nl.num_gates(); ++id) {
+    const int expected = lane_bit(bin.values()[id], 0) ? 1 : 0;
+    EXPECT_EQ(tv_lane(tv.value(id), 0), expected) << nl.signal_name(id);
+  }
+}
+
+TEST(TvLogic, UnknownStateYieldsUnknownOutputs) {
+  const netlist::Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  tv.set_state_unknown();
+  // G0 = 1 controls nothing directly; with all inputs X and state X the
+  // output must be X.
+  for (netlist::SignalId pi : cc.inputs()) {
+    tv.set_source(pi, TvWord::all_x());
+  }
+  tv.eval();
+  EXPECT_EQ(tv_lane(tv.value(nl.by_name("G17")), 0), 2);
+  EXPECT_FALSE(tv.state_fully_known());
+}
+
+TEST(TvLogic, FullScanInRemovesAllX) {
+  // Property: after N_SV shifts with known bits, the state is fully known
+  // regardless of the power-up contents — the basis of the paper's
+  // "scan-in initializes the circuit state to a known state SI".
+  const netlist::Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  tv.set_state_unknown();
+  EXPECT_FALSE(tv.state_fully_known());
+  for (std::size_t k = 0; k < nl.num_state_vars(); ++k) {
+    tv.shift(TvWord::all(k % 2 == 0));
+  }
+  EXPECT_TRUE(tv.state_fully_known());
+}
+
+TEST(TvLogic, PartialShiftLeavesTrailingX) {
+  const netlist::Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  tv.set_state_unknown();
+  tv.shift(TvWord::all(true));  // only one known bit entered
+  EXPECT_EQ(tv_lane(tv.value(cc.flip_flops()[0]), 0), 1);
+  EXPECT_EQ(tv_lane(tv.value(cc.flip_flops()[1]), 0), 2);
+  EXPECT_EQ(tv_lane(tv.value(cc.flip_flops()[2]), 0), 2);
+  EXPECT_FALSE(tv.state_fully_known());
+}
+
+TEST(TvLogic, ShiftReturnsOutgoingValue) {
+  const netlist::Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  for (std::size_t k = 0; k < 3; ++k) {
+    tv.set_source(cc.flip_flops()[k], TvWord::all(k == 2));
+  }
+  const TvWord out = tv.shift(TvWord::all_x());
+  EXPECT_EQ(tv_lane(out, 0), 1);
+}
+
+TEST(TvLogic, ClockPropagatesX) {
+  const netlist::Netlist nl = gen::make_s27();
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  tv.set_state_unknown();
+  for (netlist::SignalId pi : cc.inputs()) {
+    tv.set_source(pi, TvWord::all(false));
+  }
+  tv.eval();
+  tv.clock();
+  // With unknown previous state, at least one next-state bit stays X
+  // under this input (G13 = NOR(G2=0, G12=X) = X).
+  EXPECT_FALSE(tv.state_fully_known());
+}
+
+class TvAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TvAgreement, BinaryAgreementOnSyntheticCircuits) {
+  gen::Profile p;
+  p.name = "tv" + std::to_string(GetParam());
+  p.num_inputs = 5;
+  p.num_outputs = 3;
+  p.num_flip_flops = 4;
+  p.num_gates = 40;
+  p.counter_fraction = 0.25;
+  p.seed = GetParam() * 77 + 13;
+  const netlist::Netlist nl = gen::synthesize(p);
+  const CompiledCircuit cc(nl);
+  TvSim tv(cc);
+  SeqSim bin(cc);
+
+  rls::rand::Rng rng(GetParam() + 5);
+  std::vector<std::uint8_t> state(nl.num_state_vars());
+  std::vector<std::uint8_t> in(nl.num_inputs());
+  for (auto& b : state) b = rng.next_bit();
+  for (auto& b : in) b = rng.next_bit();
+
+  bin.load_state_broadcast(state);
+  bin.set_inputs_broadcast(in);
+  bin.eval();
+  for (std::size_t k = 0; k < state.size(); ++k) {
+    tv.set_source(cc.flip_flops()[k], TvWord::all(state[k] != 0));
+  }
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    tv.set_source(cc.inputs()[k], TvWord::all(in[k] != 0));
+  }
+  tv.eval();
+  for (netlist::SignalId id = 0; id < nl.num_gates(); ++id) {
+    EXPECT_EQ(tv_lane(tv.value(id), 0), lane_bit(bin.values()[id], 0) ? 1 : 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TvAgreement,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace rls::sim

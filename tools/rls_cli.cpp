@@ -1,0 +1,186 @@
+// rls — command-line front end to the Random Limited-Scan library.
+//
+//   rls list                          known benchmark circuits
+//   rls stats   <circuit|file.bench>  interface / size / depth summary
+//   rls bench   <circuit>             dump the netlist in .bench format
+//   rls faults  <circuit>             fault universe + detectability report
+//   rls cop     <circuit> [n]         the n hardest faults by COP estimate
+//   rls run     <circuit> [options]   Procedure 2 (one Table-6 style row)
+//   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
+//
+// `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
+// ISCAS-89 .bench file.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/cop.hpp"
+#include "core/campaign.hpp"
+#include "fault/collapse.hpp"
+#include "gen/registry.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/validate.hpp"
+#include "report/format.hpp"
+#include "scan/cost.hpp"
+
+namespace {
+
+using namespace rls;
+
+netlist::Netlist load(const std::string& which) {
+  if (which.find(".bench") != std::string::npos ||
+      which.find('/') != std::string::npos) {
+    return netlist::load_bench_file(which);
+  }
+  return gen::make_circuit(which);
+}
+
+int cmd_list() {
+  for (const std::string& name : gen::known_circuits()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& which) {
+  const netlist::Netlist nl = load(which);
+  const netlist::CircuitStats s = netlist::compute_stats(nl);
+  std::printf("circuit: %s\n%s\n", nl.name().c_str(),
+              netlist::to_string(s).c_str());
+  const auto violations = netlist::validate(nl);
+  std::printf("design-rule violations: %zu\n", violations.size());
+  for (const auto& v : violations) {
+    std::printf("  %s\n", v.message.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_bench(const std::string& which) {
+  std::printf("%s", netlist::write_bench(load(which)).c_str());
+  return 0;
+}
+
+int cmd_faults(const std::string& which) {
+  const core::Workbench wb(load(which));
+  const auto& det = wb.detectability();
+  std::printf("circuit: %s\n", wb.name().c_str());
+  std::printf("collapsed stuck-at faults: %zu\n", wb.universe().size());
+  std::printf("  detectable:  %zu (%zu by random sim, %zu by PODEM)\n",
+              det.num_detectable, det.detected_by_random, det.detected_by_atpg);
+  std::printf("  untestable:  %zu (proven redundant)\n", det.num_untestable);
+  std::printf("  aborted:     %zu (PODEM backtrack limit)\n", det.num_aborted);
+  return 0;
+}
+
+int cmd_cop(const std::string& which, std::size_t top) {
+  const netlist::Netlist nl = load(which);
+  const sim::CompiledCircuit cc(nl);
+  const analysis::CopResult cop = analysis::compute_cop(cc);
+  const auto faults = fault::collapsed_universe(nl);
+  std::vector<std::pair<double, const fault::Fault*>> ranked;
+  for (const auto& f : faults) {
+    ranked.emplace_back(analysis::detection_probability(cop, cc, f), &f);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  report::Table table({"fault", "det prob", "expected patterns"});
+  for (std::size_t k = 0; k < top && k < ranked.size(); ++k) {
+    table.add_row(
+        {fault_name(nl, *ranked[k].second),
+         report::format_fixed(ranked[k].first, 6),
+         report::format_cycles(static_cast<std::uint64_t>(std::min(
+             analysis::expected_pattern_count(ranked[k].first), 1e18)))});
+  }
+  std::printf("%zu hardest faults by COP estimate:\n%s", top,
+              table.to_string().c_str());
+  return 0;
+}
+
+int cmd_tables(const std::string& which) {
+  const netlist::Netlist nl = load(which);
+  const auto combos = core::enumerate_default_combos(nl.num_state_vars());
+  report::Table table({"rank", "LA", "LB", "N", "Ncyc0"});
+  for (std::size_t k = 0; k < 10 && k < combos.size(); ++k) {
+    table.add_row({std::to_string(k + 1), std::to_string(combos[k].l_a),
+                   std::to_string(combos[k].l_b), std::to_string(combos[k].n),
+                   std::to_string(combos[k].ncyc0)});
+  }
+  std::printf("first 10 combinations by Ncyc0 (NSV = %zu):\n%s",
+              nl.num_state_vars(), table.to_string().c_str());
+  return 0;
+}
+
+int cmd_run(const std::string& which, int argc, char** argv) {
+  core::Procedure2Options opt;
+  core::Workbench wb(load(which));
+  std::size_t la = 0, lb = 0, n = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto num = [&](const char* prefix) -> long {
+      return std::strtol(a.c_str() + std::strlen(prefix), nullptr, 10);
+    };
+    if (a.rfind("--la=", 0) == 0) la = static_cast<std::size_t>(num("--la="));
+    if (a.rfind("--lb=", 0) == 0) lb = static_cast<std::size_t>(num("--lb="));
+    if (a.rfind("--n=", 0) == 0) n = static_cast<std::size_t>(num("--n="));
+    if (a.rfind("--max-iters=", 0) == 0) {
+      opt.max_iterations = static_cast<std::uint32_t>(num("--max-iters="));
+    }
+    if (a == "--d1-desc") opt.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  }
+  const core::ExperimentRow row =
+      (la && lb && n)
+          ? core::run_single_combo(wb, core::Combo{la, lb, n, 0}, opt)
+          : core::run_first_complete(wb, opt);
+
+  std::printf("circuit %s: LA=%zu LB=%zu N=%zu (Ncyc0=%llu)\n",
+              row.circuit.c_str(), row.combo.l_a, row.combo.l_b, row.combo.n,
+              static_cast<unsigned long long>(row.combo.ncyc0));
+  std::printf("TS_0: %zu / %zu faults, %s cycles\n", row.result.ts0_detected,
+              row.target_faults,
+              report::format_cycles(row.result.ncyc0).c_str());
+  for (const core::AppliedSet& a : row.result.applied) {
+    std::printf("  TS(I=%u,D1=%u): +%zu, %s cycles\n", a.iteration, a.d1,
+                a.detected, report::format_cycles(a.cycles).c_str());
+  }
+  std::printf("total: %zu / %zu detected (%s), %s cycles, ls=%.2f\n",
+              row.result.total_detected, row.target_faults,
+              row.found_complete ? "complete" : "incomplete",
+              report::format_cycles(row.result.total_cycles()).c_str(),
+              row.result.average_limited_scan_units());
+  return row.found_complete ? 0 : 2;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rls <list|stats|bench|faults|cop|tables|run> "
+               "[circuit] [options]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (argc < 3) return usage();
+    const std::string which = argv[2];
+    if (cmd == "stats") return cmd_stats(which);
+    if (cmd == "bench") return cmd_bench(which);
+    if (cmd == "faults") return cmd_faults(which);
+    if (cmd == "cop") {
+      const std::size_t top =
+          argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 10;
+      return cmd_cop(which, top);
+    }
+    if (cmd == "tables") return cmd_tables(which);
+    if (cmd == "run") return cmd_run(which, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
