@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_hardware_model.dir/bist_hardware_model.cpp.o"
+  "CMakeFiles/bist_hardware_model.dir/bist_hardware_model.cpp.o.d"
+  "bist_hardware_model"
+  "bist_hardware_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_hardware_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

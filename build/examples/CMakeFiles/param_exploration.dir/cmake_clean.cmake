@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_exploration.dir/param_exploration.cpp.o"
+  "CMakeFiles/param_exploration.dir/param_exploration.cpp.o.d"
+  "param_exploration"
+  "param_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

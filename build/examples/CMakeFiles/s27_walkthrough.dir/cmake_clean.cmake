@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s27_walkthrough.dir/s27_walkthrough.cpp.o"
+  "CMakeFiles/s27_walkthrough.dir/s27_walkthrough.cpp.o.d"
+  "s27_walkthrough"
+  "s27_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s27_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cop.cpp" "src/analysis/CMakeFiles/rls_analysis.dir/cop.cpp.o" "gcc" "src/analysis/CMakeFiles/rls_analysis.dir/cop.cpp.o.d"
+  "/root/repo/src/analysis/test_points.cpp" "src/analysis/CMakeFiles/rls_analysis.dir/test_points.cpp.o" "gcc" "src/analysis/CMakeFiles/rls_analysis.dir/test_points.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rls_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/rls_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/rls_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/rls_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/rls_rand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

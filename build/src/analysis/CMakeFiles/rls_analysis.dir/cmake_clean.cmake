@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_analysis.dir/cop.cpp.o"
+  "CMakeFiles/rls_analysis.dir/cop.cpp.o.d"
+  "CMakeFiles/rls_analysis.dir/test_points.cpp.o"
+  "CMakeFiles/rls_analysis.dir/test_points.cpp.o.d"
+  "librls_analysis.a"
+  "librls_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

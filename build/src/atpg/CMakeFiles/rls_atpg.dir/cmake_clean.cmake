@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_atpg.dir/detectability.cpp.o"
+  "CMakeFiles/rls_atpg.dir/detectability.cpp.o.d"
+  "CMakeFiles/rls_atpg.dir/podem.cpp.o"
+  "CMakeFiles/rls_atpg.dir/podem.cpp.o.d"
+  "librls_atpg.a"
+  "librls_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_bist.dir/misr.cpp.o"
+  "CMakeFiles/rls_bist.dir/misr.cpp.o.d"
+  "librls_bist.a"
+  "librls_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

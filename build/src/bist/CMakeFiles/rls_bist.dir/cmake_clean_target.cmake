@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librls_bist.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_core.dir/alternatives.cpp.o"
+  "CMakeFiles/rls_core.dir/alternatives.cpp.o.d"
+  "CMakeFiles/rls_core.dir/baseline.cpp.o"
+  "CMakeFiles/rls_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/rls_core.dir/campaign.cpp.o"
+  "CMakeFiles/rls_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/rls_core.dir/param_select.cpp.o"
+  "CMakeFiles/rls_core.dir/param_select.cpp.o.d"
+  "CMakeFiles/rls_core.dir/procedure1.cpp.o"
+  "CMakeFiles/rls_core.dir/procedure1.cpp.o.d"
+  "CMakeFiles/rls_core.dir/procedure2.cpp.o"
+  "CMakeFiles/rls_core.dir/procedure2.cpp.o.d"
+  "CMakeFiles/rls_core.dir/ts0.cpp.o"
+  "CMakeFiles/rls_core.dir/ts0.cpp.o.d"
+  "librls_core.a"
+  "librls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/collapse.cpp" "src/fault/CMakeFiles/rls_fault.dir/collapse.cpp.o" "gcc" "src/fault/CMakeFiles/rls_fault.dir/collapse.cpp.o.d"
+  "/root/repo/src/fault/comb_fsim.cpp" "src/fault/CMakeFiles/rls_fault.dir/comb_fsim.cpp.o" "gcc" "src/fault/CMakeFiles/rls_fault.dir/comb_fsim.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/rls_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/rls_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/seq_fsim.cpp" "src/fault/CMakeFiles/rls_fault.dir/seq_fsim.cpp.o" "gcc" "src/fault/CMakeFiles/rls_fault.dir/seq_fsim.cpp.o.d"
+  "/root/repo/src/fault/transition.cpp" "src/fault/CMakeFiles/rls_fault.dir/transition.cpp.o" "gcc" "src/fault/CMakeFiles/rls_fault.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rls_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/rls_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/rls_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/rls_rand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

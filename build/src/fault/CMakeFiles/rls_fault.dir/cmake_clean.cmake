@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_fault.dir/collapse.cpp.o"
+  "CMakeFiles/rls_fault.dir/collapse.cpp.o.d"
+  "CMakeFiles/rls_fault.dir/comb_fsim.cpp.o"
+  "CMakeFiles/rls_fault.dir/comb_fsim.cpp.o.d"
+  "CMakeFiles/rls_fault.dir/fault.cpp.o"
+  "CMakeFiles/rls_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/rls_fault.dir/seq_fsim.cpp.o"
+  "CMakeFiles/rls_fault.dir/seq_fsim.cpp.o.d"
+  "CMakeFiles/rls_fault.dir/transition.cpp.o"
+  "CMakeFiles/rls_fault.dir/transition.cpp.o.d"
+  "librls_fault.a"
+  "librls_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/profiles.cpp" "src/gen/CMakeFiles/rls_gen.dir/profiles.cpp.o" "gcc" "src/gen/CMakeFiles/rls_gen.dir/profiles.cpp.o.d"
+  "/root/repo/src/gen/registry.cpp" "src/gen/CMakeFiles/rls_gen.dir/registry.cpp.o" "gcc" "src/gen/CMakeFiles/rls_gen.dir/registry.cpp.o.d"
+  "/root/repo/src/gen/s27.cpp" "src/gen/CMakeFiles/rls_gen.dir/s27.cpp.o" "gcc" "src/gen/CMakeFiles/rls_gen.dir/s27.cpp.o.d"
+  "/root/repo/src/gen/synth.cpp" "src/gen/CMakeFiles/rls_gen.dir/synth.cpp.o" "gcc" "src/gen/CMakeFiles/rls_gen.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rls_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/rls_rand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

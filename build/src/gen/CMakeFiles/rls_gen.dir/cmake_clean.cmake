@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_gen.dir/profiles.cpp.o"
+  "CMakeFiles/rls_gen.dir/profiles.cpp.o.d"
+  "CMakeFiles/rls_gen.dir/registry.cpp.o"
+  "CMakeFiles/rls_gen.dir/registry.cpp.o.d"
+  "CMakeFiles/rls_gen.dir/s27.cpp.o"
+  "CMakeFiles/rls_gen.dir/s27.cpp.o.d"
+  "CMakeFiles/rls_gen.dir/synth.cpp.o"
+  "CMakeFiles/rls_gen.dir/synth.cpp.o.d"
+  "librls_gen.a"
+  "librls_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

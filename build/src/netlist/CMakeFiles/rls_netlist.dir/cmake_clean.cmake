@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/rls_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/rls_netlist.dir/levelize.cpp.o"
+  "CMakeFiles/rls_netlist.dir/levelize.cpp.o.d"
+  "CMakeFiles/rls_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rls_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rls_netlist.dir/stats.cpp.o"
+  "CMakeFiles/rls_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/rls_netlist.dir/types.cpp.o"
+  "CMakeFiles/rls_netlist.dir/types.cpp.o.d"
+  "CMakeFiles/rls_netlist.dir/validate.cpp.o"
+  "CMakeFiles/rls_netlist.dir/validate.cpp.o.d"
+  "librls_netlist.a"
+  "librls_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

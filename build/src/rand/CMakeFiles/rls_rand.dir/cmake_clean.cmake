@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_rand.dir/lfsr.cpp.o"
+  "CMakeFiles/rls_rand.dir/lfsr.cpp.o.d"
+  "librls_rand.a"
+  "librls_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_report.dir/format.cpp.o"
+  "CMakeFiles/rls_report.dir/format.cpp.o.d"
+  "librls_report.a"
+  "librls_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_scan.dir/chain.cpp.o"
+  "CMakeFiles/rls_scan.dir/chain.cpp.o.d"
+  "CMakeFiles/rls_scan.dir/cost.cpp.o"
+  "CMakeFiles/rls_scan.dir/cost.cpp.o.d"
+  "CMakeFiles/rls_scan.dir/schedule.cpp.o"
+  "CMakeFiles/rls_scan.dir/schedule.cpp.o.d"
+  "librls_scan.a"
+  "librls_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compiled.cpp" "src/sim/CMakeFiles/rls_sim.dir/compiled.cpp.o" "gcc" "src/sim/CMakeFiles/rls_sim.dir/compiled.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/rls_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rls_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/seq_sim.cpp" "src/sim/CMakeFiles/rls_sim.dir/seq_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rls_sim.dir/seq_sim.cpp.o.d"
+  "/root/repo/src/sim/tv_logic.cpp" "src/sim/CMakeFiles/rls_sim.dir/tv_logic.cpp.o" "gcc" "src/sim/CMakeFiles/rls_sim.dir/tv_logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rls_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_sim.dir/compiled.cpp.o"
+  "CMakeFiles/rls_sim.dir/compiled.cpp.o.d"
+  "CMakeFiles/rls_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/rls_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/rls_sim.dir/seq_sim.cpp.o"
+  "CMakeFiles/rls_sim.dir/seq_sim.cpp.o.d"
+  "CMakeFiles/rls_sim.dir/tv_logic.cpp.o"
+  "CMakeFiles/rls_sim.dir/tv_logic.cpp.o.d"
+  "librls_sim.a"
+  "librls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

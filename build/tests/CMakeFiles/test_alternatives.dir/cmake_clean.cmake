@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alternatives.dir/test_alternatives.cpp.o"
+  "CMakeFiles/test_alternatives.dir/test_alternatives.cpp.o.d"
+  "test_alternatives"
+  "test_alternatives.pdb"
+  "test_alternatives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

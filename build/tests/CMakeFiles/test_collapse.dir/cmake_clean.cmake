@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collapse.dir/test_collapse.cpp.o"
+  "CMakeFiles/test_collapse.dir/test_collapse.cpp.o.d"
+  "test_collapse"
+  "test_collapse.pdb"
+  "test_collapse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comb_fsim.dir/test_comb_fsim.cpp.o"
+  "CMakeFiles/test_comb_fsim.dir/test_comb_fsim.cpp.o.d"
+  "test_comb_fsim"
+  "test_comb_fsim.pdb"
+  "test_comb_fsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comb_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

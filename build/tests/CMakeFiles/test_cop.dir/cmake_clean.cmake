@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cop.dir/test_cop.cpp.o"
+  "CMakeFiles/test_cop.dir/test_cop.cpp.o.d"
+  "test_cop"
+  "test_cop.pdb"
+  "test_cop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

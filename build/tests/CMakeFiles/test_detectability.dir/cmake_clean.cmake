@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detectability.dir/test_detectability.cpp.o"
+  "CMakeFiles/test_detectability.dir/test_detectability.cpp.o.d"
+  "test_detectability"
+  "test_detectability.pdb"
+  "test_detectability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detectability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_detectability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misr.dir/test_misr.cpp.o"
+  "CMakeFiles/test_misr.dir/test_misr.cpp.o.d"
+  "test_misr"
+  "test_misr.pdb"
+  "test_misr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_fsim.dir/test_parallel_fsim.cpp.o"
+  "CMakeFiles/test_parallel_fsim.dir/test_parallel_fsim.cpp.o.d"
+  "test_parallel_fsim"
+  "test_parallel_fsim.pdb"
+  "test_parallel_fsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_select.dir/test_param_select.cpp.o"
+  "CMakeFiles/test_param_select.dir/test_param_select.cpp.o.d"
+  "test_param_select"
+  "test_param_select.pdb"
+  "test_param_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

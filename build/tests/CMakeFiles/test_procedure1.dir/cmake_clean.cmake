@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procedure1.dir/test_procedure1.cpp.o"
+  "CMakeFiles/test_procedure1.dir/test_procedure1.cpp.o.d"
+  "test_procedure1"
+  "test_procedure1.pdb"
+  "test_procedure1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procedure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

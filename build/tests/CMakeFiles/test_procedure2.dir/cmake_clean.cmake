@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procedure2.dir/test_procedure2.cpp.o"
+  "CMakeFiles/test_procedure2.dir/test_procedure2.cpp.o.d"
+  "test_procedure2"
+  "test_procedure2.pdb"
+  "test_procedure2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procedure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

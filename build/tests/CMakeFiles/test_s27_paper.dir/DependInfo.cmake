@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_s27_paper.cpp" "tests/CMakeFiles/test_s27_paper.dir/test_s27_paper.cpp.o" "gcc" "tests/CMakeFiles/test_s27_paper.dir/test_s27_paper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/rls_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rls_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/rls_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/rls_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/rls_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rls_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rls_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rls_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/rls_rand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

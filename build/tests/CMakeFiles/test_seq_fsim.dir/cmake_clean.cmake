@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_fsim.dir/test_seq_fsim.cpp.o"
+  "CMakeFiles/test_seq_fsim.dir/test_seq_fsim.cpp.o.d"
+  "test_seq_fsim"
+  "test_seq_fsim.pdb"
+  "test_seq_fsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

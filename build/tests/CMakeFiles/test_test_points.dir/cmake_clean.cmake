@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_test_points.dir/test_test_points.cpp.o"
+  "CMakeFiles/test_test_points.dir/test_test_points.cpp.o.d"
+  "test_test_points"
+  "test_test_points.pdb"
+  "test_test_points[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_test_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ts0.dir/test_ts0.cpp.o"
+  "CMakeFiles/test_ts0.dir/test_ts0.cpp.o.d"
+  "test_ts0"
+  "test_ts0.pdb"
+  "test_ts0[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ts0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

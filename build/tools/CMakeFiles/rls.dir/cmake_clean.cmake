@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls.dir/rls_cli.cpp.o"
+  "CMakeFiles/rls.dir/rls_cli.cpp.o.d"
+  "rls"
+  "rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
