@@ -61,16 +61,70 @@ void BM_SeqFaultSimTs0(benchmark::State& state, const char* name) {
   cfg.n = 8;
   const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
   const auto faults = fault::collapsed_universe(f.nl);
+  // The simulator lives across iterations so its worker pool and worker
+  // machines are reused — the steady-state Procedure 2 regime. Setup cost
+  // is measured separately by BM_SeqFaultSimSetup.
+  fault::SeqFaultSim fsim(f.cc);
   for (auto _ : state) {
-    fault::SeqFaultSim fsim(f.cc);
     fault::FaultList fl(faults);
     fsim.run_test_set(ts0, fl);
     benchmark::DoNotOptimize(fl.num_detected());
   }
   state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(fsim.gate_evals()), benchmark::Counter::kIsRate);
 }
 BENCHMARK_CAPTURE(BM_SeqFaultSimTs0, s298, "s298");
 BENCHMARK_CAPTURE(BM_SeqFaultSimTs0, s953, "s953");
+BENCHMARK_CAPTURE(BM_SeqFaultSimTs0, s5378, "s5378");
+
+// Circuit compilation + simulator construction (cone closure, fanout CSR,
+// thread-pool-free setup) — the cost BM_SeqFaultSimTs0 amortizes away.
+void BM_SeqFaultSimSetup(benchmark::State& state, const char* name) {
+  Fixture& f = fixture(name);
+  for (auto _ : state) {
+    sim::CompiledCircuit cc(f.nl);
+    fault::SeqFaultSim fsim(cc);
+    benchmark::DoNotOptimize(fsim.gate_evals());
+  }
+}
+BENCHMARK_CAPTURE(BM_SeqFaultSimSetup, s953, "s953");
+BENCHMARK_CAPTURE(BM_SeqFaultSimSetup, s5378, "s5378");
+
+// Head-to-head engine comparison on one TS_0 sweep. gate_evals_per_sweep
+// is the per-call evaluation count — the cone-restricted engine's ratio
+// versus the full sweep is the headline reduction (BENCH_PR1.json).
+void BM_SeqFaultSimEngines(benchmark::State& state, const char* name,
+                           fault::Engine engine) {
+  Fixture& f = fixture(name);
+  core::Ts0Config cfg;
+  cfg.n = 8;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  const auto faults = fault::collapsed_universe(f.nl);
+  fault::SeqFaultSim fsim(f.cc);
+  fsim.set_engine(engine);
+  std::uint64_t evals_per_sweep = 0;
+  for (auto _ : state) {
+    fault::FaultList fl(faults);
+    const std::uint64_t before = fsim.gate_evals();
+    fsim.run_test_set(ts0, fl);
+    evals_per_sweep = fsim.gate_evals() - before;
+    benchmark::DoNotOptimize(fl.num_detected());
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(fsim.gate_evals()), benchmark::Counter::kIsRate);
+  state.counters["gate_evals_per_sweep"] =
+      static_cast<double>(evals_per_sweep);
+}
+BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s953_fullsweep, "s953",
+                  fault::Engine::kFullSweep);
+BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s953_conediff, "s953",
+                  fault::Engine::kConeDiff);
+BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_fullsweep, "s5378",
+                  fault::Engine::kFullSweep);
+BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_conediff, "s5378",
+                  fault::Engine::kConeDiff);
 
 void BM_CombFaultSimRound(benchmark::State& state, const char* name) {
   Fixture& f = fixture(name);

@@ -11,6 +11,8 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
   Procedure2Result res;
   const std::size_t n_sv = cc.flip_flops().size();
   fault::SeqFaultSim fsim(cc);
+  fsim.set_engine(opt.engine);
+  fsim.set_threads(opt.sim_threads);
 
   // Step 2: simulate TS_0 and drop detected faults.
   res.ts0_detected = fsim.run_test_set(ts0, fl);

@@ -29,6 +29,11 @@ struct Procedure2Options {
   std::uint32_t max_iterations = 64;
   std::uint64_t base_seed = 0x11D1'5EEDull;
   bool reseed_per_test = true;
+  /// Fault-simulation engine and worker-thread count. Both engines and any
+  /// thread count select identical (I, D_1) pairs; these knobs only trade
+  /// runtime (and let tests cross-check the engines end to end).
+  fault::Engine engine = fault::Engine::kConeDiff;
+  unsigned sim_threads = 0;
 };
 
 /// One selected (I, D_1) pair with its bookkeeping.

@@ -1,5 +1,6 @@
 #include "fault/seq_fsim.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <thread>
@@ -12,11 +13,24 @@ using sim::broadcast;
 using sim::kAllOnes;
 using sim::Word;
 
+namespace {
+
+/// Union-cone occupancy above which a fault group is simulated with the
+/// full sweep even under kConeDiff: when nearly every combinational gate
+/// is reachable from the group's fault sites, the frontier bookkeeping
+/// buys little and the branch-free sweep is cheaper.
+constexpr double kWideConeFraction = 0.95;
+
+}  // namespace
+
 SeqFaultSim::SeqFaultSim(const sim::CompiledCircuit& cc)
     : cc_(&cc), ref_(cc) {
   values_.assign(cc.num_signals(), 0);
   next_state_.assign(cc.flip_flops().size(), 0);
   kind_.assign(cc.num_signals(), 0);
+  force_slot_.assign(cc.num_signals(), 0);
+  queued_epoch_.assign(cc.num_signals(), 0);
+  level_queue_.resize(static_cast<std::size_t>(cc.max_level()) + 1);
   cc.init_constants(values_);
 }
 
@@ -85,12 +99,8 @@ void SeqFaultSim::eval_with_overlay(const Overlay& o) {
         }
       }
       if (k & 1) {
-        for (const auto& [fid, m] : o.out_force) {
-          if (fid == id) {
-            w = (w & m.and_mask) | m.or_mask;
-            break;
-          }
-        }
+        const ForceMask& m = o.out_force[force_slot_[id]].second;
+        w = (w & m.and_mask) | m.or_mask;
       }
     }
     values_[id] = w;
@@ -127,9 +137,15 @@ void SeqFaultSim::clock_with_fixes(const Overlay& o) {
 SeqFaultSim::Trace SeqFaultSim::compute_trace(const scan::ScanTest& test) {
   Trace tr;
   const std::size_t n_sv = cc_->flip_flops().size();
+  const bool capture_snap = engine_ == Engine::kConeDiff;
+  const std::size_t snap_words = (cc_->num_signals() + 63) / 64;
   ref_.load_state_broadcast(test.scan_in);
   tr.po_bits.resize(test.length());
   tr.limited_out_bits.resize(test.length());
+  if (capture_snap) {
+    tr.snap_words = snap_words;
+    tr.snap.assign(test.length() * snap_words, 0);
+  }
   for (std::size_t u = 0; u < test.vectors.size(); ++u) {
     const std::uint32_t s = u < test.shift.size() ? test.shift[u] : 0;
     for (std::uint32_t j = 0; j < s; ++j) {
@@ -149,6 +165,14 @@ SeqFaultSim::Trace SeqFaultSim::compute_trace(const scan::ScanTest& test) {
         extra[k] = sim::lane_bit(ref_.values()[extra_observed_[k]], 0) ? 1 : 0;
       }
       tr.extra_bits.push_back(std::move(extra));
+    }
+    if (capture_snap) {
+      // The reference is lane-uniform; lane 0 carries the whole machine.
+      std::uint64_t* bits = tr.snap.data() + u * snap_words;
+      const std::span<const Word> vals = ref_.values();
+      for (SignalId id = 0; id < vals.size(); ++id) {
+        bits[id / 64] |= std::uint64_t{vals[id] & 1} << (id % 64);
+      }
     }
     ref_.clock();
   }
@@ -181,15 +205,34 @@ SeqFaultSim::Trace SeqFaultSim::compute_trace(const scan::ScanTest& test) {
   return tr;
 }
 
-Word SeqFaultSim::run_test_with_trace(const scan::ScanTest& test,
-                                      const Overlay& o, const Trace& trace) {
-  // Mark overlay kinds for this group.
-  for (const auto& [id, m] : o.out_force) kind_[id] |= 1;
+void SeqFaultSim::mark_overlay(const Overlay& o) {
+  for (std::size_t i = 0; i < o.out_force.size(); ++i) {
+    const SignalId id = o.out_force[i].first;
+    kind_[id] |= 1;
+    force_slot_[id] = static_cast<std::uint32_t>(i);
+  }
   for (const auto& [id, fixes] : o.pin_fix) {
     (void)fixes;
     kind_[id] |= 2;
   }
+}
 
+void SeqFaultSim::unmark_overlay(const Overlay& o) {
+  for (const auto& [id, m] : o.out_force) {
+    (void)m;
+    kind_[id] = 0;
+  }
+  for (const auto& [id, fixes] : o.pin_fix) {
+    (void)fixes;
+    kind_[id] = 0;
+  }
+}
+
+Word SeqFaultSim::run_test_with_trace(const scan::ScanTest& test,
+                                      const Overlay& o, const Trace& trace,
+                                      Engine engine) {
+  mark_overlay(o);
+  const bool cone = engine == Engine::kConeDiff;
   const std::size_t n_sv = cc_->flip_flops().size();
   Word detected = 0;
   const bool signature = mode_ == ObservationMode::kSignature;
@@ -222,12 +265,19 @@ Word SeqFaultSim::run_test_with_trace(const scan::ScanTest& test,
         detected |= out ^ broadcast(trace.limited_out_bits[u][j] != 0);
       }
     }
-    const auto pis = cc_->inputs();
-    for (std::size_t k = 0; k < pis.size(); ++k) {
-      values_[pis[k]] = broadcast(test.vectors[u][k] != 0);
+    if (cone) {
+      // The bulk restore inside cone_eval seats every word (including the
+      // primary inputs) at the reference value; only diverged gates are
+      // re-evaluated.
+      cone_eval(o, trace, u);
+    } else {
+      const auto pis = cc_->inputs();
+      for (std::size_t k = 0; k < pis.size(); ++k) {
+        values_[pis[k]] = broadcast(test.vectors[u][k] != 0);
+      }
+      apply_out_forces(o);  // PI stuck-at and re-asserted source forces
+      eval_with_overlay(o);
     }
-    apply_out_forces(o);  // PI stuck-at and re-asserted source forces
-    eval_with_overlay(o);
     const auto pos = cc_->outputs();
     if (signature) {
       misr_inputs_.clear();
@@ -274,36 +324,160 @@ Word SeqFaultSim::run_test_with_trace(const scan::ScanTest& test,
   if (signature) {
     detected = lane_misr_->differs_from(trace.signature);
   }
+  unmark_overlay(o);
+  return detected;
+}
 
-  // Clear overlay kinds.
-  for (const auto& [id, m] : o.out_force) kind_[id] = 0;
+void SeqFaultSim::enqueue_gate(SignalId id) {
+  if (cc_->type(id) == GateType::kDff) return;  // crosses at the clock edge
+  if (queued_epoch_[id] == epoch_) return;
+  queued_epoch_[id] = epoch_;
+  level_queue_[static_cast<std::size_t>(cc_->level(id))].push_back(id);
+}
+
+void SeqFaultSim::enqueue_fanout(SignalId id) {
+  for (SignalId out : cc_->fanout(id)) enqueue_gate(out);
+}
+
+void SeqFaultSim::cone_eval(const Overlay& o, const Trace& trace,
+                            std::size_t unit) {
+  ++epoch_;
+  const auto ffs = cc_->flip_flops();
+  const std::size_t n_ff = ffs.size();
+
+  // Preserve the faulty flip-flop words across the bulk restore below.
+  if (ff_scratch_.size() < n_ff) ff_scratch_.resize(n_ff);
+  for (std::size_t k = 0; k < n_ff; ++k) ff_scratch_[k] = values_[ffs[k]];
+
+  // Bulk restore: every word — primary inputs, constants, gates — becomes
+  // the lane-uniform reference value for this time unit. Sequential ALU
+  // work, far cheaper than a gate sweep, and it leaves values_ fully
+  // materialized so evaluation below reads it exactly like the full sweep.
+  const std::uint64_t* bits = trace.snap_unit(unit);
+  const std::size_t n = cc_->num_signals();
+  for (std::size_t id = 0; id < n; ++id) {
+    values_[id] = broadcast(((bits[id >> 6] >> (id & 63)) & 1u) != 0);
+  }
+
+  // Re-seat the faulty state; flip-flops that diverged from the reference
+  // (via functional capture, scan shifting of corrupted data, or a Q
+  // force) seed the frontier.
+  for (std::size_t k = 0; k < n_ff; ++k) {
+    const SignalId ff = ffs[k];
+    if (ff_scratch_[k] != values_[ff]) {
+      values_[ff] = ff_scratch_[k];
+      enqueue_fanout(ff);
+    }
+  }
+
+  // Forced sources diverge in place; forced or pin-fixed combinational
+  // gates must be evaluated even with clean fanins.
+  for (const auto& [id, m] : o.out_force) {
+    const GateType t = cc_->type(id);
+    if (t == GateType::kInput || t == GateType::kDff) {
+      const Word w = (values_[id] & m.and_mask) | m.or_mask;
+      if (w != values_[id]) {
+        values_[id] = w;
+        enqueue_fanout(id);
+      }
+    } else {
+      enqueue_gate(id);
+    }
+  }
   for (const auto& [id, fixes] : o.pin_fix) {
     (void)fixes;
-    kind_[id] = 0;
+    enqueue_gate(id);
   }
-  return detected;
+
+  // Level-ordered frontier: fanouts always sit at strictly higher levels,
+  // so each bucket is final when its turn comes. A gate's pre-write word
+  // is its reference value, so the divergence test is a compare against
+  // the value being replaced; gates that recompute to the reference are
+  // pruned from propagation.
+  std::uint64_t evals = 0;
+  for (std::vector<SignalId>& bucket : level_queue_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const SignalId id = bucket[i];
+      Word w = cc_->eval_gate(id, values_);
+      const std::uint8_t k = kind_[id];
+      if (k) {
+        if (k & 2) {
+          auto it = o.pin_fix.find(id);
+          for (const PinFix& fix : it->second) {
+            const bool bit = cc_->eval_gate_lane(id, values_, fix.lane,
+                                                 fix.pin, fix.value != 0);
+            w = sim::with_lane(w, fix.lane, bit);
+          }
+        }
+        if (k & 1) {
+          const ForceMask& m = o.out_force[force_slot_[id]].second;
+          w = (w & m.and_mask) | m.or_mask;
+        }
+      }
+      ++evals;
+      if (w != values_[id]) {
+        values_[id] = w;
+        enqueue_fanout(id);
+      }
+    }
+    bucket.clear();
+  }
+  gate_evals_ += evals;
 }
 
 Word SeqFaultSim::run_test(const scan::ScanTest& test,
                            std::span<const Fault> group) {
   const Overlay o = build_overlay(group);
   const Trace tr = compute_trace(test);
-  Word mask = run_test_with_trace(test, o, tr);
+  Word mask = run_test_with_trace(test, o, tr, engine_);
   if (group.size() < sim::kLanes) {
     mask &= (Word{1} << group.size()) - 1;
   }
   return mask;
 }
 
+void SeqFaultSim::ensure_workers(unsigned n) {
+  if (!pool_) pool_ = std::make_unique<sim::WorkerPool>();
+  while (worker_sims_.size() < n) {
+    worker_sims_.push_back(std::make_unique<SeqFaultSim>(*cc_));
+  }
+  for (unsigned w = 0; w < n; ++w) {
+    SeqFaultSim& sim = *worker_sims_[w];
+    sim.extra_observed_ = extra_observed_;
+    sim.engine_ = engine_;
+    if (sim.mode_ != mode_ || sim.misr_degree_ != misr_degree_ ||
+        (mode_ == ObservationMode::kSignature && !sim.lane_misr_)) {
+      sim.set_observation_mode(mode_, misr_degree_);
+    }
+  }
+}
+
 std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
-  const std::vector<std::size_t> remaining = fl.remaining_indices();
+  std::vector<std::size_t> remaining = fl.remaining_indices();
   if (remaining.empty() || ts.tests.empty()) return 0;
+
+  // Group faults by cone locality: chunking sites in levelized order keeps
+  // each group's union cone small, which is what the kConeDiff frontier
+  // prunes against. Detection is lane-independent, so regrouping never
+  // changes per-fault results.
+  std::stable_sort(remaining.begin(), remaining.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Fault& fa = fl.fault(a);
+                     const Fault& fb = fl.fault(b);
+                     const int la = cc_->level(fa.gate);
+                     const int lb = cc_->level(fb.gate);
+                     if (la != lb) return la < lb;
+                     if (fa.gate != fb.gate) return fa.gate < fb.gate;
+                     if (fa.pin != fb.pin) return fa.pin < fb.pin;
+                     return fa.stuck < fb.stuck;
+                   });
 
   struct Group {
     std::vector<std::size_t> indices;  // into fl
     std::vector<Fault> faults;
     Overlay overlay;
     Word undetected = 0;  // lane mask of not-yet-detected faults
+    Engine engine = Engine::kConeDiff;
   };
   std::vector<Group> groups;
   for (std::size_t base = 0; base < remaining.size(); base += sim::kLanes) {
@@ -318,7 +492,31 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
     }
     g.undetected = count == sim::kLanes ? kAllOnes : ((Word{1} << count) - 1);
     g.overlay = build_overlay(g.faults);
+    g.engine = engine_;
     groups.push_back(std::move(g));
+  }
+
+  if (engine_ == Engine::kConeDiff && cc_->has_cones()) {
+    // Wide-cone guard: fall back to the sweep for groups whose fault sites
+    // already reach ~every combinational gate (both engines are exact, so
+    // this is purely a speed decision).
+    const double comb_gates = static_cast<double>(cc_->order().size());
+    std::uint64_t union_epoch = 0;
+    std::vector<std::uint64_t> member(cc_->num_signals(), 0);
+    for (Group& g : groups) {
+      ++union_epoch;
+      std::size_t comb_in_union = 0;
+      for (const Fault& f : g.faults) {
+        for (SignalId id : cc_->cone(f.gate)) {
+          if (member[id] == union_epoch) continue;
+          member[id] = union_epoch;
+          if (netlist::is_combinational(cc_->type(id))) ++comb_in_union;
+        }
+      }
+      if (static_cast<double>(comb_in_union) >= kWideConeFraction * comb_gates) {
+        g.engine = Engine::kFullSweep;
+      }
+    }
   }
 
   const unsigned hw = threads_ == 0
@@ -334,7 +532,7 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
       for (Group& g : groups) {
         if (g.undetected == 0) continue;
         const Word mask =
-            run_test_with_trace(test, g.overlay, tr) & g.undetected;
+            run_test_with_trace(test, g.overlay, tr, g.engine) & g.undetected;
         if (mask == 0) continue;
         for (std::size_t lane = 0; lane < g.indices.size(); ++lane) {
           if (sim::lane_bit(mask, static_cast<int>(lane))) {
@@ -350,42 +548,35 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
   }
 
   // Parallel path: traces are precomputed once, then fault groups are
-  // partitioned across workers. Each worker owns an independent faulty
-  // machine, so results are bit-identical to the serial path.
+  // partitioned across the persistent pool with deterministic striding.
+  // Each worker owns an independent faulty machine (reused across calls),
+  // so results are bit-identical to the serial path.
   std::vector<Trace> traces;
   traces.reserve(ts.tests.size());
   for (const scan::ScanTest& test : ts.tests) {
     traces.push_back(compute_trace(test));
   }
 
-  std::vector<std::unique_ptr<SeqFaultSim>> workers;
-  workers.reserve(n_workers);
+  ensure_workers(n_workers);
+  std::vector<std::uint64_t> evals_before(n_workers);
   for (unsigned w = 0; w < n_workers; ++w) {
-    auto sim = std::make_unique<SeqFaultSim>(*cc_);
-    sim->extra_observed_ = extra_observed_;
-    sim->set_observation_mode(mode_, misr_degree_);
-    workers.push_back(std::move(sim));
+    evals_before[w] = worker_sims_[w]->gate_evals();
   }
-
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (unsigned w = 0; w < n_workers; ++w) {
-    pool.emplace_back([&, w] {
-      SeqFaultSim& sim = *workers[w];
-      for (std::size_t gi = w; gi < groups.size(); gi += n_workers) {
-        Group& g = groups[gi];
-        for (std::size_t t = 0; t < ts.tests.size() && g.undetected; ++t) {
-          const Word mask =
-              sim.run_test_with_trace(ts.tests[t], g.overlay, traces[t]) &
-              g.undetected;
-          g.undetected &= ~mask;
-        }
+  pool_->run(n_workers, [&](unsigned w) {
+    SeqFaultSim& sim = *worker_sims_[w];
+    for (std::size_t gi = w; gi < groups.size(); gi += n_workers) {
+      Group& g = groups[gi];
+      for (std::size_t t = 0; t < ts.tests.size() && g.undetected; ++t) {
+        const Word mask =
+            sim.run_test_with_trace(ts.tests[t], g.overlay, traces[t],
+                                    g.engine) &
+            g.undetected;
+        g.undetected &= ~mask;
       }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+    }
+  });
   for (unsigned w = 0; w < n_workers; ++w) {
-    gate_evals_ += workers[w]->gate_evals();
+    gate_evals_ += worker_sims_[w]->gate_evals() - evals_before[w];
   }
 
   for (Group& g : groups) {

@@ -18,6 +18,14 @@
 //   * input-pin faults force the value seen by one consumer gate only; a
 //     DFF D-pin fault corrupts functional capture but not scan shifting
 //     (the scan-in path bypasses D through the scan mux).
+//
+// Two evaluation engines produce bit-identical results:
+//   * kFullSweep re-evaluates every combinational gate at every time unit;
+//   * kConeDiff (default) seeds the faulty machine from the fault-free
+//     reference trace and re-evaluates only gates reachable from a
+//     divergence source (fault sites and flip-flops whose state differs
+//     from the reference), pruning propagation wherever a recomputed word
+//     matches the reference. See DESIGN.md, "Engine".
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,7 @@
 #include "scan/test.hpp"
 #include "sim/compiled.hpp"
 #include "sim/seq_sim.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace rls::fault {
 
@@ -43,6 +52,16 @@ enum class ObservationMode : std::uint8_t {
   /// detected only if its signature differs (real BIST; a nonzero response
   /// difference aliases with probability ~2^-degree).
   kSignature,
+};
+
+/// Faulty-machine evaluation strategy. Both engines are exact; they trade
+/// per-gate bookkeeping against skipped work.
+enum class Engine : std::uint8_t {
+  /// Full levelized sweep every time unit (the historical engine; right
+  /// for tiny circuits or faults whose cones span the whole core).
+  kFullSweep,
+  /// Cone-restricted difference propagation off the reference trace.
+  kConeDiff,
 };
 
 class SeqFaultSim {
@@ -78,6 +97,10 @@ class SeqFaultSim {
     return mode_;
   }
 
+  /// Selects the evaluation engine. Default: kConeDiff.
+  void set_engine(Engine engine) { engine_ = engine; }
+  [[nodiscard]] Engine engine() const noexcept { return engine_; }
+
  private:
   struct PinFix {
     std::uint8_t lane;
@@ -102,18 +125,38 @@ class SeqFaultSim {
     std::vector<scan::BitVector> extra_bits;         // per time unit
     scan::BitVector final_state;                     // state before scan-out
     std::uint64_t signature = 0;                     // kSignature mode only
+    /// Post-eval machine snapshot, one bit per signal per time unit (the
+    /// reference is lane-uniform, so one bit regenerates the 64-lane
+    /// word). Flat [unit * snap_words + id/64] layout; feeds kConeDiff.
+    std::vector<std::uint64_t> snap;
+    std::size_t snap_words = 0;
+
+    [[nodiscard]] const std::uint64_t* snap_unit(
+        std::size_t unit) const noexcept {
+      return snap.data() + unit * snap_words;
+    }
   };
 
   Overlay build_overlay(std::span<const Fault> group) const;
   Trace compute_trace(const scan::ScanTest& test);
   sim::Word run_test_with_trace(const scan::ScanTest& test,
-                                const Overlay& overlay, const Trace& trace);
+                                const Overlay& overlay, const Trace& trace,
+                                Engine engine);
 
   // Faulty-machine primitives (operate on values_).
   void apply_out_forces(const Overlay& o);
   void eval_with_overlay(const Overlay& o);
   sim::Word shift_with_forces(sim::Word scan_in, const Overlay& o);
   void clock_with_fixes(const Overlay& o);
+
+  // kConeDiff primitives.
+  void cone_eval(const Overlay& o, const Trace& trace, std::size_t unit);
+  void enqueue_fanout(netlist::SignalId id);
+  void enqueue_gate(netlist::SignalId id);
+
+  void mark_overlay(const Overlay& o);
+  void unmark_overlay(const Overlay& o);
+  void ensure_workers(unsigned n);
 
   const sim::CompiledCircuit* cc_;
   std::vector<sim::Word> values_;      // faulty machine
@@ -124,13 +167,31 @@ class SeqFaultSim {
   /// Per-signal overlay kind flags, rebuilt per group (0 none, 1 out-force,
   /// 2 pin-fix, 3 both). Kept as a member to avoid reallocation.
   std::vector<std::uint8_t> kind_;
+  /// For kind_ & 1 signals: index of the signal's entry in
+  /// Overlay::out_force, so force application is O(1) per forced gate.
+  std::vector<std::uint32_t> force_slot_;
+
+  // kConeDiff scratch. Each eval bulk-restores values_ from the packed
+  // reference snapshot (cheap ALU) and re-evaluates only gates reachable
+  // from a signal whose word was then changed back to a diverged value;
+  // queued_epoch_ deduplicates frontier insertions per eval.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> queued_epoch_;
+  std::vector<std::vector<netlist::SignalId>> level_queue_;
+  std::vector<sim::Word> ff_scratch_;  // faulty state across the restore
 
   std::vector<netlist::SignalId> extra_observed_;
   unsigned threads_ = 0;
   ObservationMode mode_ = ObservationMode::kPerCycle;
   int misr_degree_ = 16;
+  Engine engine_ = Engine::kConeDiff;
   std::unique_ptr<bist::LaneMisr> lane_misr_;  // kSignature mode scratch
   std::vector<sim::Word> misr_inputs_;         // absorb scratch
+
+  // Persistent parallel machinery, built on first parallel run_test_set
+  // and reused across calls (Procedure 2 issues many sweeps per second).
+  std::unique_ptr<sim::WorkerPool> pool_;
+  std::vector<std::unique_ptr<SeqFaultSim>> worker_sims_;
 };
 
 }  // namespace rls::fault

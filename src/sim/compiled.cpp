@@ -1,5 +1,6 @@
 #include "sim/compiled.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace rls::sim {
@@ -27,6 +28,88 @@ CompiledCircuit::CompiledCircuit(const netlist::Netlist& nl) : nl_(&nl) {
   order_ = std::move(lv.order);
   levels_ = std::move(lv.level);
   max_level_ = lv.max_level;
+  build_fanout();
+  build_cones();
+}
+
+void CompiledCircuit::build_fanout() {
+  const std::size_t n = types_.size();
+  fanout_off_.assign(n + 1, 0);
+  for (SignalId in : fanin_flat_) {
+    ++fanout_off_[in + 1];
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    fanout_off_[id + 1] += fanout_off_[id];
+  }
+  fanout_flat_.resize(fanin_flat_.size());
+  std::vector<std::uint32_t> cursor(fanout_off_.begin(), fanout_off_.end() - 1);
+  for (SignalId id = 0; id < n; ++id) {
+    for (SignalId in : fanin(id)) {
+      fanout_flat_[cursor[in]++] = id;
+    }
+  }
+}
+
+void CompiledCircuit::build_cones() {
+  const std::size_t n = types_.size();
+  cone_size_.assign(n, 1);  // every signal is in its own cone
+  if (n == 0 || n > kConeSignalLimit) return;
+
+  // Bitset transitive closure. Combinational consumers contribute their
+  // whole cone; a DFF consumer contributes only itself (divergence stops
+  // at the D pin until the next clock edge).
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> closure(n * words, 0);
+  auto row = [&](SignalId id) { return closure.data() + id * words; };
+  auto set_bit = [&](std::uint64_t* r, SignalId id) {
+    r[id / 64] |= std::uint64_t{1} << (id % 64);
+  };
+  auto absorb = [&](SignalId id) {
+    std::uint64_t* r = row(id);
+    set_bit(r, id);
+    for (SignalId out : fanout(id)) {
+      if (types_[out] == GateType::kDff) {
+        set_bit(r, out);
+      } else {
+        const std::uint64_t* src = row(out);
+        for (std::size_t w = 0; w < words; ++w) r[w] |= src[w];
+      }
+    }
+  };
+  // Consumers always have a strictly higher level, so a reverse levelized
+  // pass finalizes every combinational cone; sources close afterwards.
+  for (std::size_t k = order_.size(); k-- > 0;) absorb(order_[k]);
+  std::uint64_t total = 0;
+  for (SignalId id = 0; id < n; ++id) {
+    if (!netlist::is_combinational(types_[id])) absorb(id);
+    std::uint32_t count = 0;
+    const std::uint64_t* r = row(id);
+    for (std::size_t w = 0; w < words; ++w) {
+      count += static_cast<std::uint32_t>(std::popcount(r[w]));
+    }
+    cone_size_[id] = count;
+    total += count;
+  }
+
+  if (total > kConeEntryLimit) return;  // sizes only; membership too big
+  cone_off_.assign(n + 1, 0);
+  for (SignalId id = 0; id < n; ++id) {
+    cone_off_[id + 1] = cone_off_[id] + cone_size_[id];
+  }
+  cone_flat_.resize(total);
+  std::size_t pos = 0;
+  for (SignalId id = 0; id < n; ++id) {
+    const std::uint64_t* r = row(id);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = r[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        cone_flat_[pos++] = static_cast<SignalId>(w * 64 + b);
+      }
+    }
+  }
+  has_cones_ = true;
 }
 
 Word CompiledCircuit::eval_gate(SignalId id, std::span<const Word> values) const {

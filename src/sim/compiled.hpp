@@ -1,7 +1,9 @@
 // Flattened, cache-friendly circuit representation shared by all
 // simulators. A CompiledCircuit freezes a finalized netlist into flat
-// arrays: combinational gates in levelized order, fanin lists in one
-// contiguous buffer, and the I/O / flip-flop index lists.
+// arrays: combinational gates in levelized order, fanin and fanout lists
+// in contiguous CSR buffers, per-signal transitive fanout cones for the
+// difference-propagation fault engines, and the I/O / flip-flop index
+// lists.
 //
 // All engines operate on a per-signal array of 64-bit words. The lane
 // semantics are up to the caller: 64 independent patterns (PPSFP),
@@ -60,6 +62,41 @@ class CompiledCircuit {
   }
   [[nodiscard]] int max_level() const noexcept { return max_level_; }
 
+  /// Consumers of `id`: every gate (combinational or DFF) that lists `id`
+  /// among its fanins. CSR layout, mirror image of fanin().
+  [[nodiscard]] std::span<const netlist::SignalId> fanout(
+      netlist::SignalId id) const noexcept {
+    return {fanout_flat_.data() + fanout_off_[id],
+            fanout_off_[id + 1] - fanout_off_[id]};
+  }
+
+  /// True when the per-signal transitive fanout cones were materialized
+  /// (skipped above kConeSignalLimit signals to bound memory).
+  [[nodiscard]] bool has_cones() const noexcept { return has_cones_; }
+
+  /// Transitive fanout cone of `id` through the combinational core:
+  /// `id` itself plus every signal reachable via fanout edges, stopping at
+  /// (but including) DFFs — divergence crosses a DFF only on a clock edge,
+  /// which the difference engines track dynamically. Ascending id order.
+  /// Empty when has_cones() is false.
+  [[nodiscard]] std::span<const netlist::SignalId> cone(
+      netlist::SignalId id) const noexcept {
+    if (!has_cones_) return {};
+    return {cone_flat_.data() + cone_off_[id],
+            cone_off_[id + 1] - cone_off_[id]};
+  }
+
+  /// Cone cardinality without touching the membership array (valid even
+  /// when the flat cones were not materialized).
+  [[nodiscard]] std::uint32_t cone_size(netlist::SignalId id) const noexcept {
+    return cone_size_[id];
+  }
+
+  /// Signal-count ceiling for running the cone closure and the flat-entry
+  /// ceiling for materializing membership (both quadratic worst case).
+  static constexpr std::size_t kConeSignalLimit = 1u << 14;
+  static constexpr std::uint64_t kConeEntryLimit = std::uint64_t{1} << 26;
+
   [[nodiscard]] std::span<const netlist::SignalId> inputs() const noexcept {
     return nl_->primary_inputs();
   }
@@ -95,8 +132,17 @@ class CompiledCircuit {
   std::vector<netlist::SignalId> order_;
   std::vector<std::uint32_t> fanin_off_;
   std::vector<netlist::SignalId> fanin_flat_;
+  std::vector<std::uint32_t> fanout_off_;
+  std::vector<netlist::SignalId> fanout_flat_;
+  std::vector<std::uint32_t> cone_off_;
+  std::vector<netlist::SignalId> cone_flat_;
+  std::vector<std::uint32_t> cone_size_;
+  bool has_cones_ = false;
   std::vector<int> levels_;
   int max_level_ = 0;
+
+  void build_fanout();
+  void build_cones();
 };
 
 }  // namespace rls::sim

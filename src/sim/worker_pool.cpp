@@ -1,0 +1,44 @@
+#include "sim/worker_pool.hpp"
+
+namespace rls::sim {
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::worker_main(unsigned index, std::uint64_t seen) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (index >= active_) continue;
+    lk.unlock();
+    job_(index);  // job_ is stable until running_ reaches zero
+    lk.lock();
+    if (--running_ == 0) cv_done_.notify_all();
+  }
+}
+
+void WorkerPool::run(unsigned n, std::function<void(unsigned)> job) {
+  if (n == 0) return;
+  std::unique_lock lk(mu_);
+  while (threads_.size() < n) {
+    const unsigned index = static_cast<unsigned>(threads_.size());
+    threads_.emplace_back(&WorkerPool::worker_main, this, index, generation_);
+  }
+  job_ = std::move(job);
+  active_ = n;
+  running_ = n;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace rls::sim

@@ -1,0 +1,54 @@
+// Persistent worker-thread pool for fork/join fan-out.
+//
+// A pool is created empty and grows lazily: run(n, job) spawns threads up
+// to n on first use and reuses them afterwards, so repeated fan-outs (e.g.
+// Procedure 2's per-(I, D_1) fault-simulation sweeps) stop paying thread
+// startup on every call. run() blocks until every active worker finished,
+// which also means the job may capture stack state by reference.
+//
+// The pool imposes no work-queue semantics: job(w) receives the worker
+// index w in [0, n) and partitions work itself (deterministic striding in
+// the fault simulator keeps results bit-identical at any thread count).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rls::sim {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs job(0) .. job(n-1) on persistent threads and blocks until all
+  /// return. Grows the pool to n threads on demand; extra idle threads
+  /// from earlier, wider runs are left parked.
+  void run(unsigned n, std::function<void(unsigned)> job);
+
+  /// Number of spawned threads (high-water mark of run() widths).
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  void worker_main(unsigned index, std::uint64_t seen);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::function<void(unsigned)> job_;
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;   // workers participating in the current run
+  unsigned running_ = 0;  // active workers not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace rls::sim

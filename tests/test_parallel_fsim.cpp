@@ -1,7 +1,12 @@
 // The fault-group-parallel path of SeqFaultSim must be bit-identical to
 // the serial path at any thread count (forced here, independent of the
-// host's core count).
+// host's core count), and the kConeDiff difference engine must be
+// bit-identical to the kFullSweep engine while doing strictly less work.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <tuple>
 
 #include "fault/collapse.hpp"
 #include "fault/seq_fsim.hpp"
@@ -92,6 +97,93 @@ TEST(ParallelFsim, ExtraObservedAcrossThreads) {
 
   EXPECT_EQ(parallel.num_detected(), serial.num_detected());
 }
+
+// ---- engine cross-checks ----------------------------------------------
+
+class EngineCrossCheck
+    : public ::testing::TestWithParam<std::tuple<const char*, unsigned>> {};
+
+TEST_P(EngineCrossCheck, PerCycleDetectionSetsMatch) {
+  const auto [name, threads] = GetParam();
+  const netlist::Netlist nl = gen::make_circuit(name);
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 1234, 10);
+  const auto universe = full_universe(nl);
+
+  FaultList sweep_fl(universe);
+  SeqFaultSim sweep(cc);
+  sweep.set_engine(Engine::kFullSweep);
+  sweep.set_threads(threads);
+  sweep.run_test_set(ts, sweep_fl);
+
+  FaultList cone_fl(universe);
+  SeqFaultSim cone(cc);
+  cone.set_engine(Engine::kConeDiff);
+  cone.set_threads(threads);
+  cone.run_test_set(ts, cone_fl);
+
+  ASSERT_EQ(cone_fl.num_detected(), sweep_fl.num_detected());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    ASSERT_EQ(cone_fl.detected(i), sweep_fl.detected(i))
+        << fault_name(nl, universe[i]);
+  }
+  // The difference engine must do strictly less gate work.
+  EXPECT_LT(cone.gate_evals(), sweep.gate_evals());
+}
+
+TEST_P(EngineCrossCheck, SignatureDetectionSetsMatch) {
+  const auto [name, threads] = GetParam();
+  const netlist::Netlist nl = gen::make_circuit(name);
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 4321, 8);
+  const auto universe = full_universe(nl);
+
+  FaultList sweep_fl(universe);
+  SeqFaultSim sweep(cc);
+  sweep.set_engine(Engine::kFullSweep);
+  sweep.set_observation_mode(ObservationMode::kSignature, 24);
+  sweep.set_threads(threads);
+  sweep.run_test_set(ts, sweep_fl);
+
+  FaultList cone_fl(universe);
+  SeqFaultSim cone(cc);
+  cone.set_engine(Engine::kConeDiff);
+  cone.set_observation_mode(ObservationMode::kSignature, 24);
+  cone.set_threads(threads);
+  cone.run_test_set(ts, cone_fl);
+
+  ASSERT_EQ(cone_fl.num_detected(), sweep_fl.num_detected());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    ASSERT_EQ(cone_fl.detected(i), sweep_fl.detected(i))
+        << fault_name(nl, universe[i]);
+  }
+  EXPECT_LT(cone.gate_evals(), sweep.gate_evals());
+}
+
+TEST(EngineCrossCheck, SingleTestMaskMatchesAcrossEngines) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 77, 3);
+  const auto universe = full_universe(nl);
+
+  SeqFaultSim sweep(cc);
+  sweep.set_engine(Engine::kFullSweep);
+  SeqFaultSim cone(cc);
+  cone.set_engine(Engine::kConeDiff);
+  for (const scan::ScanTest& test : ts.tests) {
+    for (std::size_t base = 0; base < universe.size(); base += sim::kLanes) {
+      const std::size_t n =
+          std::min<std::size_t>(sim::kLanes, universe.size() - base);
+      const std::span<const Fault> group(universe.data() + base, n);
+      ASSERT_EQ(cone.run_test(test, group), sweep.run_test(test, group));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsAndThreads, EngineCrossCheck,
+    ::testing::Combine(::testing::Values("s298", "s953"),
+                       ::testing::Values(1u, 2u, 8u)));
 
 }  // namespace
 }  // namespace rls::fault

@@ -150,6 +150,38 @@ TEST(Procedure2, DecreasingD1OrderLowersAverageLs) {
   }
 }
 
+class P2EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, unsigned>> {};
+
+TEST_P(P2EngineEquivalence, EnginesSelectIdenticalId1Pairs) {
+  const auto [name, threads] = GetParam();
+  P2Fixture sweep = make_setup(name, 8, 16, 8);
+  P2Fixture cone = make_setup(name, 8, 16, 8);
+  Procedure2Options os, oc;
+  os.max_iterations = oc.max_iterations = 3;
+  os.engine = fault::Engine::kFullSweep;
+  oc.engine = fault::Engine::kConeDiff;
+  os.sim_threads = oc.sim_threads = threads;
+  const Procedure2Result rs = run_procedure2(*sweep.cc, sweep.ts0, sweep.fl, os);
+  const Procedure2Result rc = run_procedure2(*cone.cc, cone.ts0, cone.fl, oc);
+  EXPECT_EQ(rc.ts0_detected, rs.ts0_detected);
+  EXPECT_EQ(rc.total_detected, rs.total_detected);
+  ASSERT_EQ(rc.applied.size(), rs.applied.size());
+  for (std::size_t k = 0; k < rc.applied.size(); ++k) {
+    EXPECT_EQ(rc.applied[k].iteration, rs.applied[k].iteration);
+    EXPECT_EQ(rc.applied[k].d1, rs.applied[k].d1);
+    EXPECT_EQ(rc.applied[k].detected, rs.applied[k].detected);
+  }
+  for (std::size_t i = 0; i < sweep.fl.size(); ++i) {
+    ASSERT_EQ(cone.fl.detected(i), sweep.fl.detected(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsAndThreads, P2EngineEquivalence,
+    ::testing::Combine(::testing::Values("s298", "s953", "s5378"),
+                       ::testing::Values(1u, 4u)));
+
 TEST(Procedure2, Deterministic) {
   P2Fixture a = make_setup("s27", 8, 16, 16);
   P2Fixture b = make_setup("s27", 8, 16, 16);

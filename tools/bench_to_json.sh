@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Runs the perf microbenchmarks with JSON output and writes the result to
+# BENCH_PR1.json at the repository root (override with -o).
+#
+# Usage:
+#   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]
+#
+# Examples:
+#   tools/bench_to_json.sh                          # full suite
+#   tools/bench_to_json.sh -f SeqFaultSimEngines    # engine head-to-head only
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+output="$repo_root/BENCH_PR1.json"
+filter=""
+min_time="0.2"
+
+while getopts "b:o:f:m:h" opt; do
+  case "$opt" in
+    b) build_dir=$OPTARG ;;
+    o) output=$OPTARG ;;
+    f) filter=$OPTARG ;;
+    m) min_time=$OPTARG ;;
+    h | *)
+      sed -n '2,9p' "$0"
+      exit 0
+      ;;
+  esac
+done
+
+bench="$build_dir/bench/bench_perf"
+if [ ! -x "$bench" ]; then
+  echo "building bench_perf in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target bench_perf -j >/dev/null
+fi
+
+set -- --benchmark_format=json --benchmark_out="$output" \
+  --benchmark_out_format=json --benchmark_min_time="$min_time"
+if [ -n "$filter" ]; then
+  set -- "$@" --benchmark_filter="$filter"
+fi
+
+"$bench" "$@" >/dev/null
+if [ ! -s "$output" ]; then
+  echo "error: no benchmarks matched — $output is empty" >&2
+  rm -f "$output"
+  exit 1
+fi
+echo "wrote $output" >&2
