@@ -12,6 +12,7 @@
 #include "fault/comb_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "gen/registry.hpp"
+#include "obs/counters.hpp"
 #include "rand/lfsr.hpp"
 #include "rand/rng.hpp"
 #include "sim/compiled.hpp"
@@ -125,6 +126,40 @@ BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_fullsweep, "s5378",
                   fault::Engine::kFullSweep);
 BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_conediff, "s5378",
                   fault::Engine::kConeDiff);
+
+// Observability overhead contract: with no sink and no counter registry
+// attached, instrumentation must cost <2% versus the PR-1 engine. Run the
+// _off and _on variants and compare wall time; the _on variant also exports
+// the per-sweep obs counters so bench_to_json.sh can fold them into the
+// BENCH_PR2.json artifact.
+void BM_ObsOverhead(benchmark::State& state, const char* name,
+                    bool counters_attached) {
+  Fixture& f = fixture(name);
+  core::Ts0Config cfg;
+  cfg.n = 8;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  const auto faults = fault::collapsed_universe(f.nl);
+  fault::SeqFaultSim fsim(f.cc);
+  obs::CounterRegistry reg;
+  if (counters_attached) fsim.set_counters(&reg);
+  for (auto _ : state) {
+    fault::FaultList fl(faults);
+    fsim.run_test_set(ts0, fl);
+    benchmark::DoNotOptimize(fl.num_detected());
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(fsim.gate_evals()), benchmark::Counter::kIsRate);
+  if (counters_attached) {
+    const double sweeps = static_cast<double>(reg.value("fsim.sweeps"));
+    for (const auto& [key, value] : reg.snapshot()) {
+      state.counters["obs." + key + "_per_sweep"] =
+          static_cast<double>(value) / sweeps;
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_ObsOverhead, s5378_off, "s5378", false);
+BENCHMARK_CAPTURE(BM_ObsOverhead, s5378_on, "s5378", true);
 
 void BM_CombFaultSimRound(benchmark::State& state, const char* name) {
   Fixture& f = fixture(name);

@@ -65,8 +65,8 @@ int main() {
   std::printf("detectable faults: %zu / %zu collapsed\n",
               wb.target_faults().size(), wb.universe().size());
 
-  core::Procedure2Options opt;
-  const core::ExperimentRow row = core::run_first_complete(wb, opt);
+  core::RunContext ctx;
+  const core::ExperimentRow row = core::run_first_complete(wb, ctx);
   std::printf("first complete combination: LA=%zu LB=%zu N=%zu\n",
               row.combo.l_a, row.combo.l_b, row.combo.n);
   std::printf("TS_0 detected %zu; with %zu limited-scan set(s): %zu / %zu\n",

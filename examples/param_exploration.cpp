@@ -30,11 +30,12 @@ int main(int argc, char** argv) {
 
   report::Table table({"LA", "LB", "N", "Ncyc0", "app", "det", "cycles",
                        "ls", "complete"});
-  core::Procedure2Options opt;
-  opt.max_iterations = 20;
+  core::RunContext ctx;
+  ctx.options.p2.max_iterations = 20;
   for (std::size_t k = 0; k < max_combos && k < combos.size(); ++k) {
-    const core::ComboRun run = core::run_combo(
-        wb.cc(), wb.target_faults(), combos[k], opt, wb.ts0_seed());
+    const core::ComboRun run =
+        core::run_combo(wb.cc(), wb.target_faults(), combos[k],
+                        ctx.options.p2, wb.ts0_seed(), &ctx);
     const auto& r = run.result;
     table.add_row({std::to_string(combos[k].l_a), std::to_string(combos[k].l_b),
                    std::to_string(combos[k].n), std::to_string(combos[k].ncyc0),

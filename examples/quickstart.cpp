@@ -37,11 +37,14 @@ int main() {
               static_cast<unsigned long long>(
                   scan::n_cyc(ts0, wb.nl().num_state_vars())));
 
-  // 4. Procedure 2.
+  // 4. Procedure 2, through the observable front door: the RunContext
+  // carries the campaign configuration (ctx.options) and collects the
+  // engine's counters; attach a trace sink / progress observer to it to
+  // stream per-(I, D_1) events (see `rls run --trace --progress`).
   fault::FaultList fl(wb.target_faults());
-  core::Procedure2Options opt;
+  core::RunContext ctx;
   const core::Procedure2Result res =
-      core::run_procedure2(wb.cc(), ts0, fl, opt);
+      core::run_procedure2(wb.cc(), ts0, fl, ctx.options.p2, &ctx);
 
   // 5. Report.
   std::printf("TS_0 detected %zu / %zu faults\n", res.ts0_detected, fl.size());
@@ -56,5 +59,10 @@ int main() {
               report::format_cycles(res.total_cycles()).c_str());
   std::printf("average limited-scan time units: %.2f\n",
               res.average_limited_scan_units());
+  std::printf("engine work: %llu gate evals across %llu sweeps\n",
+              static_cast<unsigned long long>(
+                  ctx.counters().value("fsim.gate_evals")),
+              static_cast<unsigned long long>(
+                  ctx.counters().value("fsim.sweeps")));
   return 0;
 }

@@ -1,0 +1,118 @@
+#include "cli/flags.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace rls::cli {
+
+namespace {
+
+void assign(const std::string& flag, std::uint64_t* out,
+            const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || errno == ERANGE) {
+    throw FlagError("--" + flag + " expects an unsigned integer, got '" +
+                    text + "'");
+  }
+  *out = static_cast<std::uint64_t>(v);
+}
+
+void assign(const std::string& flag, bool* out, const std::string& text) {
+  if (text == "1" || text == "true") {
+    *out = true;
+  } else if (text == "0" || text == "false") {
+    *out = false;
+  } else {
+    throw FlagError("--" + flag + " expects 0/1/true/false, got '" + text +
+                    "'");
+  }
+}
+
+}  // namespace
+
+void FlagParser::add_bool(std::string name, bool* out, std::string help) {
+  specs_.push_back({std::move(name), Kind::kBool, out, std::move(help)});
+}
+
+void FlagParser::add_uint(std::string name, std::uint64_t* out,
+                          std::string help) {
+  specs_.push_back({std::move(name), Kind::kUint, out, std::move(help)});
+}
+
+void FlagParser::add_string(std::string name, std::string* out,
+                            std::string help) {
+  specs_.push_back({std::move(name), Kind::kString, out, std::move(help)});
+}
+
+const FlagParser::Spec* FlagParser::find(std::string_view name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FlagParser::parse(int argc, const char* const* argv,
+                                           int begin) const {
+  std::vector<std::string> positional;
+  bool flags_done = false;
+  for (int i = begin; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
+      if (!flags_done && arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      positional.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name =
+        arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    const Spec* spec = find(name);
+    if (!spec) throw FlagError("unknown flag: " + arg);
+    std::string value;
+    bool has_value = eq != std::string::npos;
+    if (has_value) {
+      value = arg.substr(eq + 1);
+    } else if (spec->kind != Kind::kBool) {
+      // Valued flag without "=": consume the next argument.
+      if (i + 1 >= argc) throw FlagError("--" + name + " needs a value");
+      value = argv[++i];
+      has_value = true;
+    }
+    switch (spec->kind) {
+      case Kind::kBool:
+        if (has_value) {
+          assign(name, static_cast<bool*>(spec->out), value);
+        } else {
+          *static_cast<bool*>(spec->out) = true;
+        }
+        break;
+      case Kind::kUint:
+        assign(name, static_cast<std::uint64_t*>(spec->out), value);
+        break;
+      case Kind::kString:
+        *static_cast<std::string*>(spec->out) = value;
+        break;
+    }
+  }
+  return positional;
+}
+
+std::string FlagParser::help() const {
+  std::string out;
+  for (const Spec& s : specs_) {
+    out += "  --" + s.name;
+    if (s.kind != Kind::kBool) out += "=<v>";
+    if (!s.help.empty()) {
+      out += "  ";
+      out += s.help;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rls::cli

@@ -1,0 +1,64 @@
+// Minimal declarative flag parser for the rls command-line tools.
+//
+// Replaces the CLI's former ad-hoc argv scanning (prefix matches inside a
+// loop, silently ignoring typos) with one reusable component: register
+// typed flags, parse an argv range, get the leftover positionals back.
+//
+//   FlagParser fp;
+//   std::uint64_t threads = 0; bool progress = false; std::string trace;
+//   fp.add_uint("threads", &threads, "worker threads (0 = hardware)");
+//   fp.add_bool("progress", &progress, "live status lines on stderr");
+//   fp.add_string("trace", &trace, "JSONL trace output file");
+//   std::vector<std::string> pos = fp.parse(argc, argv, 2);
+//
+// Accepted syntax: --name=value, --name value (valued flags), --name
+// (boolean flags), and a literal "--" that ends flag parsing. Unknown
+// flags and malformed values throw FlagError with a message naming the
+// offending argument — every subcommand reports mistakes the same way.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rls::cli {
+
+class FlagError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FlagParser {
+ public:
+  /// Boolean switch: present -> true ("--name"); "--name=0/1" also works.
+  void add_bool(std::string name, bool* out, std::string help = {});
+  /// Unsigned integer value.
+  void add_uint(std::string name, std::uint64_t* out, std::string help = {});
+  /// String value.
+  void add_string(std::string name, std::string* out, std::string help = {});
+
+  /// Parses argv[begin..argc); writes matched flags through the registered
+  /// pointers and returns the positional arguments in order. Throws
+  /// FlagError on an unknown flag, a missing value, or a malformed number.
+  [[nodiscard]] std::vector<std::string> parse(int argc,
+                                               const char* const* argv,
+                                               int begin = 1) const;
+
+  /// One "  --name  help" line per registered flag (usage text).
+  [[nodiscard]] std::string help() const;
+
+ private:
+  enum class Kind : std::uint8_t { kBool, kUint, kString };
+  struct Spec {
+    std::string name;
+    Kind kind;
+    void* out;
+    std::string help;
+  };
+  [[nodiscard]] const Spec* find(std::string_view name) const;
+
+  std::vector<Spec> specs_;
+};
+
+}  // namespace rls::cli

@@ -30,43 +30,47 @@ void Workbench::classify(const atpg::DetectabilityOptions& det_opt) {
   }
 }
 
-ExperimentRow run_first_complete(const Workbench& wb,
-                                 const Procedure2Options& p2_opt,
-                                 std::size_t max_combos_on_failure,
-                                 std::size_t max_attempts) {
+ExperimentRow run_first_complete(const Workbench& wb, RunContext& ctx) {
   ExperimentRow row;
   row.circuit = wb.name();
   row.target_faults = wb.target_faults().size();
+  ctx.emit_run_start(wb.name(), row.target_faults);
 
   std::vector<ComboRun> attempts;
-  std::optional<ComboRun> hit =
-      first_complete_combo(wb.cc(), wb.target_faults(), p2_opt, wb.ts0_seed(),
-                           &attempts, max_attempts);
+  std::optional<ComboRun> hit = first_complete_combo(
+      wb.cc(), wb.target_faults(), ctx.options.p2, wb.ts0_seed(), &attempts,
+      ctx.options.max_attempts, &ctx);
   if (hit) {
     row.combo = hit->combo;
     row.result = std::move(hit->result);
     row.found_complete = true;
-    return row;
-  }
-  // No combination completed: report the best of the first few attempts.
-  std::size_t best = 0;
-  for (std::size_t k = 1;
-       k < std::min(attempts.size(), max_combos_on_failure); ++k) {
-    if (attempts[k].result.total_detected >
-        attempts[best].result.total_detected) {
-      best = k;
+  } else {
+    // No combination completed: report the best of the first few attempts.
+    std::size_t best = 0;
+    for (std::size_t k = 1;
+         k < std::min(attempts.size(), ctx.options.max_combos_on_failure);
+         ++k) {
+      if (attempts[k].result.total_detected >
+          attempts[best].result.total_detected) {
+        best = k;
+      }
     }
+    if (!attempts.empty()) {
+      row.combo = attempts[best].combo;
+      row.result = std::move(attempts[best].result);
+    }
+    row.found_complete = false;
   }
-  if (!attempts.empty()) {
-    row.combo = attempts[best].combo;
-    row.result = std::move(attempts[best].result);
-  }
-  row.found_complete = false;
+  ctx.emit_result(row.circuit, row.combo.l_a, row.combo.l_b, row.combo.n,
+                  row.result.total_detected, row.target_faults,
+                  row.found_complete, row.result.total_cycles(),
+                  ctx.elapsed_ms());
+  ctx.flush();
   return row;
 }
 
 ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
-                               const Procedure2Options& p2_opt) {
+                               RunContext& ctx) {
   ExperimentRow row;
   row.circuit = wb.name();
   row.target_faults = wb.target_faults().size();
@@ -74,11 +78,38 @@ ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
   if (c.ncyc0 == 0) {
     c.ncyc0 = scan::n_cyc0(wb.nl().num_state_vars(), c.l_a, c.l_b, c.n);
   }
-  ComboRun run = run_combo(wb.cc(), wb.target_faults(), c, p2_opt, wb.ts0_seed());
+  ctx.emit_run_start(wb.name(), row.target_faults);
+  ComboRun run = run_combo(wb.cc(), wb.target_faults(), c, ctx.options.p2,
+                           wb.ts0_seed(), &ctx);
   row.combo = run.combo;
   row.result = std::move(run.result);
   row.found_complete = row.result.complete;
+  ctx.emit_result(row.circuit, row.combo.l_a, row.combo.l_b, row.combo.n,
+                  row.result.total_detected, row.target_faults,
+                  row.found_complete, row.result.total_cycles(),
+                  ctx.elapsed_ms());
+  ctx.flush();
   return row;
+}
+
+ExperimentRow run_first_complete(const Workbench& wb,
+                                 const Procedure2Options& p2_opt,
+                                 std::size_t max_combos_on_failure,
+                                 std::size_t max_attempts) {
+  CampaignOptions opts;
+  opts.p2 = p2_opt;
+  opts.max_combos_on_failure = max_combos_on_failure;
+  opts.max_attempts = max_attempts;
+  RunContext ctx(std::move(opts));
+  return run_first_complete(wb, ctx);
+}
+
+ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
+                               const Procedure2Options& p2_opt) {
+  CampaignOptions opts;
+  opts.p2 = p2_opt;
+  RunContext ctx(std::move(opts));
+  return run_single_combo(wb, combo, ctx);
 }
 
 }  // namespace rls::core

@@ -14,6 +14,7 @@
 #include "atpg/detectability.hpp"
 #include "core/param_select.hpp"
 #include "core/procedure2.hpp"
+#include "core/run_context.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/compiled.hpp"
@@ -29,6 +30,12 @@ class Workbench {
   /// Wraps an existing netlist (takes ownership).
   explicit Workbench(netlist::Netlist nl,
                      const atpg::DetectabilityOptions& det_opt = {});
+
+  /// CampaignOptions-driven construction (uses opts.detect).
+  Workbench(std::string_view circuit_name, const CampaignOptions& opts)
+      : Workbench(circuit_name, opts.detect) {}
+  Workbench(netlist::Netlist nl, const CampaignOptions& opts)
+      : Workbench(std::move(nl), opts.detect) {}
 
   [[nodiscard]] const netlist::Netlist& nl() const noexcept { return *nl_; }
   [[nodiscard]] const sim::CompiledCircuit& cc() const noexcept { return *cc_; }
@@ -70,15 +77,27 @@ struct ExperimentRow {
 };
 
 /// Table 6 policy: first (L_A, L_B, N) combination (in N_cyc0 order)
-/// achieving complete coverage, trying at most `max_attempts` combinations
-/// (0 = all). Falls back to the best-coverage combo among the first
-/// `max_combos_on_failure` attempts if none completes.
+/// achieving complete coverage, trying at most ctx.options.max_attempts
+/// combinations (0 = all). Falls back to the best-coverage combo among
+/// the first ctx.options.max_combos_on_failure attempts if none
+/// completes. The preferred front door: configuration comes from
+/// ctx.options and the full event stream (run_start, combo_attempt, the
+/// nested Procedure 2 events, result) goes to ctx's sink when attached.
+ExperimentRow run_first_complete(const Workbench& wb, RunContext& ctx);
+
+/// Table 8 policy: run one given combination through the front door.
+ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
+                               RunContext& ctx);
+
+/// Forwarding overload for the pre-RunContext signature (positional
+/// max_combos_on_failure / max_attempts); behavior is identical to the
+/// RunContext form with no observers attached.
 ExperimentRow run_first_complete(const Workbench& wb,
                                  const Procedure2Options& p2_opt,
                                  std::size_t max_combos_on_failure = 6,
                                  std::size_t max_attempts = 0);
 
-/// Table 8 policy: run one given combination.
+/// Forwarding overload for the pre-RunContext signature.
 ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
                                const Procedure2Options& p2_opt);
 

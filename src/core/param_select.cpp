@@ -1,7 +1,9 @@
 #include "core/param_select.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "core/run_context.hpp"
 #include "scan/cost.hpp"
 
 namespace rls::core {
@@ -36,7 +38,7 @@ std::vector<Combo> enumerate_default_combos(std::size_t n_sv) {
 ComboRun run_combo(const sim::CompiledCircuit& cc,
                    const std::vector<fault::Fault>& target_faults,
                    const Combo& combo, const Procedure2Options& p2_opt,
-                   std::uint64_t ts0_seed) {
+                   std::uint64_t ts0_seed, RunContext* ctx) {
   Ts0Config cfg;
   cfg.l_a = combo.l_a;
   cfg.l_b = combo.l_b;
@@ -46,7 +48,7 @@ ComboRun run_combo(const sim::CompiledCircuit& cc,
   fault::FaultList fl(target_faults);
   ComboRun run;
   run.combo = combo;
-  run.result = run_procedure2(cc, ts0, fl, p2_opt);
+  run.result = run_procedure2(cc, ts0, fl, p2_opt, ctx);
   return run;
 }
 
@@ -54,18 +56,43 @@ std::optional<ComboRun> first_complete_combo(
     const sim::CompiledCircuit& cc,
     const std::vector<fault::Fault>& target_faults,
     const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
-    std::vector<ComboRun>* runs_out, std::size_t max_attempts) {
+    std::vector<ComboRun>* runs_out, std::size_t max_attempts,
+    RunContext* ctx) {
   std::vector<Combo> combos =
       enumerate_default_combos(cc.flip_flops().size());
   if (max_attempts > 0 && combos.size() > max_attempts) {
     combos.resize(max_attempts);
   }
+  std::uint64_t attempt = 0;
   for (const Combo& c : combos) {
-    ComboRun run = run_combo(cc, target_faults, c, p2_opt, ts0_seed);
+    if (ctx) ctx->set_attempt(attempt);
+    const double t_combo = ctx ? ctx->elapsed_ms() : 0.0;
+    ComboRun run = run_combo(cc, target_faults, c, p2_opt, ts0_seed, ctx);
     const bool complete = run.result.complete;
     if (runs_out) runs_out->push_back(run);
-    if (complete) return run;
+    if (ctx && ctx->observed()) {
+      ctx->emit_combo_attempt(c.l_a, c.l_b, c.n, c.ncyc0,
+                              run.result.total_detected, target_faults.size(),
+                              complete, ctx->elapsed_ms() - t_combo);
+      obs::Progress p;
+      p.phase = "combo";
+      char detail[96];
+      std::snprintf(detail, sizeof detail,
+                    "LA=%zu LB=%zu N=%zu %s", c.l_a, c.l_b, c.n,
+                    complete ? "complete" : "incomplete");
+      p.detail = detail;
+      p.detected = run.result.total_detected;
+      p.targets = target_faults.size();
+      p.cycles = run.result.total_cycles();
+      ctx->update_progress(p);
+    }
+    ++attempt;
+    if (complete) {
+      if (ctx) ctx->set_attempt(0);
+      return run;
+    }
   }
+  if (ctx) ctx->set_attempt(0);
   return std::nullopt;
 }
 

@@ -54,23 +54,27 @@ struct ComboRun {
   Procedure2Result result;
 };
 
+class RunContext;
+
 /// Runs Procedure 2 for each combination in N_cyc0 order until the first
 /// one reaches complete coverage of `target_faults`. Returns that run, or
 /// nullopt if none achieves completeness within `max_attempts` tried
 /// combinations (0 = unlimited). `runs_out`, when non-null, receives every
-/// attempted run (dash rows of Tables 3/4).
+/// attempted run (dash rows of Tables 3/4). `ctx`, when non-null, gets one
+/// "combo_attempt" event per tried combination (with the attempt index
+/// stamped into every nested Procedure 2 event) plus progress updates.
 std::optional<ComboRun> first_complete_combo(
     const sim::CompiledCircuit& cc,
     const std::vector<fault::Fault>& target_faults,
     const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
     std::vector<ComboRun>* runs_out = nullptr,
-    std::size_t max_attempts = 0);
+    std::size_t max_attempts = 0, RunContext* ctx = nullptr);
 
 /// Runs Procedure 2 for one specific combination against a fresh copy of
 /// the target faults.
 ComboRun run_combo(const sim::CompiledCircuit& cc,
                    const std::vector<fault::Fault>& target_faults,
                    const Combo& combo, const Procedure2Options& p2_opt,
-                   std::uint64_t ts0_seed);
+                   std::uint64_t ts0_seed, RunContext* ctx = nullptr);
 
 }  // namespace rls::core

@@ -1,29 +1,64 @@
 #include "core/procedure2.hpp"
 
+#include <cstdio>
+
+#include "core/run_context.hpp"
 #include "scan/cost.hpp"
 
 namespace rls::core {
 
+namespace {
+
+/// Progress line for one milestone (reused buffer-free formatting).
+void report_progress(RunContext* ctx, const char* phase, std::string detail,
+                     const fault::FaultList& fl, std::uint64_t cycles) {
+  obs::Progress p;
+  p.phase = phase;
+  p.detail = std::move(detail);
+  p.detected = fl.num_detected();
+  p.targets = fl.size();
+  p.cycles = cycles;
+  ctx->update_progress(p);
+}
+
+}  // namespace
+
 Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                                 const scan::TestSet& ts0,
                                 fault::FaultList& fl,
-                                const Procedure2Options& opt) {
+                                const Procedure2Options& opt,
+                                RunContext* ctx) {
   Procedure2Result res;
   const std::size_t n_sv = cc.flip_flops().size();
   fault::SeqFaultSim fsim(cc);
   fsim.set_engine(opt.engine);
   fsim.set_threads(opt.sim_threads);
+  if (ctx) fsim.set_counters(&ctx->counters());
+
+  const auto finish = [&]() {
+    if (ctx && ctx->observed()) {
+      ctx->emit_summary(res, fl.size(), ctx->elapsed_ms());
+    }
+  };
 
   // Step 2: simulate TS_0 and drop detected faults.
+  const double t_ts0 = ctx ? ctx->elapsed_ms() : 0.0;
   res.ts0_detected = fsim.run_test_set(ts0, fl);
   res.ncyc0 = scan::n_cyc(ts0, n_sv);
   res.total_detected = fl.num_detected();
+  if (ctx && ctx->observed()) {
+    ctx->emit_ts0(res.ts0_detected, fl.size(), res.ncyc0,
+                  ctx->elapsed_ms() - t_ts0);
+    report_progress(ctx, "ts0", "TS_0 applied", fl, res.ncyc0);
+  }
   if (fl.all_detected()) {
     res.complete = true;
+    finish();
     return res;
   }
 
   // Steps 3-6: iterate I, sweep D_1.
+  std::uint64_t cum_cycles = res.ncyc0;
   std::uint32_t n_same_fc = 0;
   for (std::uint32_t iteration = 1;
        iteration <= opt.max_iterations && n_same_fc < opt.n_same_fc;
@@ -45,7 +80,14 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
       for (const scan::ScanTest& t : ts.tests) {
         if (t.has_limited_scan()) sim_ts.tests.push_back(t);
       }
+      const double t_sweep = ctx ? ctx->elapsed_ms() : 0.0;
+      const std::uint64_t ge_sweep = fsim.gate_evals();
       const std::size_t newly = fsim.run_test_set(sim_ts, fl);
+      if (ctx && ctx->observed()) {
+        ctx->emit_sweep(iteration, d1, sim_ts.tests.size(), newly,
+                        fsim.gate_evals() - ge_sweep,
+                        ctx->elapsed_ms() - t_sweep);
+      }
       if (newly > 0) {
         AppliedSet a;
         a.iteration = iteration;
@@ -56,18 +98,33 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
         a.total_vectors = ts.total_vectors();
         res.applied.push_back(a);
         improve = true;
+        cum_cycles += a.cycles;
+        if (ctx && ctx->observed()) {
+          // N_SH(I, D_1) = N_cyc(I, D_1) - N_cyc0 (the cost model of
+          // DESIGN.md §1): the limited-scan shifts are exactly the cycles
+          // this set costs beyond a plain TS_0 application.
+          ctx->emit_id1_pair(iteration, d1, newly, a.cycles - res.ncyc0,
+                             a.cycles, cum_cycles, fl.num_detected(),
+                             fl.size(), ctx->elapsed_ms() - t_sweep);
+          char detail[64];
+          std::snprintf(detail, sizeof detail, "I=%u D1=%u +%zu", iteration,
+                        d1, newly);
+          report_progress(ctx, "p2", detail, fl, cum_cycles);
+        }
       }
       if (fl.all_detected()) break;
     }
     res.total_detected = fl.num_detected();
     if (fl.all_detected()) {
       res.complete = true;
+      finish();
       return res;
     }
     n_same_fc = improve ? 0 : n_same_fc + 1;
   }
   res.total_detected = fl.num_detected();
   res.complete = fl.all_detected();
+  finish();
   return res;
 }
 

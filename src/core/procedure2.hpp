@@ -76,11 +76,17 @@ struct Procedure2Result {
   }
 };
 
+class RunContext;
+
 /// Runs Procedure 2. `fl` carries the target faults (normally the
 /// detectable collapsed universe) and is updated by fault dropping.
+/// `ctx`, when non-null, receives the per-(I, D_1) event stream ("ts0",
+/// "sweep", "id1_pair", "summary"), progress updates, and the engine's
+/// "fsim.*" counters; a null context is the zero-overhead default.
 Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                                 const scan::TestSet& ts0,
                                 fault::FaultList& fl,
-                                const Procedure2Options& opt);
+                                const Procedure2Options& opt,
+                                RunContext* ctx = nullptr);
 
 }  // namespace rls::core

@@ -1,0 +1,134 @@
+#include "core/run_context.hpp"
+
+namespace rls::core {
+
+namespace {
+
+double coverage(std::size_t detected, std::size_t targets) {
+  return targets == 0 ? 1.0
+                      : static_cast<double>(detected) /
+                            static_cast<double>(targets);
+}
+
+}  // namespace
+
+void RunContext::emit_run_start(const std::string& circuit,
+                                std::size_t targets) {
+  if (!sink_) return;
+  obs::TraceEvent ev("run_start");
+  ev.str("circuit", circuit).u64("targets", targets);
+  sink_->write(ev);
+}
+
+void RunContext::emit_ts0(std::size_t detected, std::size_t targets,
+                          std::uint64_t ncyc0, double wall_ms) {
+  if (!sink_) return;
+  obs::TraceEvent ev("ts0");
+  ev.u64("attempt", attempt_)
+      .u64("detected", detected)
+      .u64("targets", targets)
+      .u64("ncyc0", ncyc0)
+      .f64("fc", coverage(detected, targets))
+      .f64("wall_ms", timing_ ? wall_ms : 0.0);
+  sink_->write(ev);
+}
+
+void RunContext::emit_sweep(std::uint32_t iteration, std::uint32_t d1,
+                            std::size_t sim_tests, std::size_t det,
+                            std::uint64_t gate_evals, double wall_ms) {
+  if (!sink_) return;
+  obs::TraceEvent ev("sweep");
+  ev.u64("attempt", attempt_)
+      .u64("iter", iteration)
+      .u64("d1", d1)
+      .u64("sim_tests", sim_tests)
+      .u64("det", det)
+      .u64("gate_evals", gate_evals)
+      .f64("wall_ms", timing_ ? wall_ms : 0.0);
+  sink_->write(ev);
+}
+
+void RunContext::emit_id1_pair(std::uint32_t iteration, std::uint32_t d1,
+                               std::size_t det, std::uint64_t n_sh,
+                               std::uint64_t n_cyc, std::uint64_t cum_cycles,
+                               std::size_t detected, std::size_t targets,
+                               double wall_ms) {
+  if (!sink_) return;
+  obs::TraceEvent ev("id1_pair");
+  ev.u64("attempt", attempt_)
+      .u64("iter", iteration)
+      .u64("d1", d1)
+      .u64("det", det)
+      .u64("n_sh", n_sh)
+      .u64("n_cyc", n_cyc)
+      .u64("cum_cycles", cum_cycles)
+      .u64("detected", detected)
+      .u64("targets", targets)
+      .f64("fc", coverage(detected, targets))
+      .f64("wall_ms", timing_ ? wall_ms : 0.0);
+  sink_->write(ev);
+}
+
+void RunContext::emit_summary(const Procedure2Result& res, std::size_t targets,
+                              double wall_ms) {
+  if (!sink_) return;
+  obs::TraceEvent ev("summary");
+  ev.u64("attempt", attempt_)
+      .u64("detected", res.total_detected)
+      .u64("targets", targets)
+      .boolean("complete", res.complete)
+      .u64("applications", res.num_applications())
+      .u64("total_cycles", res.total_cycles())
+      .f64("fc", coverage(res.total_detected, targets))
+      .f64("ls", res.average_limited_scan_units())
+      .f64("wall_ms", timing_ ? wall_ms : 0.0);
+  sink_->write(ev);
+}
+
+void RunContext::emit_combo_attempt(std::size_t l_a, std::size_t l_b,
+                                    std::size_t n, std::uint64_t ncyc0,
+                                    std::size_t detected, std::size_t targets,
+                                    bool complete, double wall_ms) {
+  if (!sink_) return;
+  obs::TraceEvent ev("combo_attempt");
+  ev.u64("attempt", attempt_)
+      .u64("la", l_a)
+      .u64("lb", l_b)
+      .u64("n", n)
+      .u64("ncyc0", ncyc0)
+      .u64("detected", detected)
+      .u64("targets", targets)
+      .boolean("complete", complete)
+      .f64("wall_ms", timing_ ? wall_ms : 0.0);
+  sink_->write(ev);
+}
+
+void RunContext::emit_result(const std::string& circuit, std::size_t l_a,
+                             std::size_t l_b, std::size_t n,
+                             std::size_t detected, std::size_t targets,
+                             bool complete, std::uint64_t total_cycles,
+                             double wall_ms) {
+  if (!sink_) return;
+  obs::TraceEvent ev("result");
+  ev.str("circuit", circuit)
+      .u64("la", l_a)
+      .u64("lb", l_b)
+      .u64("n", n)
+      .u64("detected", detected)
+      .u64("targets", targets)
+      .boolean("complete", complete)
+      .u64("total_cycles", total_cycles)
+      .f64("wall_ms", timing_ ? wall_ms : 0.0);
+  sink_->write(ev);
+}
+
+void RunContext::emit_counters() {
+  if (!sink_) return;
+  obs::TraceEvent ev("counters");
+  for (const auto& [name, total] : counters_.snapshot()) {
+    ev.u64(name, total);
+  }
+  sink_->write(ev);
+}
+
+}  // namespace rls::core

@@ -1,0 +1,132 @@
+// RunContext — the single observable front door of the RLS pipeline.
+//
+// Two concerns travel together through every phase of a campaign:
+//
+//   * configuration — CampaignOptions consolidates the previously loose
+//     surface (Procedure2Options, DetectabilityOptions, and the
+//     positional max_combos_on_failure / max_attempts of
+//     run_first_complete) into one named-field struct;
+//   * observability — a trace sink (deterministic JSON-lines event
+//     stream), a counter registry (engine aggregates such as gate
+//     evaluations), and a progress observer (live human-facing status).
+//
+// Every pipeline entry point accepts an optional RunContext*; a null
+// pointer is the fully disabled path and costs nothing beyond the null
+// checks. The canonical event schema lives here, in the emit_* helpers,
+// so producers cannot drift apart: a given event type always carries the
+// same fields in the same order (see DESIGN.md, "Observability").
+//
+// Wall-clock fields are the one intentionally nondeterministic part of
+// the stream; set_timing(false) pins them to 0 so two same-seed runs
+// serialize byte-identically (the determinism test relies on this).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "atpg/detectability.hpp"
+#include "core/procedure2.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+
+namespace rls::core {
+
+/// Everything a campaign run can be configured with, by name.
+struct CampaignOptions {
+  Procedure2Options p2;              ///< Procedure 2 search knobs
+  atpg::DetectabilityOptions detect; ///< target-fault classification knobs
+  /// On first_complete failure: report the best of this many attempts.
+  std::size_t max_combos_on_failure = 6;
+  /// Cap on attempted (L_A, L_B, N) combinations (0 = all).
+  std::size_t max_attempts = 0;
+};
+
+class RunContext {
+ public:
+  RunContext() : start_(std::chrono::steady_clock::now()) {}
+  explicit RunContext(CampaignOptions opts)
+      : options(std::move(opts)), start_(std::chrono::steady_clock::now()) {}
+
+  CampaignOptions options;
+
+  // ---- observability wiring (all optional, non-owning) ----
+  void set_sink(obs::TraceSink* sink) noexcept { sink_ = sink; }
+  void set_progress(obs::ProgressObserver* p) noexcept { progress_ = p; }
+  /// false pins every wall_ms field to 0 (deterministic traces).
+  void set_timing(bool enabled) noexcept { timing_ = enabled; }
+
+  [[nodiscard]] obs::TraceSink* sink() const noexcept { return sink_; }
+  [[nodiscard]] bool observed() const noexcept {
+    return sink_ != nullptr || progress_ != nullptr;
+  }
+  [[nodiscard]] obs::CounterRegistry& counters() noexcept { return counters_; }
+  [[nodiscard]] const obs::CounterRegistry& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Milliseconds since construction; 0 when timing is disabled.
+  [[nodiscard]] double elapsed_ms() const {
+    if (!timing_) return 0.0;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Attempt scope: index of the (L_A, L_B, N) combination currently
+  /// being tried (0 outside / before any enumeration). Stamped into every
+  /// event so multi-combo traces stay separable per attempt.
+  void set_attempt(std::uint64_t a) noexcept { attempt_ = a; }
+  [[nodiscard]] std::uint64_t attempt() const noexcept { return attempt_; }
+
+  void emit(const obs::TraceEvent& ev) {
+    if (sink_) sink_->write(ev);
+  }
+  void update_progress(const obs::Progress& p) {
+    if (progress_) progress_->update(p);
+  }
+  void flush() {
+    if (sink_) sink_->flush();
+  }
+
+  // ---- canonical event schema ----
+  /// "run_start": campaign entry (circuit + target universe size).
+  void emit_run_start(const std::string& circuit, std::size_t targets);
+  /// "ts0": TS_0 simulated (once per Procedure 2 invocation).
+  void emit_ts0(std::size_t detected, std::size_t targets,
+                std::uint64_t ncyc0, double wall_ms);
+  /// "sweep": one (I, D_1) fault-simulation sweep, detecting or not.
+  void emit_sweep(std::uint32_t iteration, std::uint32_t d1,
+                  std::size_t sim_tests, std::size_t det,
+                  std::uint64_t gate_evals, double wall_ms);
+  /// "id1_pair": a sweep that joined ID1_PAIRS (mirrors AppliedSet).
+  void emit_id1_pair(std::uint32_t iteration, std::uint32_t d1,
+                     std::size_t det, std::uint64_t n_sh, std::uint64_t n_cyc,
+                     std::uint64_t cum_cycles, std::size_t detected,
+                     std::size_t targets, double wall_ms);
+  /// "summary": Procedure 2 finished (mirrors Procedure2Result).
+  void emit_summary(const Procedure2Result& res, std::size_t targets,
+                    double wall_ms);
+  /// "combo_attempt": one (L_A, L_B, N) tried by the first-complete search.
+  void emit_combo_attempt(std::size_t l_a, std::size_t l_b, std::size_t n,
+                          std::uint64_t ncyc0, std::size_t detected,
+                          std::size_t targets, bool complete, double wall_ms);
+  /// "result": campaign exit (the row that will be reported).
+  void emit_result(const std::string& circuit, std::size_t l_a,
+                   std::size_t l_b, std::size_t n, std::size_t detected,
+                   std::size_t targets, bool complete,
+                   std::uint64_t total_cycles, double wall_ms);
+  /// "counters": the full registry snapshot as one event (name -> total).
+  void emit_counters();
+
+ private:
+  obs::TraceSink* sink_ = nullptr;
+  obs::ProgressObserver* progress_ = nullptr;
+  obs::CounterRegistry counters_;
+  bool timing_ = true;
+  std::uint64_t attempt_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rls::core

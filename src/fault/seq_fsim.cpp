@@ -106,6 +106,7 @@ void SeqFaultSim::eval_with_overlay(const Overlay& o) {
     values_[id] = w;
   }
   gate_evals_ += cc_->order().size();
+  sweep_evals_ += cc_->order().size();
 }
 
 Word SeqFaultSim::shift_with_forces(Word scan_in, const Overlay& o) {
@@ -423,6 +424,7 @@ void SeqFaultSim::cone_eval(const Overlay& o, const Trace& trace,
     bucket.clear();
   }
   gate_evals_ += evals;
+  frontier_evals_ += evals;
 }
 
 Word SeqFaultSim::run_test(const scan::ScanTest& test,
@@ -453,8 +455,30 @@ void SeqFaultSim::ensure_workers(unsigned n) {
 }
 
 std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
+  // Per-call deltas exported to the attached counter registry on every
+  // exit path. One branch + a few map updates per run_test_set call; the
+  // per-gate hot paths are untouched (see BM_ObsOverhead).
+  const std::uint64_t ge0 = gate_evals_;
+  const std::uint64_t fe0 = frontier_evals_;
+  const std::uint64_t se0 = sweep_evals_;
+  const std::uint64_t fb0 = fallback_groups_;
+  const auto export_counters = [&](std::size_t groups, std::size_t newly) {
+    if (!counters_) return;
+    counters_->add("fsim.sweeps", 1);
+    counters_->add("fsim.tests", ts.tests.size());
+    counters_->add("fsim.groups", groups);
+    counters_->add("fsim.detected", newly);
+    counters_->add("fsim.gate_evals", gate_evals_ - ge0);
+    counters_->add("fsim.frontier_evals", frontier_evals_ - fe0);
+    counters_->add("fsim.sweep_evals", sweep_evals_ - se0);
+    counters_->add("fsim.fallback_groups", fallback_groups_ - fb0);
+  };
+
   std::vector<std::size_t> remaining = fl.remaining_indices();
-  if (remaining.empty() || ts.tests.empty()) return 0;
+  if (remaining.empty() || ts.tests.empty()) {
+    export_counters(0, 0);
+    return 0;
+  }
 
   // Group faults by cone locality: chunking sites in levelized order keeps
   // each group's union cone small, which is what the kConeDiff frontier
@@ -515,6 +539,7 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
       }
       if (static_cast<double>(comb_in_union) >= kWideConeFraction * comb_gates) {
         g.engine = Engine::kFullSweep;
+        ++fallback_groups_;
       }
     }
   }
@@ -544,6 +569,7 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
       }
       if (fl.all_detected()) break;
     }
+    export_counters(groups.size(), newly);
     return newly;
   }
 
@@ -559,8 +585,12 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
 
   ensure_workers(n_workers);
   std::vector<std::uint64_t> evals_before(n_workers);
+  std::vector<std::uint64_t> frontier_before(n_workers);
+  std::vector<std::uint64_t> sweep_before(n_workers);
   for (unsigned w = 0; w < n_workers; ++w) {
     evals_before[w] = worker_sims_[w]->gate_evals();
+    frontier_before[w] = worker_sims_[w]->frontier_evals();
+    sweep_before[w] = worker_sims_[w]->sweep_evals();
   }
   pool_->run(n_workers, [&](unsigned w) {
     SeqFaultSim& sim = *worker_sims_[w];
@@ -577,6 +607,8 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
   });
   for (unsigned w = 0; w < n_workers; ++w) {
     gate_evals_ += worker_sims_[w]->gate_evals() - evals_before[w];
+    frontier_evals_ += worker_sims_[w]->frontier_evals() - frontier_before[w];
+    sweep_evals_ += worker_sims_[w]->sweep_evals() - sweep_before[w];
   }
 
   for (Group& g : groups) {
@@ -592,6 +624,7 @@ std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
       }
     }
   }
+  export_counters(groups.size(), newly);
   return newly;
 }
 

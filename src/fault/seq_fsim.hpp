@@ -36,6 +36,7 @@
 
 #include "bist/misr.hpp"
 #include "fault/fault.hpp"
+#include "obs/counters.hpp"
 #include "scan/test.hpp"
 #include "sim/compiled.hpp"
 #include "sim/seq_sim.hpp"
@@ -79,6 +80,29 @@ class SeqFaultSim {
 
   /// Cumulative gate-evaluation count (one count per gate visit per word).
   [[nodiscard]] std::uint64_t gate_evals() const noexcept { return gate_evals_; }
+
+  /// Engine-path split of gate_evals(): evaluations done through the
+  /// kConeDiff level-bucket frontier vs. full levelized sweeps (the two
+  /// always sum to gate_evals()).
+  [[nodiscard]] std::uint64_t frontier_evals() const noexcept {
+    return frontier_evals_;
+  }
+  [[nodiscard]] std::uint64_t sweep_evals() const noexcept {
+    return sweep_evals_;
+  }
+  /// Fault groups the wide-cone guard demoted from kConeDiff to the full
+  /// sweep (cumulative across run_test_set calls).
+  [[nodiscard]] std::uint64_t fallback_groups() const noexcept {
+    return fallback_groups_;
+  }
+
+  /// Attaches a counter registry; every run_test_set call then adds its
+  /// per-sweep deltas under "fsim.*" names (see DESIGN.md). Null detaches
+  /// — the disabled path costs one branch per run_test_set call, nothing
+  /// per gate. The registry must outlive the simulator or be detached.
+  void set_counters(obs::CounterRegistry* counters) noexcept {
+    counters_ = counters;
+  }
 
   /// Additional signals observed at every at-speed time unit (e.g. the
   /// last flip-flop of each scan chain in a [5]/[6]-style BIST setup).
@@ -163,6 +187,10 @@ class SeqFaultSim {
   std::vector<sim::Word> next_state_;  // clock scratch
   sim::SeqSim ref_;                    // fault-free reference machine
   std::uint64_t gate_evals_ = 0;
+  std::uint64_t frontier_evals_ = 0;   // gate_evals_ done via cone_eval
+  std::uint64_t sweep_evals_ = 0;      // gate_evals_ done via full sweeps
+  std::uint64_t fallback_groups_ = 0;  // wide-cone demotions
+  obs::CounterRegistry* counters_ = nullptr;
 
   /// Per-signal overlay kind flags, rebuilt per group (0 none, 1 out-force,
   /// 2 pin-fix, 3 both). Kept as a member to avoid reallocation.

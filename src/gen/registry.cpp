@@ -14,6 +14,10 @@ netlist::Netlist make_circuit(std::string_view name) {
   throw UnknownCircuitError("unknown circuit '" + std::string(name) + "'");
 }
 
+bool is_known_circuit(std::string_view name) {
+  return name == "s27" || profile_by_name(name).has_value();
+}
+
 std::vector<std::string> known_circuits() {
   std::vector<std::string> out;
   out.emplace_back("s27");

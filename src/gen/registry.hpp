@@ -23,6 +23,9 @@ class UnknownCircuitError : public std::runtime_error {
 /// Builds the circuit (exact s27, or a profile-matched synthetic stand-in).
 netlist::Netlist make_circuit(std::string_view name);
 
+/// True when make_circuit(name) would succeed (registry lookup, no build).
+bool is_known_circuit(std::string_view name);
+
 /// Names available through make_circuit(), in canonical order
 /// ("s27" first, then the profile list).
 std::vector<std::string> known_circuits();

@@ -1,0 +1,47 @@
+// Named counter registry — the aggregate half of the telemetry layer.
+//
+// Counters are monotonically increasing uint64 totals keyed by dotted
+// names ("fsim.gate_evals", "p2.sweeps"). Producers add deltas; consumers
+// read totals or snapshot the whole registry in deterministic (sorted)
+// order. The registry is intentionally not thread-safe: the pipeline
+// aggregates per-worker counts inside the engine (as PR 1 already does
+// for gate_evals) and reports totals from the coordinating thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rls::obs {
+
+class CounterRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta) {
+    counters_[std::string(name)] += delta;
+  }
+
+  /// Current total; 0 for a counter never touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const {
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return counters_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return counters_.size(); }
+
+  /// All counters in lexicographic name order (deterministic).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const {
+    return {counters_.begin(), counters_.end()};
+  }
+
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace rls::obs

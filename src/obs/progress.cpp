@@ -1,0 +1,25 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+namespace rls::obs {
+
+StreamProgress::StreamProgress() : out_(stderr) {}
+StreamProgress::StreamProgress(std::FILE* f) : out_(f) {}
+
+void StreamProgress::update(const Progress& p) {
+  std::fprintf(out_, "[%s] %s", p.phase.c_str(), p.detail.c_str());
+  if (p.targets > 0) {
+    std::fprintf(out_, "  %zu/%zu (%.1f%%)", p.detected, p.targets,
+                 100.0 * static_cast<double>(p.detected) /
+                     static_cast<double>(p.targets));
+  }
+  if (p.cycles > 0) {
+    std::fprintf(out_, "  %llu cycles",
+                 static_cast<unsigned long long>(p.cycles));
+  }
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+}  // namespace rls::obs

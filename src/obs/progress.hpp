@@ -1,0 +1,40 @@
+// Progress observation — live, human-facing updates from a running
+// campaign. Unlike trace sinks (which record the full deterministic
+// event stream), a progress observer receives coarse milestones suitable
+// for a terminal status line: phase transitions and coverage movement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rls::obs {
+
+/// One progress milestone. `detected`/`targets` carry running coverage
+/// when known (0 targets means "not applicable to this phase").
+struct Progress {
+  std::string phase;   ///< "ts0", "p2", "combo", ...
+  std::string detail;  ///< human-readable, e.g. "I=3 D1=7 +2"
+  std::size_t detected = 0;
+  std::size_t targets = 0;
+  std::uint64_t cycles = 0;  ///< cumulative test-application cycles
+};
+
+class ProgressObserver {
+ public:
+  virtual ~ProgressObserver() = default;
+  virtual void update(const Progress& p) = 0;
+};
+
+/// Prints one line per update to a stdio stream (default stderr):
+///   [p2] I=3 D1=7 +2  137/150 (91.3%)  12.4K cycles
+class StreamProgress final : public ProgressObserver {
+ public:
+  StreamProgress();                       ///< stderr
+  explicit StreamProgress(std::FILE* f);  ///< caller-owned stream
+  void update(const Progress& p) override;
+
+ private:
+  std::FILE* out_;
+};
+
+}  // namespace rls::obs

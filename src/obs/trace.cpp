@@ -1,0 +1,86 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <stdexcept>
+
+namespace rls::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_value(std::string& out, const Value& v) {
+  char buf[32];
+  if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64, *u);
+    out += buf;
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, *i);
+    out += buf;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    out += buf;
+  } else if (const auto* b = std::get_if<bool>(&v)) {
+    out += *b ? "true" : "false";
+  } else {
+    append_escaped(out, std::get<std::string>(v));
+  }
+}
+
+}  // namespace
+
+std::string to_jsonl(const TraceEvent& ev) {
+  std::string out = "{\"ev\":";
+  append_escaped(out, ev.type);
+  for (const auto& [key, value] : ev.fields) {
+    out.push_back(',');
+    append_escaped(out, key);
+    out.push_back(':');
+    append_value(out, value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : out_(std::fopen(path.c_str(), "w")), owned_(true) {
+  if (!out_) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+}
+
+JsonlSink::JsonlSink(std::FILE* stream) : out_(stream), owned_(false) {}
+
+JsonlSink::~JsonlSink() {
+  if (out_ && owned_) std::fclose(out_);
+}
+
+void JsonlSink::write(const TraceEvent& ev) {
+  const std::string line = to_jsonl(ev);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+}
+
+void JsonlSink::flush() { std::fflush(out_); }
+
+}  // namespace rls::obs

@@ -1,0 +1,117 @@
+// FlagParser: the declarative argv parser shared by every rls subcommand.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/flags.hpp"
+
+namespace rls::cli {
+namespace {
+
+std::vector<std::string> parse(const FlagParser& fp,
+                               std::vector<const char*> argv,
+                               int begin = 0) {
+  return fp.parse(static_cast<int>(argv.size()), argv.data(), begin);
+}
+
+TEST(CliFlags, EqualsAndSpaceFormsBothWork) {
+  FlagParser fp;
+  std::uint64_t threads = 0;
+  std::string trace;
+  fp.add_uint("threads", &threads);
+  fp.add_string("trace", &trace);
+
+  auto pos = parse(fp, {"--threads=4", "--trace", "out.jsonl", "s298"});
+  EXPECT_EQ(threads, 4u);
+  EXPECT_EQ(trace, "out.jsonl");
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "s298");
+}
+
+TEST(CliFlags, BooleanFormsAndExplicitValues) {
+  FlagParser fp;
+  bool progress = false;
+  bool desc = true;
+  fp.add_bool("progress", &progress);
+  fp.add_bool("d1-desc", &desc);
+
+  auto pos = parse(fp, {"--progress", "--d1-desc=0"});
+  EXPECT_TRUE(progress);
+  EXPECT_FALSE(desc);
+  EXPECT_TRUE(pos.empty());
+
+  progress = false;
+  parse(fp, {"--progress=true"});
+  EXPECT_TRUE(progress);
+}
+
+TEST(CliFlags, PositionalsKeepOrderAndInterleave) {
+  FlagParser fp;
+  std::uint64_t seed = 0;
+  fp.add_uint("seed", &seed);
+  auto pos = parse(fp, {"run", "--seed", "7", "s5378", "extra"});
+  EXPECT_EQ(seed, 7u);
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_EQ(pos[0], "run");
+  EXPECT_EQ(pos[1], "s5378");
+  EXPECT_EQ(pos[2], "extra");
+}
+
+TEST(CliFlags, DoubleDashEndsFlagParsing) {
+  FlagParser fp;
+  bool flag = false;
+  fp.add_bool("flag", &flag);
+  auto pos = parse(fp, {"--flag", "--", "--flag", "--"});
+  EXPECT_TRUE(flag);
+  // Everything after the first "--" is positional, including a second "--".
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "--flag");
+  EXPECT_EQ(pos[1], "--");
+}
+
+TEST(CliFlags, BeginSkipsProgramAndSubcommand) {
+  FlagParser fp;
+  bool v = false;
+  fp.add_bool("v", &v);
+  auto pos = parse(fp, {"rls", "run", "--v", "s27"}, 2);
+  EXPECT_TRUE(v);
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "s27");
+}
+
+TEST(CliFlags, ErrorsNameTheOffendingArgument) {
+  FlagParser fp;
+  std::uint64_t n = 0;
+  std::string s;
+  fp.add_uint("n", &n);
+  fp.add_string("s", &s);
+
+  EXPECT_THROW(parse(fp, {"--bogus"}), FlagError);
+  EXPECT_THROW(parse(fp, {"--n"}), FlagError);        // missing value
+  EXPECT_THROW(parse(fp, {"--n=abc"}), FlagError);    // malformed number
+  EXPECT_THROW(parse(fp, {"--n", "12x"}), FlagError); // trailing junk
+  EXPECT_THROW(parse(fp, {"--s"}), FlagError);        // missing value
+  try {
+    parse(fp, {"--bogus"});
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(CliFlags, HelpListsEveryRegisteredFlag) {
+  FlagParser fp;
+  bool b = false;
+  std::uint64_t u = 0;
+  fp.add_bool("progress", &b, "live status lines");
+  fp.add_uint("threads", &u, "worker threads");
+  const std::string help = fp.help();
+  EXPECT_NE(help.find("--progress"), std::string::npos);
+  EXPECT_NE(help.find("--threads"), std::string::npos);
+  EXPECT_NE(help.find("live status lines"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rls::cli

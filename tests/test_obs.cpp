@@ -1,0 +1,210 @@
+// Observability tests: JSONL rendering, the canonical event schema, trace
+// determinism, counter cross-checks, and old-API forwarding equivalence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/run_context.hpp"
+#include "core/ts0.hpp"
+#include "fault/seq_fsim.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace rls {
+namespace {
+
+TEST(ObsTrace, JsonlRenderingIsStableAndEscaped) {
+  obs::TraceEvent ev("demo");
+  ev.u64("count", 42)
+      .i64("delta", -7)
+      .f64("ratio", 0.25)
+      .boolean("done", true)
+      .str("name", "a\"b\\c\nd");
+  EXPECT_EQ(to_jsonl(ev),
+            "{\"ev\":\"demo\",\"count\":42,\"delta\":-7,\"ratio\":0.25,"
+            "\"done\":true,\"name\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(ObsCounters, RegistryAccumulatesAndSnapshotsSorted) {
+  obs::CounterRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.value("nope"), 0u);
+  reg.add("b.second", 2);
+  reg.add("a.first", 1);
+  reg.add("b.second", 3);
+  EXPECT_EQ(reg.value("b.second"), 5u);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a.first");
+  EXPECT_EQ(snap[1].first, "b.second");
+}
+
+/// Field names of an event, in emission order, with "ev" first.
+std::vector<std::string> field_names(const obs::TraceEvent& ev) {
+  std::vector<std::string> names{"ev"};
+  for (const auto& [key, value] : ev.fields) names.push_back(key);
+  return names;
+}
+
+struct TracedRun {
+  obs::VectorSink sink;
+  core::ExperimentRow row;
+};
+
+/// One single-combo campaign on s298 with a trace attached. Deterministic
+/// (timing disabled) and complete within two (I, D_1) pairs.
+TracedRun traced_s298_run() {
+  static const core::Workbench wb("s298");
+  TracedRun out;
+  core::RunContext ctx;
+  ctx.set_sink(&out.sink);
+  ctx.set_timing(false);
+  out.row = core::run_single_combo(wb, core::Combo{8, 16, 64, 0}, ctx);
+  return out;
+}
+
+TEST(ObsSchema, GoldenEventStreamShape) {
+  const TracedRun run = traced_s298_run();
+  std::map<std::string, std::size_t> count;
+  for (const obs::TraceEvent& ev : run.sink.events()) ++count[ev.type];
+
+  EXPECT_EQ(count["run_start"], 1u);
+  EXPECT_EQ(count["ts0"], 1u);
+  EXPECT_GE(count["id1_pair"], 1u);
+  EXPECT_EQ(count["summary"], 1u);
+  EXPECT_EQ(count["result"], 1u);
+  EXPECT_GE(count["sweep"], count["id1_pair"]);  // every pair came from a sweep
+
+  // Stable per-type field sets (the golden schema). A change here is an
+  // intentional schema break and must update DESIGN.md.
+  const std::map<std::string, std::vector<std::string>> golden{
+      {"run_start", {"ev", "circuit", "targets"}},
+      {"ts0", {"ev", "attempt", "detected", "targets", "ncyc0", "fc",
+               "wall_ms"}},
+      {"sweep", {"ev", "attempt", "iter", "d1", "sim_tests", "det",
+                 "gate_evals", "wall_ms"}},
+      {"id1_pair", {"ev", "attempt", "iter", "d1", "det", "n_sh", "n_cyc",
+                    "cum_cycles", "detected", "targets", "fc", "wall_ms"}},
+      {"summary", {"ev", "attempt", "detected", "targets", "complete",
+                   "applications", "total_cycles", "fc", "ls", "wall_ms"}},
+      {"result", {"ev", "circuit", "la", "lb", "n", "detected", "targets",
+                  "complete", "total_cycles", "wall_ms"}},
+  };
+  for (const obs::TraceEvent& ev : run.sink.events()) {
+    const auto it = golden.find(ev.type);
+    ASSERT_NE(it, golden.end()) << "unexpected event type " << ev.type;
+    EXPECT_EQ(field_names(ev), it->second) << "schema drift in " << ev.type;
+  }
+}
+
+TEST(ObsSchema, PairEventTotalsMatchProcedure2Result) {
+  const TracedRun run = traced_s298_run();
+  const core::Procedure2Result& res = run.row.result;
+
+  std::uint64_t pair_cycles = 0;
+  std::size_t pair_det = 0;
+  std::size_t pairs = 0;
+  std::uint64_t last_cum = 0;
+  for (const obs::TraceEvent& ev : run.sink.events()) {
+    if (ev.type != "id1_pair") continue;
+    std::map<std::string, std::uint64_t> f;
+    for (const auto& [key, value] : ev.fields) {
+      if (const auto* u = std::get_if<std::uint64_t>(&value)) f[key] = *u;
+    }
+    ASSERT_EQ(f["n_cyc"], res.applied[pairs].cycles);
+    ASSERT_EQ(f["det"], res.applied[pairs].detected);
+    ASSERT_EQ(f["n_sh"], res.applied[pairs].cycles - res.ncyc0);
+    pair_cycles += f["n_cyc"];
+    pair_det += f["det"];
+    last_cum = f["cum_cycles"];
+    ++pairs;
+  }
+  EXPECT_EQ(pairs, res.applied.size());
+  EXPECT_EQ(pair_det + res.ts0_detected, res.total_detected);
+  EXPECT_EQ(res.ncyc0 + pair_cycles, res.total_cycles());
+  EXPECT_EQ(last_cum, res.total_cycles());
+}
+
+TEST(ObsSchema, SameSeedRunsProduceIdenticalEventStreams) {
+  const TracedRun a = traced_s298_run();
+  const TracedRun b = traced_s298_run();
+  ASSERT_EQ(a.sink.events().size(), b.sink.events().size());
+  for (std::size_t k = 0; k < a.sink.events().size(); ++k) {
+    EXPECT_EQ(to_jsonl(a.sink.events()[k]), to_jsonl(b.sink.events()[k]))
+        << "event " << k << " diverged";
+  }
+}
+
+TEST(ObsCounters, GateEvalCounterMatchesEngineReport) {
+  const core::Workbench wb("s27");
+  core::Ts0Config cfg;
+  cfg.seed = wb.ts0_seed();
+  const scan::TestSet ts0 = core::make_ts0(wb.nl(), cfg);
+
+  fault::SeqFaultSim fsim(wb.cc());
+  obs::CounterRegistry reg;
+  fsim.set_counters(&reg);
+  fault::FaultList fl(wb.target_faults());
+  fsim.run_test_set(ts0, fl);
+
+  EXPECT_EQ(reg.value("fsim.gate_evals"), fsim.gate_evals());
+  EXPECT_EQ(reg.value("fsim.frontier_evals") + reg.value("fsim.sweep_evals"),
+            reg.value("fsim.gate_evals"));
+  EXPECT_EQ(reg.value("fsim.sweeps"), 1u);
+  EXPECT_EQ(reg.value("fsim.detected"), fl.num_detected());
+}
+
+TEST(ObsCounters, RunContextAccumulatesFsimCountersAcrossSweeps) {
+  const core::Workbench wb("s27");
+  core::RunContext ctx;
+  const core::ExperimentRow row =
+      core::run_single_combo(wb, core::Combo{8, 16, 16, 0}, ctx);
+  EXPECT_GT(ctx.counters().value("fsim.gate_evals"), 0u);
+  EXPECT_GT(ctx.counters().value("fsim.sweeps"), 0u);
+  EXPECT_EQ(ctx.counters().value("fsim.detected"), row.result.total_detected);
+}
+
+TEST(ObsApi, ForwardingOverloadsMatchRunContextApi) {
+  const core::Workbench wb("s27");
+  // Old positional surface.
+  core::Procedure2Options p2;
+  const core::ExperimentRow old_row = core::run_first_complete(wb, p2, 6, 0);
+  // New named-field front door.
+  core::RunContext ctx;
+  const core::ExperimentRow new_row = core::run_first_complete(wb, ctx);
+
+  EXPECT_EQ(old_row.found_complete, new_row.found_complete);
+  EXPECT_EQ(old_row.combo.l_a, new_row.combo.l_a);
+  EXPECT_EQ(old_row.combo.l_b, new_row.combo.l_b);
+  EXPECT_EQ(old_row.combo.n, new_row.combo.n);
+  EXPECT_EQ(old_row.result.total_detected, new_row.result.total_detected);
+  EXPECT_EQ(old_row.result.total_cycles(), new_row.result.total_cycles());
+}
+
+TEST(ObsApi, DisabledContextLeavesResultsUntouched) {
+  // A context with no sink/progress must not change behavior vs. nullptr.
+  const core::Workbench wb("s27");
+  core::Ts0Config cfg;
+  cfg.seed = wb.ts0_seed();
+  const scan::TestSet ts0 = core::make_ts0(wb.nl(), cfg);
+  core::Procedure2Options opt;
+
+  fault::FaultList fl_plain(wb.target_faults());
+  const core::Procedure2Result plain =
+      core::run_procedure2(wb.cc(), ts0, fl_plain, opt, nullptr);
+
+  core::RunContext ctx;
+  fault::FaultList fl_ctx(wb.target_faults());
+  const core::Procedure2Result traced =
+      core::run_procedure2(wb.cc(), ts0, fl_ctx, opt, &ctx);
+
+  EXPECT_EQ(plain.total_detected, traced.total_detected);
+  EXPECT_EQ(plain.total_cycles(), traced.total_cycles());
+  EXPECT_EQ(plain.applied.size(), traced.applied.size());
+}
+
+}  // namespace
+}  // namespace rls

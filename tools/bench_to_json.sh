@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
 # Runs the perf microbenchmarks with JSON output and writes the result to
-# BENCH_PR1.json at the repository root (override with -o).
+# BENCH_PR2.json at the repository root (override with -o). The BM_ObsOverhead
+# benchmark exports the engine's obs counters (obs.fsim.* per sweep) as
+# benchmark user counters, so they land in the JSON artifact alongside the
+# timings — compare the s5378_off/_on pair to check the <2% overhead contract.
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]
@@ -8,11 +11,12 @@
 # Examples:
 #   tools/bench_to_json.sh                          # full suite
 #   tools/bench_to_json.sh -f SeqFaultSimEngines    # engine head-to-head only
+#   tools/bench_to_json.sh -f ObsOverhead           # obs overhead + counters
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-output="$repo_root/BENCH_PR1.json"
+output="$repo_root/BENCH_PR2.json"
 filter=""
 min_time="0.2"
 

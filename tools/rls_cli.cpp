@@ -9,19 +9,29 @@
 //   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
 //
 // `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
-// ISCAS-89 .bench file.
+// ISCAS-89 .bench file. Common flags (uniform across subcommands):
+//   --engine=conediff|fullsweep   fault-simulation engine
+//   --threads=N                   simulation worker threads (0 = hardware)
+//   --seed=S                      base seed (Procedure 1 + detectability)
+//   --trace=FILE                  JSONL event stream ("-" = stdout)
+//   --progress                    live status lines on stderr
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "analysis/cop.hpp"
+#include "cli/flags.hpp"
 #include "core/campaign.hpp"
+#include "core/run_context.hpp"
 #include "fault/collapse.hpp"
 #include "gen/registry.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/validate.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "report/format.hpp"
 #include "scan/cost.hpp"
 
@@ -30,12 +40,65 @@ namespace {
 using namespace rls;
 
 netlist::Netlist load(const std::string& which) {
-  if (which.find(".bench") != std::string::npos ||
-      which.find('/') != std::string::npos) {
-    return netlist::load_bench_file(which);
+  // Registry names win; anything else must be an existing, readable file.
+  if (gen::is_known_circuit(which)) return gen::make_circuit(which);
+  if (!std::ifstream(which).good()) {
+    throw std::runtime_error(
+        "'" + which +
+        "' is neither a known circuit (see `rls list`) nor a readable "
+        ".bench file");
   }
-  return gen::make_circuit(which);
+  return netlist::load_bench_file(which);
 }
+
+/// Flags shared by every circuit-taking subcommand, plus the observability
+/// wiring they configure. Register with `add_to`, then `configure` a
+/// RunContext after parsing (the sinks outlive the returned object).
+struct CommonFlags {
+  std::string engine = "conediff";
+  std::uint64_t threads = 0;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  std::string trace;
+  bool progress = false;
+
+  std::unique_ptr<obs::JsonlSink> sink;
+  std::unique_ptr<obs::StreamProgress> reporter;
+
+  void add_to(cli::FlagParser& fp) {
+    fp.add_string("engine", &engine, "conediff (default) or fullsweep");
+    fp.add_uint("threads", &threads, "sim worker threads (0 = hardware)");
+    fp.add_string("seed", &seed_text, "base seed (decimal)");
+    fp.add_string("trace", &trace, "write JSONL event trace to FILE");
+    fp.add_bool("progress", &progress, "live status lines on stderr");
+  }
+
+  void configure(core::RunContext& ctx) {
+    if (!seed_text.empty()) {
+      ctx.options.p2.base_seed = std::stoull(seed_text);
+      ctx.options.detect.seed = std::stoull(seed_text);
+    }
+    if (engine == "fullsweep") {
+      ctx.options.p2.engine = fault::Engine::kFullSweep;
+    } else if (engine != "conediff") {
+      throw cli::FlagError("--engine expects conediff or fullsweep, got '" +
+                           engine + "'");
+    }
+    ctx.options.p2.sim_threads = static_cast<unsigned>(threads);
+    if (!trace.empty()) {
+      sink = trace == "-" ? std::make_unique<obs::JsonlSink>(stdout)
+                          : std::make_unique<obs::JsonlSink>(trace);
+      ctx.set_sink(sink.get());
+    }
+    if (progress) {
+      reporter = std::make_unique<obs::StreamProgress>();
+      ctx.set_progress(reporter.get());
+    }
+  }
+
+ private:
+  std::string seed_text;  // parsed lazily so "no --seed" keeps defaults
+};
 
 int cmd_list() {
   for (const std::string& name : gen::known_circuits()) {
@@ -62,8 +125,10 @@ int cmd_bench(const std::string& which) {
   return 0;
 }
 
-int cmd_faults(const std::string& which) {
-  const core::Workbench wb(load(which));
+int cmd_faults(const std::string& which, CommonFlags& common) {
+  core::RunContext ctx;
+  common.configure(ctx);
+  const core::Workbench wb(load(which), ctx.options);
   const auto& det = wb.detectability();
   std::printf("circuit: %s\n", wb.name().c_str());
   std::printf("collapsed stuck-at faults: %zu\n", wb.universe().size());
@@ -71,6 +136,16 @@ int cmd_faults(const std::string& which) {
               det.num_detectable, det.detected_by_random, det.detected_by_atpg);
   std::printf("  untestable:  %zu (proven redundant)\n", det.num_untestable);
   std::printf("  aborted:     %zu (PODEM backtrack limit)\n", det.num_aborted);
+  if (ctx.sink()) {
+    obs::TraceEvent ev("detectability");
+    ev.str("circuit", wb.name())
+        .u64("faults", wb.universe().size())
+        .u64("detectable", det.num_detectable)
+        .u64("untestable", det.num_untestable)
+        .u64("aborted", det.num_aborted);
+    ctx.emit(ev);
+    ctx.flush();
+  }
   return 0;
 }
 
@@ -98,7 +173,9 @@ int cmd_cop(const std::string& which, std::size_t top) {
   return 0;
 }
 
-int cmd_tables(const std::string& which) {
+int cmd_tables(const std::string& which, CommonFlags& common) {
+  core::RunContext ctx;
+  common.configure(ctx);
   const netlist::Netlist nl = load(which);
   const auto combos = core::enumerate_default_combos(nl.num_state_vars());
   report::Table table({"rank", "LA", "LB", "N", "Ncyc0"});
@@ -106,33 +183,45 @@ int cmd_tables(const std::string& which) {
     table.add_row({std::to_string(k + 1), std::to_string(combos[k].l_a),
                    std::to_string(combos[k].l_b), std::to_string(combos[k].n),
                    std::to_string(combos[k].ncyc0)});
+    if (ctx.sink()) {
+      obs::TraceEvent ev("combo_rank");
+      ev.u64("rank", k + 1)
+          .u64("la", combos[k].l_a)
+          .u64("lb", combos[k].l_b)
+          .u64("n", combos[k].n)
+          .u64("ncyc0", combos[k].ncyc0);
+      ctx.emit(ev);
+    }
   }
+  ctx.flush();
   std::printf("first 10 combinations by Ncyc0 (NSV = %zu):\n%s",
               nl.num_state_vars(), table.to_string().c_str());
   return 0;
 }
 
-int cmd_run(const std::string& which, int argc, char** argv) {
-  core::Procedure2Options opt;
-  core::Workbench wb(load(which));
-  std::size_t la = 0, lb = 0, n = 0;
-  for (int i = 3; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto num = [&](const char* prefix) -> long {
-      return std::strtol(a.c_str() + std::strlen(prefix), nullptr, 10);
-    };
-    if (a.rfind("--la=", 0) == 0) la = static_cast<std::size_t>(num("--la="));
-    if (a.rfind("--lb=", 0) == 0) lb = static_cast<std::size_t>(num("--lb="));
-    if (a.rfind("--n=", 0) == 0) n = static_cast<std::size_t>(num("--n="));
-    if (a.rfind("--max-iters=", 0) == 0) {
-      opt.max_iterations = static_cast<std::uint32_t>(num("--max-iters="));
-    }
-    if (a == "--d1-desc") opt.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
+            std::uint64_t lb, std::uint64_t n, std::uint64_t max_iters,
+            bool d1_desc) {
+  core::RunContext ctx;
+  common.configure(ctx);
+  if (max_iters > 0) {
+    ctx.options.p2.max_iterations = static_cast<std::uint32_t>(max_iters);
   }
+  if (d1_desc) ctx.options.p2.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  core::Workbench wb(load(which), ctx.options);
   const core::ExperimentRow row =
       (la && lb && n)
-          ? core::run_single_combo(wb, core::Combo{la, lb, n, 0}, opt)
-          : core::run_first_complete(wb, opt);
+          ? core::run_single_combo(
+                wb,
+                core::Combo{static_cast<std::size_t>(la),
+                            static_cast<std::size_t>(lb),
+                            static_cast<std::size_t>(n), 0},
+                ctx)
+          : core::run_first_complete(wb, ctx);
+  if (ctx.sink()) {
+    ctx.emit_counters();
+    ctx.flush();
+  }
 
   std::printf("circuit %s: LA=%zu LB=%zu N=%zu (Ncyc0=%llu)\n",
               row.circuit.c_str(), row.combo.l_a, row.combo.l_b, row.combo.n,
@@ -155,7 +244,10 @@ int cmd_run(const std::string& which, int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage: rls <list|stats|bench|faults|cop|tables|run> "
-               "[circuit] [options]\n");
+               "[circuit] [options]\n"
+               "common options: --engine=conediff|fullsweep --threads=N "
+               "--seed=S --trace=FILE --progress\n"
+               "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc\n");
   return 64;
 }
 
@@ -166,18 +258,37 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "list") return cmd_list();
-    if (argc < 3) return usage();
-    const std::string which = argv[2];
+
+    cli::FlagParser fp;
+    CommonFlags common;
+    common.add_to(fp);
+    std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, top = 10;
+    bool d1_desc = false;
+    if (cmd == "run") {
+      fp.add_uint("la", &la, "TS_0 short test length");
+      fp.add_uint("lb", &lb, "TS_0 long test length");
+      fp.add_uint("n", &n, "tests per length");
+      fp.add_uint("max-iters", &max_iters, "Procedure 2 iteration cap");
+      fp.add_bool("d1-desc", &d1_desc, "sweep D1 descending 10..1");
+    }
+    const std::vector<std::string> pos = fp.parse(argc, argv, 2);
+    if (pos.empty()) return usage();
+    const std::string& which = pos[0];
+
     if (cmd == "stats") return cmd_stats(which);
     if (cmd == "bench") return cmd_bench(which);
-    if (cmd == "faults") return cmd_faults(which);
+    if (cmd == "faults") return cmd_faults(which, common);
     if (cmd == "cop") {
-      const std::size_t top =
-          argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 10;
-      return cmd_cop(which, top);
+      if (pos.size() > 1) top = std::stoull(pos[1]);
+      return cmd_cop(which, static_cast<std::size_t>(top));
     }
-    if (cmd == "tables") return cmd_tables(which);
-    if (cmd == "run") return cmd_run(which, argc, argv);
+    if (cmd == "tables") return cmd_tables(which, common);
+    if (cmd == "run") {
+      return cmd_run(which, common, la, lb, n, max_iters, d1_desc);
+    }
+  } catch (const cli::FlagError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
