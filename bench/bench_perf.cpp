@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "core/campaign.hpp"
+#include "core/param_select.hpp"
 #include "core/procedure1.hpp"
 #include "core/ts0.hpp"
 #include "fault/collapse.hpp"
@@ -160,6 +162,41 @@ void BM_ObsOverhead(benchmark::State& state, const char* name,
 }
 BENCHMARK_CAPTURE(BM_ObsOverhead, s5378_off, "s5378", false);
 BENCHMARK_CAPTURE(BM_ObsOverhead, s5378_on, "s5378", true);
+
+// Speculative (L_A, L_B, N) combo sweep: serial vs a W-wide speculative
+// window on s420, whose first small combinations fail under a bounded
+// Procedure 2, so the window overlaps real (not wasted) work. Result
+// equivalence across W is asserted by test_sweep_equiv; this measures the
+// wall-clock payoff (BENCH_PR3.json headline).
+void BM_ComboSweep(benchmark::State& state, const char* name, unsigned jobs) {
+  static std::map<std::string, std::unique_ptr<core::Workbench>> wbs;
+  auto& wb = wbs[name];
+  if (!wb) wb = std::make_unique<core::Workbench>(name);
+  core::Procedure2Options p2;
+  p2.sim_threads = 1;  // all parallelism comes from the combo window
+  p2.max_iterations = 2;
+  p2.n_same_fc = 1;
+  p2.d1_order = {1, 2};
+  std::size_t attempts = 0;
+  for (auto _ : state) {
+    std::vector<core::ComboRun> runs;
+    const auto hit =
+        core::first_complete_combo(wb->cc(), wb->target_faults(), p2,
+                                   wb->ts0_seed(), &runs, 4, nullptr, jobs);
+    attempts = runs.size();
+    benchmark::DoNotOptimize(hit.has_value());
+  }
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.counters["attempts"] = static_cast<double>(attempts);
+}
+BENCHMARK_CAPTURE(BM_ComboSweep, s420_w1, "s420", 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ComboSweep, s420_w2, "s420", 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ComboSweep, s420_w4, "s420", 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ComboSweep, s420_w8, "s420", 8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CombFaultSimRound(benchmark::State& state, const char* name) {
   Fixture& f = fixture(name);

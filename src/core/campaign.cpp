@@ -1,5 +1,7 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+
 #include "fault/collapse.hpp"
 #include "gen/registry.hpp"
 #include "rand/rng.hpp"
@@ -30,6 +32,23 @@ void Workbench::classify(const atpg::DetectabilityOptions& det_opt) {
   }
 }
 
+std::optional<std::size_t> best_fallback_attempt(
+    const std::vector<ComboRun>& attempts, std::size_t cap) {
+  const std::size_t n = std::min(attempts.size(), cap);
+  if (n == 0) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    const auto& cand = attempts[k].result;
+    const auto& cur = attempts[best].result;
+    if (cand.total_detected > cur.total_detected ||
+        (cand.total_detected == cur.total_detected &&
+         cand.total_cycles() < cur.total_cycles())) {
+      best = k;
+    }
+  }
+  return best;
+}
+
 ExperimentRow run_first_complete(const Workbench& wb, RunContext& ctx) {
   ExperimentRow row;
   row.circuit = wb.name();
@@ -39,32 +58,28 @@ ExperimentRow run_first_complete(const Workbench& wb, RunContext& ctx) {
   std::vector<ComboRun> attempts;
   std::optional<ComboRun> hit = first_complete_combo(
       wb.cc(), wb.target_faults(), ctx.options.p2, wb.ts0_seed(), &attempts,
-      ctx.options.max_attempts, &ctx);
+      ctx.options.max_attempts, &ctx, ctx.options.combo_jobs);
+  row.attempts = attempts.size();
   if (hit) {
     row.combo = hit->combo;
     row.result = std::move(hit->result);
     row.found_complete = true;
   } else {
-    // No combination completed: report the best of the first few attempts.
-    std::size_t best = 0;
-    for (std::size_t k = 1;
-         k < std::min(attempts.size(), ctx.options.max_combos_on_failure);
-         ++k) {
-      if (attempts[k].result.total_detected >
-          attempts[best].result.total_detected) {
-        best = k;
-      }
-    }
-    if (!attempts.empty()) {
-      row.combo = attempts[best].combo;
-      row.result = std::move(attempts[best].result);
-    }
+    // No combination completed: report the best of the first
+    // max_combos_on_failure attempts — highest coverage, cheapest on ties.
+    // A cap of 0 (or an empty sweep) leaves the row's combo/result empty
+    // rather than silently reporting attempt 0.
     row.found_complete = false;
+    if (std::optional<std::size_t> best = best_fallback_attempt(
+            attempts, ctx.options.max_combos_on_failure)) {
+      row.combo = attempts[*best].combo;
+      row.result = std::move(attempts[*best].result);
+    }
   }
   ctx.emit_result(row.circuit, row.combo.l_a, row.combo.l_b, row.combo.n,
                   row.result.total_detected, row.target_faults,
-                  row.found_complete, row.result.total_cycles(),
-                  ctx.elapsed_ms());
+                  row.found_complete, row.attempts,
+                  row.result.total_cycles(), ctx.elapsed_ms());
   ctx.flush();
   return row;
 }
@@ -84,10 +99,11 @@ ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
   row.combo = run.combo;
   row.result = std::move(run.result);
   row.found_complete = row.result.complete;
+  row.attempts = 1;
   ctx.emit_result(row.circuit, row.combo.l_a, row.combo.l_b, row.combo.n,
                   row.result.total_detected, row.target_faults,
-                  row.found_complete, row.result.total_cycles(),
-                  ctx.elapsed_ms());
+                  row.found_complete, row.attempts,
+                  row.result.total_cycles(), ctx.elapsed_ms());
   ctx.flush();
   return row;
 }

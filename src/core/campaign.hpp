@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,7 +75,16 @@ struct ExperimentRow {
   std::size_t target_faults = 0;
   Procedure2Result result;
   bool found_complete = false; ///< first_complete search succeeded
+  std::size_t attempts = 0;    ///< committed (L_A, L_B, N) attempts behind the row
 };
+
+/// Index of the best fallback attempt among the first `cap` entries of
+/// `attempts`: highest total_detected, ties broken by *lower* total
+/// cycles (cheapest equally-good combo wins). Returns nullopt when `cap`
+/// is 0 or `attempts` is empty — the caller must then report an empty
+/// row instead of silently picking attempt 0.
+std::optional<std::size_t> best_fallback_attempt(
+    const std::vector<ComboRun>& attempts, std::size_t cap);
 
 /// Table 6 policy: first (L_A, L_B, N) combination (in N_cyc0 order)
 /// achieving complete coverage, trying at most ctx.options.max_attempts

@@ -1,10 +1,16 @@
 #include "core/param_select.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 
 #include "core/run_context.hpp"
 #include "scan/cost.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace rls::core {
 
@@ -38,62 +44,236 @@ std::vector<Combo> enumerate_default_combos(std::size_t n_sv) {
 ComboRun run_combo(const sim::CompiledCircuit& cc,
                    const std::vector<fault::Fault>& target_faults,
                    const Combo& combo, const Procedure2Options& p2_opt,
-                   std::uint64_t ts0_seed, RunContext* ctx) {
+                   std::uint64_t ts0_seed, RunContext* ctx, Ts0Cache* cache,
+                   const std::atomic<bool>* abort) {
   Ts0Config cfg;
   cfg.l_a = combo.l_a;
   cfg.l_b = combo.l_b;
   cfg.n = combo.n;
   cfg.seed = ts0_seed;
-  const scan::TestSet ts0 = make_ts0(cc.nl(), cfg);
+  std::shared_ptr<const scan::TestSet> cached;
+  scan::TestSet local;
+  const scan::TestSet* ts0 = nullptr;
+  if (cache) {
+    cached = cache->get(cc.nl(), cfg);
+    ts0 = cached.get();
+  } else {
+    local = make_ts0(cc.nl(), cfg);
+    ts0 = &local;
+  }
+  if (combo.ncyc0 != 0) {
+    // A TS_0-shaped set must cost exactly the closed-form N_cyc0 the combo
+    // was ranked by; a mismatch means a stale cache entry or a combo built
+    // against a different circuit.
+    const std::uint64_t actual = scan::n_cyc(*ts0, cc.flip_flops().size());
+    if (actual != combo.ncyc0) {
+      throw std::logic_error(
+          "run_combo: TS_0 cycle count " + std::to_string(actual) +
+          " does not match combo.ncyc0 " + std::to_string(combo.ncyc0));
+    }
+  }
   fault::FaultList fl(target_faults);
   ComboRun run;
   run.combo = combo;
-  run.result = run_procedure2(cc, ts0, fl, p2_opt, ctx);
+  run.result = run_procedure2(cc, *ts0, fl, p2_opt, ctx, abort);
   return run;
 }
 
-std::optional<ComboRun> first_complete_combo(
+namespace {
+
+/// Combo-level progress milestone (serial path and commit path).
+void report_combo_progress(RunContext* ctx, const Combo& c,
+                           const ComboRun& run, std::size_t targets) {
+  obs::Progress p;
+  p.phase = "combo";
+  char detail[96];
+  std::snprintf(detail, sizeof detail, "LA=%zu LB=%zu N=%zu %s", c.l_a, c.l_b,
+                c.n, run.result.complete ? "complete" : "incomplete");
+  p.detail = detail;
+  p.detected = run.result.total_detected;
+  p.targets = targets;
+  p.cycles = run.result.total_cycles();
+  ctx->update_progress(p);
+}
+
+/// Serial sweep (W = 1): attempts run and commit in the same order, so
+/// events stream straight through the parent context — byte-identical to
+/// the speculative path's buffered commit by construction (pinned by the
+/// sweep-equivalence test).
+std::optional<ComboRun> sweep_serial(
     const sim::CompiledCircuit& cc,
     const std::vector<fault::Fault>& target_faults,
-    const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
-    std::vector<ComboRun>* runs_out, std::size_t max_attempts,
+    const std::vector<Combo>& combos, const Procedure2Options& p2_opt,
+    std::uint64_t ts0_seed, Ts0Cache& cache, std::vector<ComboRun>* runs_out,
     RunContext* ctx) {
-  std::vector<Combo> combos =
-      enumerate_default_combos(cc.flip_flops().size());
-  if (max_attempts > 0 && combos.size() > max_attempts) {
-    combos.resize(max_attempts);
-  }
   std::uint64_t attempt = 0;
   for (const Combo& c : combos) {
     if (ctx) ctx->set_attempt(attempt);
     const double t_combo = ctx ? ctx->elapsed_ms() : 0.0;
-    ComboRun run = run_combo(cc, target_faults, c, p2_opt, ts0_seed, ctx);
+    ComboRun run =
+        run_combo(cc, target_faults, c, p2_opt, ts0_seed, ctx, &cache);
     const bool complete = run.result.complete;
     if (runs_out) runs_out->push_back(run);
     if (ctx && ctx->observed()) {
       ctx->emit_combo_attempt(c.l_a, c.l_b, c.n, c.ncyc0,
                               run.result.total_detected, target_faults.size(),
                               complete, ctx->elapsed_ms() - t_combo);
-      obs::Progress p;
-      p.phase = "combo";
-      char detail[96];
-      std::snprintf(detail, sizeof detail,
-                    "LA=%zu LB=%zu N=%zu %s", c.l_a, c.l_b, c.n,
-                    complete ? "complete" : "incomplete");
-      p.detail = detail;
-      p.detected = run.result.total_detected;
-      p.targets = target_faults.size();
-      p.cycles = run.result.total_cycles();
-      ctx->update_progress(p);
+      report_combo_progress(ctx, c, run, target_faults.size());
     }
     ++attempt;
     if (complete) {
-      if (ctx) ctx->set_attempt(0);
+      if (ctx) {
+        ctx->counters().add("sweep.attempts", attempt);
+        ctx->counters().add("sweep.dispatched", attempt);
+        ctx->set_attempt(0);
+      }
       return run;
     }
   }
-  if (ctx) ctx->set_attempt(0);
+  if (ctx) {
+    ctx->counters().add("sweep.attempts", attempt);
+    ctx->counters().add("sweep.dispatched", attempt);
+    ctx->set_attempt(0);
+  }
   return std::nullopt;
+}
+
+/// Speculative sweep (W > 1). Invariant that makes commit-in-order exact:
+/// attempts are claimed in ascending rank, and attempt j is only ever
+/// cancelled when some complete attempt i < j is already known — so every
+/// attempt up to and including the final winner k ran to natural
+/// completion, and the committed prefix [0, k] is exactly what the serial
+/// sweep would have produced.
+std::optional<ComboRun> sweep_speculative(
+    const sim::CompiledCircuit& cc,
+    const std::vector<fault::Fault>& target_faults,
+    const std::vector<Combo>& combos, const Procedure2Options& p2_opt,
+    std::uint64_t ts0_seed, Ts0Cache& cache, std::vector<ComboRun>* runs_out,
+    RunContext* ctx, unsigned workers) {
+  struct Slot {
+    std::atomic<bool> cancel{false};
+    bool claimed = false;
+    bool done = false;
+    ComboRun run;
+    obs::CounterRegistry counters;
+    obs::VectorSink buf;
+    double wall_ms = 0.0;
+  };
+  std::deque<Slot> slots(combos.size());
+  std::atomic<std::size_t> next{0};
+  // Attempts ranked at or beyond the earliest known-complete attempt are
+  // doomed speculation: never claim them.
+  std::atomic<std::size_t> stop_before{combos.size()};
+  std::mutex mu;
+
+  const bool buffer_events = ctx && ctx->sink() != nullptr;
+  const bool timing = ctx && ctx->timing_enabled();
+
+  auto step = [&](unsigned) -> bool {
+    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= combos.size() || i >= stop_before.load(std::memory_order_relaxed))
+      return false;
+    Slot& s = slots[i];
+    s.claimed = true;
+    RunContext child;
+    child.set_timing(timing);
+    child.set_attempt(i);
+    if (buffer_events) child.set_sink(&s.buf);
+    ComboRun run = run_combo(cc, target_faults, combos[i], p2_opt, ts0_seed,
+                             ctx ? &child : nullptr, &cache, &s.cancel);
+    const double wall = ctx ? child.elapsed_ms() : 0.0;
+    std::lock_guard lk(mu);
+    s.run = std::move(run);
+    if (ctx) s.counters = child.counters();
+    s.wall_ms = wall;
+    s.done = true;
+    if (s.run.result.complete && !s.run.result.aborted) {
+      std::size_t cur = stop_before.load(std::memory_order_relaxed);
+      while (i < cur && !stop_before.compare_exchange_weak(cur, i)) {
+      }
+      for (std::size_t j = i + 1; j < combos.size(); ++j) {
+        slots[j].cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  };
+
+  sim::WorkerPool pool;
+  pool.run_tasks(workers, step);
+
+  // Commit strictly in N_cyc0 rank order; stop at the first complete
+  // attempt. Everything past it (including cancelled partial runs) is
+  // discarded — counters, buffered events and all.
+  std::optional<ComboRun> winner;
+  std::size_t committed = 0;
+  for (std::size_t k = 0; k < combos.size(); ++k) {
+    Slot& s = slots[k];
+    if (!s.claimed || !s.done) break;
+    if (s.run.result.aborted) break;  // unreachable before the winner
+    if (ctx) {
+      ctx->counters().merge(s.counters);
+      ctx->set_attempt(k);
+      if (buffer_events) {
+        for (const obs::TraceEvent& ev : s.buf.events()) ctx->emit(ev);
+      }
+      if (ctx->observed()) {
+        const Combo& c = combos[k];
+        ctx->emit_combo_attempt(c.l_a, c.l_b, c.n, c.ncyc0,
+                                s.run.result.total_detected,
+                                target_faults.size(), s.run.result.complete,
+                                s.wall_ms);
+        report_combo_progress(ctx, c, s.run, target_faults.size());
+      }
+    }
+    if (runs_out) runs_out->push_back(s.run);
+    ++committed;
+    if (s.run.result.complete) {
+      winner = std::move(s.run);
+      break;
+    }
+  }
+  if (ctx) {
+    std::size_t dispatched = 0;
+    std::size_t cancelled = 0;
+    for (std::size_t k = 0; k < combos.size(); ++k) {
+      if (!slots[k].claimed) continue;
+      ++dispatched;
+      if (slots[k].done && slots[k].run.result.aborted) ++cancelled;
+    }
+    ctx->counters().add("sweep.attempts", committed);
+    ctx->counters().add("sweep.dispatched", dispatched);
+    ctx->counters().add("sweep.cancelled", cancelled);
+    ctx->counters().add("sweep.discarded", dispatched - committed - cancelled);
+    ctx->set_attempt(0);
+  }
+  return winner;
+}
+
+}  // namespace
+
+std::optional<ComboRun> first_complete_combo(
+    const sim::CompiledCircuit& cc,
+    const std::vector<fault::Fault>& target_faults,
+    const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
+    std::vector<ComboRun>* runs_out, std::size_t max_attempts,
+    RunContext* ctx, unsigned combo_jobs) {
+  std::vector<Combo> combos =
+      enumerate_default_combos(cc.flip_flops().size());
+  if (max_attempts > 0 && combos.size() > max_attempts) {
+    combos.resize(max_attempts);
+  }
+  unsigned w = combo_jobs == 0
+                   ? std::max(1u, std::thread::hardware_concurrency())
+                   : combo_jobs;
+  w = static_cast<unsigned>(std::min<std::size_t>(w, combos.size()));
+  Ts0Cache cache;
+  std::optional<ComboRun> winner =
+      w <= 1 ? sweep_serial(cc, target_faults, combos, p2_opt, ts0_seed,
+                            cache, runs_out, ctx)
+             : sweep_speculative(cc, target_faults, combos, p2_opt, ts0_seed,
+                                 cache, runs_out, ctx, w);
+  if (ctx) ctx->counters().add("sweep.ts0_cache_hits", cache.hits());
+  return winner;
 }
 
 }  // namespace rls::core

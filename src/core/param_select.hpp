@@ -4,8 +4,20 @@
 // N_cyc0 = (2N+1)N_SV + N(L_A+L_B); Procedure 2 is applied in that order
 // and the first combination achieving complete coverage of the target
 // faults is selected (the paper's Table 6 policy).
+//
+// The search supports *speculative parallelism* (combo_jobs = W > 1): a
+// sliding window of W candidate combinations runs concurrently on a
+// sim::WorkerPool, each attempt on its own FaultList / TS_0 / buffered
+// trace context, while results are committed strictly in N_cyc0 order.
+// When the earliest-ranked attempt that completes coverage is committed,
+// every later speculative attempt is cancelled through the cooperative
+// abort flag of run_procedure2 and its result (trace events, counters,
+// ComboRun) is discarded. The winning combo, the committed ComboRun list
+// and the trace stream are therefore identical at any W — speculation
+// trades wasted cycles on cancelled attempts for wall-clock time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -60,21 +72,34 @@ class RunContext;
 /// one reaches complete coverage of `target_faults`. Returns that run, or
 /// nullopt if none achieves completeness within `max_attempts` tried
 /// combinations (0 = unlimited). `runs_out`, when non-null, receives every
-/// attempted run (dash rows of Tables 3/4). `ctx`, when non-null, gets one
-/// "combo_attempt" event per tried combination (with the attempt index
+/// committed run (dash rows of Tables 3/4). `ctx`, when non-null, gets one
+/// "combo_attempt" event per committed combination (with the attempt index
 /// stamped into every nested Procedure 2 event) plus progress updates.
+///
+/// `combo_jobs` is the speculative window width W (1 = serial, 0 =
+/// hardware concurrency). The committed results — winner, runs_out
+/// contents, per-event trace bytes (timing pinned), "fsim.*" counter
+/// totals — are identical at any W; only the "sweep.*" speculation
+/// counters (dispatched / cancelled / discarded) and wall-clock vary.
 std::optional<ComboRun> first_complete_combo(
     const sim::CompiledCircuit& cc,
     const std::vector<fault::Fault>& target_faults,
     const Procedure2Options& p2_opt, std::uint64_t ts0_seed,
     std::vector<ComboRun>* runs_out = nullptr,
-    std::size_t max_attempts = 0, RunContext* ctx = nullptr);
+    std::size_t max_attempts = 0, RunContext* ctx = nullptr,
+    unsigned combo_jobs = 1);
 
 /// Runs Procedure 2 for one specific combination against a fresh copy of
-/// the target faults.
+/// the target faults. `cache`, when non-null, memoizes TS_0 generation
+/// per (L_A, L_B, N, seed); a non-zero combo.ncyc0 is validated against
+/// the generated set's actual cycle count (throws std::logic_error on
+/// mismatch — a stale cache entry or a mis-ranked combo). `abort` is the
+/// cooperative cancellation flag forwarded to run_procedure2.
 ComboRun run_combo(const sim::CompiledCircuit& cc,
                    const std::vector<fault::Fault>& target_faults,
                    const Combo& combo, const Procedure2Options& p2_opt,
-                   std::uint64_t ts0_seed, RunContext* ctx = nullptr);
+                   std::uint64_t ts0_seed, RunContext* ctx = nullptr,
+                   Ts0Cache* cache = nullptr,
+                   const std::atomic<bool>* abort = nullptr);
 
 }  // namespace rls::core

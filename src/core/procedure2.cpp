@@ -27,7 +27,8 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                                 const scan::TestSet& ts0,
                                 fault::FaultList& fl,
                                 const Procedure2Options& opt,
-                                RunContext* ctx) {
+                                RunContext* ctx,
+                                const std::atomic<bool>* abort) {
   Procedure2Result res;
   const std::size_t n_sv = cc.flip_flops().size();
   fault::SeqFaultSim fsim(cc);
@@ -63,6 +64,14 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
   for (std::uint32_t iteration = 1;
        iteration <= opt.max_iterations && n_same_fc < opt.n_same_fc;
        ++iteration) {
+    // Cooperative cancellation point for speculative sweep attempts: an
+    // aborted result is partial by construction, so no summary is emitted
+    // (the caller discards the run entirely).
+    if (abort && abort->load(std::memory_order_relaxed)) {
+      res.total_detected = fl.num_detected();
+      res.aborted = true;
+      return res;
+    }
     bool improve = false;
     for (std::uint32_t d1 : opt.d1_order) {
       LimitedScanParams p;

@@ -8,6 +8,7 @@
 // (plus a hard iteration cap as an engineering safety net).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +53,10 @@ struct Procedure2Result {
   std::vector<AppliedSet> applied;   ///< ID1_PAIRS in selection order
   std::size_t total_detected = 0;    ///< including TS_0 detections
   bool complete = false;             ///< all target faults detected
+  /// True when a cooperative abort stopped the iteration early (speculative
+  /// sweep cancellation). An aborted result is partial and is never
+  /// committed by the combo sweep.
+  bool aborted = false;
 
   /// Number of limited-scan test-set applications (`app` in Table 6).
   [[nodiscard]] std::size_t num_applications() const noexcept {
@@ -83,10 +88,16 @@ class RunContext;
 /// `ctx`, when non-null, receives the per-(I, D_1) event stream ("ts0",
 /// "sweep", "id1_pair", "summary"), progress updates, and the engine's
 /// "fsim.*" counters; a null context is the zero-overhead default.
+/// `abort`, when non-null, is a cooperative cancellation flag polled at
+/// the top of every outer I iteration: once it reads true the run returns
+/// its partial state with `aborted = true` and emits no summary event (the
+/// speculative combo sweep discards such results, so a cancelled attempt
+/// leaves no trace-stream residue).
 Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                                 const scan::TestSet& ts0,
                                 fault::FaultList& fl,
                                 const Procedure2Options& opt,
-                                RunContext* ctx = nullptr);
+                                RunContext* ctx = nullptr,
+                                const std::atomic<bool>* abort = nullptr);
 
 }  // namespace rls::core

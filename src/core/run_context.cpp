@@ -106,8 +106,8 @@ void RunContext::emit_combo_attempt(std::size_t l_a, std::size_t l_b,
 void RunContext::emit_result(const std::string& circuit, std::size_t l_a,
                              std::size_t l_b, std::size_t n,
                              std::size_t detected, std::size_t targets,
-                             bool complete, std::uint64_t total_cycles,
-                             double wall_ms) {
+                             bool complete, std::size_t attempts,
+                             std::uint64_t total_cycles, double wall_ms) {
   if (!sink_) return;
   obs::TraceEvent ev("result");
   ev.str("circuit", circuit)
@@ -117,6 +117,7 @@ void RunContext::emit_result(const std::string& circuit, std::size_t l_a,
       .u64("detected", detected)
       .u64("targets", targets)
       .boolean("complete", complete)
+      .u64("attempts", attempts)
       .u64("total_cycles", total_cycles)
       .f64("wall_ms", timing_ ? wall_ms : 0.0);
   sink_->write(ev);

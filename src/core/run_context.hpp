@@ -41,6 +41,11 @@ struct CampaignOptions {
   std::size_t max_combos_on_failure = 6;
   /// Cap on attempted (L_A, L_B, N) combinations (0 = all).
   std::size_t max_attempts = 0;
+  /// Speculative combo-sweep width W: number of (L_A, L_B, N) attempts in
+  /// flight during first_complete (1 = serial, 0 = hardware concurrency).
+  /// Results are committed strictly in N_cyc0 order, so the winning combo,
+  /// every committed ComboRun and the trace stream are identical at any W.
+  unsigned combo_jobs = 1;
 };
 
 class RunContext {
@@ -58,6 +63,10 @@ class RunContext {
   void set_timing(bool enabled) noexcept { timing_ = enabled; }
 
   [[nodiscard]] obs::TraceSink* sink() const noexcept { return sink_; }
+  [[nodiscard]] obs::ProgressObserver* progress() const noexcept {
+    return progress_;
+  }
+  [[nodiscard]] bool timing_enabled() const noexcept { return timing_; }
   [[nodiscard]] bool observed() const noexcept {
     return sink_ != nullptr || progress_ != nullptr;
   }
@@ -112,10 +121,12 @@ class RunContext {
   void emit_combo_attempt(std::size_t l_a, std::size_t l_b, std::size_t n,
                           std::uint64_t ncyc0, std::size_t detected,
                           std::size_t targets, bool complete, double wall_ms);
-  /// "result": campaign exit (the row that will be reported).
+  /// "result": campaign exit (the row that will be reported). `attempts`
+  /// is the number of committed (L_A, L_B, N) attempts behind the row —
+  /// 0 means the row is empty (no combination was even tried).
   void emit_result(const std::string& circuit, std::size_t l_a,
                    std::size_t l_b, std::size_t n, std::size_t detected,
-                   std::size_t targets, bool complete,
+                   std::size_t targets, bool complete, std::size_t attempts,
                    std::uint64_t total_cycles, double wall_ms);
   /// "counters": the full registry snapshot as one event (name -> total).
   void emit_counters();

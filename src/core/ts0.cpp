@@ -27,4 +27,27 @@ scan::TestSet make_ts0(const netlist::Netlist& nl, const Ts0Config& cfg) {
   return ts;
 }
 
+std::shared_ptr<const scan::TestSet> Ts0Cache::get(const netlist::Netlist& nl,
+                                                   const Ts0Config& cfg) {
+  const Key key{cfg.l_a, cfg.l_b, cfg.n, cfg.seed};
+  std::lock_guard lk(mu_);
+  auto& slot = cache_[key];
+  if (slot) {
+    ++hits_;
+  } else {
+    slot = std::make_shared<const scan::TestSet>(make_ts0(nl, cfg));
+  }
+  return slot;
+}
+
+std::size_t Ts0Cache::hits() const {
+  std::lock_guard lk(mu_);
+  return hits_;
+}
+
+std::size_t Ts0Cache::size() const {
+  std::lock_guard lk(mu_);
+  return cache_.size();
+}
+
 }  // namespace rls::core

@@ -8,6 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "netlist/netlist.hpp"
 #include "scan/test.hpp"
@@ -24,5 +28,30 @@ struct Ts0Config {
 /// Generates TS_0 for the circuit: 2N tests, no limited scan operations.
 /// Pure function of (circuit interface sizes, config).
 scan::TestSet make_ts0(const netlist::Netlist& nl, const Ts0Config& cfg);
+
+/// Sweep-scoped memoization of make_ts0, keyed by (L_A, L_B, N, seed).
+/// make_ts0 is a pure function of its key (for a fixed circuit interface),
+/// so a campaign that revisits a combination — repeated single-combo runs,
+/// benchmark loops, the speculative sweep's per-worker fetches — reuses
+/// one immutable set instead of regenerating it. Thread-safe: speculative
+/// combo workers fetch concurrently. One cache serves one circuit; the
+/// key deliberately omits the netlist.
+class Ts0Cache {
+ public:
+  /// Returns the cached set for (cfg, nl), generating it on first use.
+  std::shared_ptr<const scan::TestSet> get(const netlist::Netlist& nl,
+                                           const Ts0Config& cfg);
+
+  /// Number of get() calls served without regeneration.
+  [[nodiscard]] std::size_t hits() const;
+  /// Number of distinct test sets generated.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using Key = std::tuple<std::size_t, std::size_t, std::size_t, std::uint64_t>;
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const scan::TestSet>> cache_;
+  std::size_t hits_ = 0;
+};
 
 }  // namespace rls::core

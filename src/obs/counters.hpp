@@ -38,6 +38,15 @@ class CounterRegistry {
     return {counters_.begin(), counters_.end()};
   }
 
+  /// Adds every counter of `other` into this registry (sweep commit path:
+  /// attempt-scoped registries are folded into the campaign registry in
+  /// commit order).
+  void merge(const CounterRegistry& other) {
+    for (const auto& [name, total] : other.counters_) {
+      counters_[name] += total;
+    }
+  }
+
   void clear() { counters_.clear(); }
 
  private:

@@ -1,5 +1,7 @@
 #include "scan/cost.hpp"
 
+#include <stdexcept>
+
 namespace rls::scan {
 
 std::uint64_t n_cyc0(std::uint64_t n_sv, std::uint64_t l_a, std::uint64_t l_b,
@@ -19,8 +21,19 @@ double average_limited_scan_units(const TestSet& ts) {
 
 std::uint64_t n_cyc_multi_chain(const TestSet& ts, std::uint64_t n_sv,
                                 std::uint64_t num_chains) {
+  if (num_chains == 0) {
+    throw std::invalid_argument("n_cyc_multi_chain: num_chains must be > 0");
+  }
   const std::uint64_t scan_cycles = (n_sv + num_chains - 1) / num_chains;
-  return (ts.size() + 1) * scan_cycles + ts.total_vectors() + ts.total_shift();
+  // Limited-scan shifts move through the chains in parallel too: a unit
+  // shifting `s` positions costs ceil(s / num_chains) cycles, not s.
+  std::uint64_t shift_cycles = 0;
+  for (const ScanTest& t : ts.tests) {
+    for (std::uint64_t s : t.shift) {
+      shift_cycles += (s + num_chains - 1) / num_chains;
+    }
+  }
+  return (ts.size() + 1) * scan_cycles + ts.total_vectors() + shift_cycles;
 }
 
 }  // namespace rls::scan

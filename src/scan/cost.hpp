@@ -30,8 +30,10 @@ inline std::uint64_t n_sh(const TestSet& ts) { return ts.total_shift(); }
 double average_limited_scan_units(const TestSet& ts);
 
 /// Cost for a multiple-scan-chain configuration ([5]/[6] style): a complete
-/// scan operation takes only ceil(N_SV / num_chains) cycles (chains shift
-/// in parallel). Used by the baseline comparison.
+/// scan operation takes only ceil(N_SV / num_chains) cycles, and a limited
+/// scan operation of s shifts takes ceil(s / num_chains) cycles (chains
+/// shift in parallel in both cases). Used by the baseline comparison.
+/// Throws std::invalid_argument when num_chains == 0.
 std::uint64_t n_cyc_multi_chain(const TestSet& ts, std::uint64_t n_sv,
                                 std::uint64_t num_chains);
 

@@ -41,4 +41,11 @@ void WorkerPool::run(unsigned n, std::function<void(unsigned)> job) {
   job_ = nullptr;
 }
 
+void WorkerPool::run_tasks(unsigned n, std::function<bool(unsigned)> step) {
+  run(n, [&step](unsigned w) {
+    while (step(w)) {
+    }
+  });
+}
+
 }  // namespace rls::sim

@@ -6,9 +6,16 @@
 // startup on every call. run() blocks until every active worker finished,
 // which also means the job may capture stack state by reference.
 //
-// The pool imposes no work-queue semantics: job(w) receives the worker
-// index w in [0, n) and partitions work itself (deterministic striding in
-// the fault simulator keeps results bit-identical at any thread count).
+// Two execution shapes are offered:
+//   * run(n, job)       — static partitioning: job(w) receives the worker
+//     index w in [0, n) and partitions work itself (deterministic striding
+//     in the fault simulator keeps results bit-identical at any thread
+//     count);
+//   * run_tasks(n, step) — dynamic task claiming for coarse campaign-level
+//     tasks of unequal cost (e.g. speculative (L_A, L_B, N) combo
+//     attempts): each worker repeatedly invokes step(w) until it returns
+//     false, and step claims its own unit of work (typically via an atomic
+//     cursor). The caller owns ordering/commit semantics.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +38,11 @@ class WorkerPool {
   /// return. Grows the pool to n threads on demand; extra idle threads
   /// from earlier, wider runs are left parked.
   void run(unsigned n, std::function<void(unsigned)> job);
+
+  /// Task-loop form: each of n persistent workers calls step(w) repeatedly
+  /// until it returns false, then parks. Blocks until every worker
+  /// returned. step is shared across workers and must be thread-safe.
+  void run_tasks(unsigned n, std::function<bool(unsigned)> step);
 
   /// Number of spawned threads (high-water mark of run() widths).
   [[nodiscard]] unsigned size() const noexcept {

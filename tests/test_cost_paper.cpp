@@ -4,8 +4,11 @@
 // formula, not on any netlist.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/param_select.hpp"
 #include "scan/cost.hpp"
+#include "scan/test.hpp"
 
 namespace rls {
 namespace {
@@ -114,6 +117,31 @@ TEST(CostPaper, ComboEnumerationRespectsLaLessThanLb) {
     EXPECT_LT(c.l_a, c.l_b);
     EXPECT_EQ(c.ncyc0, n_cyc0(10, c.l_a, c.l_b, c.n));
   }
+}
+
+TEST(CostMultiChain, DividesLimitedScanShiftsAcrossChains) {
+  // One test of 4 vectors with limited-scan shifts {0, 5, 3, 7}; N_SV = 25.
+  scan::TestSet ts;
+  scan::ScanTest t;
+  t.vectors.resize(4);
+  t.shift = {0, 5, 3, 7};
+  ts.tests.push_back(t);
+
+  // Single chain: multi-chain with 1 chain must equal the plain formula.
+  EXPECT_EQ(scan::n_cyc_multi_chain(ts, 25, 1), scan::n_cyc(ts, 25));
+
+  // 3 chains: complete scans cost ceil(25/3) = 9; each limited-scan unit
+  // costs ceil(s/3) -> ceil(5/3) + ceil(3/3) + ceil(7/3) = 2 + 1 + 3 = 6
+  // (the pre-fix code charged the full 15 serial shifts).
+  EXPECT_EQ(scan::n_cyc_multi_chain(ts, 25, 3), (1 + 1) * 9 + 4 + 6);
+
+  // More chains than shift positions: every nonzero unit costs one cycle.
+  EXPECT_EQ(scan::n_cyc_multi_chain(ts, 25, 25), (1 + 1) * 1 + 4 + 3);
+}
+
+TEST(CostMultiChain, RejectsZeroChains) {
+  scan::TestSet ts;
+  EXPECT_THROW(scan::n_cyc_multi_chain(ts, 8, 0), std::invalid_argument);
 }
 
 TEST(CostPaper, ComboEnumerationIsSortedByNcyc0) {

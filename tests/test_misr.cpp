@@ -62,6 +62,35 @@ TEST(LaneMisr, BroadcastMatchesScalar) {
   EXPECT_EQ(lanes.differs_from(scalar.signature()), 0u);
 }
 
+TEST(LaneMisr, EachLaneMatchesScalarAcrossDegrees) {
+  // One random multi-stream sequence, fed to a scalar MISR and to a single
+  // lane j of a LaneMisr while the other 63 lanes carry unrelated noise:
+  // lane j's signature must equal the scalar signature for every degree.
+  for (const int degree : {8, 16, 32, 64}) {
+    for (const int lane : {0, 7, 31, 63}) {
+      Misr scalar(degree);
+      LaneMisr lanes(degree);
+      rls::rand::Rng rng(0x5151u + static_cast<std::uint64_t>(degree) * 64 +
+                         static_cast<std::uint64_t>(lane));
+      for (int cycle = 0; cycle < 40; ++cycle) {
+        std::vector<std::uint8_t> bits(5);
+        std::vector<sim::Word> words(5);
+        for (std::size_t k = 0; k < 5; ++k) {
+          bits[k] = rng.next_bit() ? 1 : 0;
+          sim::Word noise = rng.next_u64();
+          noise &= ~(sim::Word{1} << lane);
+          noise |= sim::Word{bits[k]} << lane;
+          words[k] = noise;
+        }
+        scalar.absorb(bits);
+        lanes.absorb(words);
+      }
+      ASSERT_EQ(lanes.signature(lane), scalar.signature())
+          << "degree " << degree << " lane " << lane;
+    }
+  }
+}
+
 TEST(LaneMisr, LanesAreIndependent) {
   LaneMisr lanes(16);
   rls::rand::Rng rng(7);

@@ -91,7 +91,7 @@ TEST(ObsSchema, GoldenEventStreamShape) {
       {"summary", {"ev", "attempt", "detected", "targets", "complete",
                    "applications", "total_cycles", "fc", "ls", "wall_ms"}},
       {"result", {"ev", "circuit", "la", "lb", "n", "detected", "targets",
-                  "complete", "total_cycles", "wall_ms"}},
+                  "complete", "attempts", "total_cycles", "wall_ms"}},
   };
   for (const obs::TraceEvent& ev : run.sink.events()) {
     const auto it = golden.find(ev.type);

@@ -1,6 +1,8 @@
 // Parameter-selection tests (combination search policy).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/campaign.hpp"
 #include "core/param_select.hpp"
 #include "scan/cost.hpp"
@@ -66,6 +68,100 @@ TEST(ParamSelect, RunSingleComboFillsNcyc0) {
   Procedure2Options opt;
   const ExperimentRow row = run_single_combo(wb, Combo{8, 32, 16, 0}, opt);
   EXPECT_EQ(row.combo.ncyc0, scan::n_cyc0(3, 8, 32, 16));
+}
+
+TEST(ParamSelect, Ts0CacheMemoizesPerKey) {
+  const Workbench wb("s27");
+  Ts0Cache cache;
+  Ts0Config cfg;
+  cfg.l_a = 8;
+  cfg.l_b = 16;
+  cfg.n = 4;
+  cfg.seed = wb.ts0_seed();
+  const auto a = cache.get(wb.nl(), cfg);
+  const auto b = cache.get(wb.nl(), cfg);
+  EXPECT_EQ(a.get(), b.get());  // same shared set, not a regeneration
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  cfg.seed ^= 1;
+  const auto c = cache.get(wb.nl(), cfg);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ParamSelect, RunComboValidatesNcyc0AgainstGeneratedSet) {
+  const Workbench wb("s27");
+  Procedure2Options opt;
+  Combo bad{8, 16, 16, 0};
+  bad.ncyc0 = scan::n_cyc0(3, 8, 16, 16) + 1;  // deliberately mis-ranked
+  EXPECT_THROW(run_combo(wb.cc(), wb.target_faults(), bad, opt, wb.ts0_seed()),
+               std::logic_error);
+  Ts0Cache cache;
+  EXPECT_THROW(run_combo(wb.cc(), wb.target_faults(), bad, opt, wb.ts0_seed(),
+                         nullptr, &cache),
+               std::logic_error);
+}
+
+namespace {
+
+ComboRun make_attempt(std::size_t detected, std::uint64_t cycles) {
+  ComboRun r;
+  r.result.total_detected = detected;
+  r.result.ncyc0 = cycles;
+  return r;
+}
+
+}  // namespace
+
+TEST(Fallback, EmptyOrZeroCapYieldsNoAttempt) {
+  EXPECT_FALSE(best_fallback_attempt({}, 6).has_value());
+  const std::vector<ComboRun> attempts{make_attempt(10, 100)};
+  EXPECT_FALSE(best_fallback_attempt(attempts, 0).has_value());
+}
+
+TEST(Fallback, PicksHighestCoverageWithinCap) {
+  const std::vector<ComboRun> attempts{
+      make_attempt(10, 100), make_attempt(30, 200), make_attempt(20, 50)};
+  EXPECT_EQ(best_fallback_attempt(attempts, 6).value(), 1u);
+  // Capping at 1 hides the better later attempts.
+  EXPECT_EQ(best_fallback_attempt(attempts, 1).value(), 0u);
+}
+
+TEST(Fallback, BreaksCoverageTiesByLowerCycles) {
+  const std::vector<ComboRun> attempts{
+      make_attempt(30, 300), make_attempt(30, 120), make_attempt(30, 240)};
+  EXPECT_EQ(best_fallback_attempt(attempts, 6).value(), 1u);
+}
+
+TEST(Fallback, ZeroCapLeavesRowEmptyOnFailure) {
+  // s420 is random-resistant: with Procedure 2 reduced to TS_0 plus one
+  // D_1 = 1 sweep, no small combination completes, so the failure path is
+  // exercised deterministically.
+  CampaignOptions opts;
+  opts.p2.d1_order = {1};
+  opts.p2.max_iterations = 1;
+  opts.p2.n_same_fc = 1;
+  opts.p2.sim_threads = 1;
+  opts.max_attempts = 1;
+  opts.max_combos_on_failure = 0;
+  const Workbench wb("s420", opts);
+  RunContext ctx(opts);
+  const ExperimentRow row = run_first_complete(wb, ctx);
+  ASSERT_FALSE(row.found_complete);
+  EXPECT_EQ(row.attempts, 1u);
+  // The pre-fix code reported attempt 0 here despite the cap of 0.
+  EXPECT_EQ(row.combo.n, 0u);
+  EXPECT_EQ(row.combo.ncyc0, 0u);
+  EXPECT_EQ(row.result.total_detected, 0u);
+
+  // With a non-zero cap the same failing sweep reports a real attempt.
+  RunContext ctx2(opts);
+  ctx2.options.max_combos_on_failure = 6;
+  const ExperimentRow row2 = run_first_complete(wb, ctx2);
+  ASSERT_FALSE(row2.found_complete);
+  EXPECT_GT(row2.combo.n, 0u);
+  EXPECT_GT(row2.result.total_detected, 0u);
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Runs the perf microbenchmarks with JSON output and writes the result to
-# BENCH_PR2.json at the repository root (override with -o). The BM_ObsOverhead
+# BENCH_PR3.json at the repository root (override with -o). The BM_ObsOverhead
 # benchmark exports the engine's obs counters (obs.fsim.* per sweep) as
 # benchmark user counters, so they land in the JSON artifact alongside the
 # timings — compare the s5378_off/_on pair to check the <2% overhead contract.
+# BM_ComboSweep/s420_w{1,2,4,8} is the speculative combo-sweep scaling curve
+# (compare w1 vs w4 real_time for the PR-3 speedup headline).
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]
@@ -16,7 +18,7 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-output="$repo_root/BENCH_PR2.json"
+output="$repo_root/BENCH_PR3.json"
 filter=""
 min_time="0.2"
 

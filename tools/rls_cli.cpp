@@ -201,13 +201,20 @@ int cmd_tables(const std::string& which, CommonFlags& common) {
 
 int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
             std::uint64_t lb, std::uint64_t n, std::uint64_t max_iters,
-            bool d1_desc) {
+            bool d1_desc, std::uint64_t combo_jobs) {
   core::RunContext ctx;
   common.configure(ctx);
   if (max_iters > 0) {
     ctx.options.p2.max_iterations = static_cast<std::uint32_t>(max_iters);
   }
   if (d1_desc) ctx.options.p2.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  ctx.options.combo_jobs = static_cast<unsigned>(combo_jobs);
+  if (combo_jobs != 1 && ctx.options.p2.sim_threads == 0) {
+    // Speculative attempts parallelize across combos; without an explicit
+    // --threads, keep each attempt's inner fault simulation serial so
+    // combo_jobs x sim_threads doesn't oversubscribe the machine.
+    ctx.options.p2.sim_threads = 1;
+  }
   core::Workbench wb(load(which), ctx.options);
   const core::ExperimentRow row =
       (la && lb && n)
@@ -247,7 +254,8 @@ int usage() {
                "[circuit] [options]\n"
                "common options: --engine=conediff|fullsweep --threads=N "
                "--seed=S --trace=FILE --progress\n"
-               "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc\n");
+               "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc "
+               "--combo-jobs=W\n");
   return 64;
 }
 
@@ -263,6 +271,7 @@ int main(int argc, char** argv) {
     CommonFlags common;
     common.add_to(fp);
     std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, top = 10;
+    std::uint64_t combo_jobs = 1;
     bool d1_desc = false;
     if (cmd == "run") {
       fp.add_uint("la", &la, "TS_0 short test length");
@@ -270,6 +279,9 @@ int main(int argc, char** argv) {
       fp.add_uint("n", &n, "tests per length");
       fp.add_uint("max-iters", &max_iters, "Procedure 2 iteration cap");
       fp.add_bool("d1-desc", &d1_desc, "sweep D1 descending 10..1");
+      fp.add_uint("combo-jobs", &combo_jobs,
+                  "speculative combo attempts in flight (0 = hardware); "
+                  "forces --threads=1 per attempt unless --threads is given");
     }
     const std::vector<std::string> pos = fp.parse(argc, argv, 2);
     if (pos.empty()) return usage();
@@ -284,7 +296,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "tables") return cmd_tables(which, common);
     if (cmd == "run") {
-      return cmd_run(which, common, la, lb, n, max_iters, d1_desc);
+      return cmd_run(which, common, la, lb, n, max_iters, d1_desc, combo_jobs);
     }
   } catch (const cli::FlagError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
