@@ -1,0 +1,624 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "fault/collapse.hpp"
+#include "netlist/bench_io.hpp"
+#include "report/format.hpp"
+
+namespace rls::analysis {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "?";
+}
+
+std::size_t LintResult::count(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) n += (d.severity == s);
+  return n;
+}
+
+int LintResult::exit_code() const noexcept {
+  if (has_errors()) return 1;
+  if (has_warnings()) return 2;
+  return 0;
+}
+
+namespace {
+
+Diagnostic make(std::string code, Severity sev, SignalId signal,
+                std::string object, std::string message) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = sev;
+  d.signal = signal;
+  d.object = std::move(object);
+  d.message = std::move(message);
+  return d;
+}
+
+/// Formats a probability with enough digits to distinguish resistant
+/// faults without dragging wall-clock noise into golden outputs.
+std::string prob(double p) { return report::format_fixed(p, 6); }
+
+// ---- structural checks ----------------------------------------------------
+
+void check_no_outputs(const Netlist& nl, const LintOptions&,
+                      std::vector<Diagnostic>& out) {
+  if (nl.primary_outputs().empty()) {
+    out.push_back(make("RLS-E004", Severity::kError, netlist::kNoSignal, "",
+                       "circuit has no primary outputs"));
+  }
+}
+
+/// Iterative Tarjan SCC over the combinational subgraph (fanin edges
+/// restricted to combinational gates). One diagnostic per non-trivial SCC
+/// (or self-loop), carrying a concrete cycle path as the witness.
+void check_comb_cycles(const Netlist& nl, const LintOptions&,
+                       std::vector<Diagnostic>& out) {
+  const std::size_t n = nl.num_gates();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<SignalId> stack;
+  std::uint32_t next_index = 0;
+
+  auto comb = [&](SignalId id) {
+    return netlist::is_combinational(nl.gate(id).type);
+  };
+
+  struct Frame {
+    SignalId id;
+    std::size_t pin;
+  };
+  std::vector<std::vector<SignalId>> sccs;
+  std::vector<Frame> dfs;
+
+  for (SignalId root = 0; root < n; ++root) {
+    if (!comb(root) || index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& fanin = nl.gate(f.id).fanin;
+      if (f.pin < fanin.size()) {
+        const SignalId in = fanin[f.pin++];
+        if (!comb(in)) continue;
+        if (index[in] == kUnvisited) {
+          index[in] = lowlink[in] = next_index++;
+          stack.push_back(in);
+          on_stack[in] = 1;
+          dfs.push_back({in, 0});
+        } else if (on_stack[in]) {
+          lowlink[f.id] = std::min(lowlink[f.id], index[in]);
+        }
+        continue;
+      }
+      // f.id is fully explored.
+      if (lowlink[f.id] == index[f.id]) {
+        std::vector<SignalId> scc;
+        for (;;) {
+          const SignalId v = stack.back();
+          stack.pop_back();
+          on_stack[v] = 0;
+          scc.push_back(v);
+          if (v == f.id) break;
+        }
+        const auto& self = nl.gate(f.id).fanin;
+        const bool self_loop =
+            scc.size() == 1 &&
+            std::find(self.begin(), self.end(), f.id) != self.end();
+        if (scc.size() > 1 || self_loop) sccs.push_back(std::move(scc));
+      }
+      const SignalId done = f.id;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().id] =
+            std::min(lowlink[dfs.back().id], lowlink[done]);
+      }
+    }
+  }
+
+  for (std::vector<SignalId>& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    const std::set<SignalId> members(scc.begin(), scc.end());
+    // Witness cycle: walk producer-wards from the smallest member, always
+    // taking the smallest in-SCC fanin; strong connectivity guarantees the
+    // walk closes on itself.
+    std::vector<SignalId> walk{scc.front()};
+    std::map<SignalId, std::size_t> seen{{scc.front(), 0}};
+    std::vector<SignalId> cycle;
+    for (;;) {
+      SignalId next = netlist::kNoSignal;
+      for (SignalId in : nl.gate(walk.back()).fanin) {
+        if (members.count(in) && (next == netlist::kNoSignal || in < next)) {
+          next = in;
+        }
+      }
+      const auto it = seen.find(next);
+      if (it != seen.end()) {
+        cycle.assign(walk.begin() + static_cast<std::ptrdiff_t>(it->second),
+                     walk.end());
+        break;
+      }
+      seen.emplace(next, walk.size());
+      walk.push_back(next);
+    }
+    // The walk followed fanin (consumer -> producer) edges; report in
+    // driving direction.
+    std::reverse(cycle.begin(), cycle.end());
+    const auto head =
+        std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), head, cycle.end());
+
+    std::string path_text;
+    for (SignalId id : cycle) {
+      path_text += nl.signal_name(id);
+      path_text += " -> ";
+    }
+    path_text += nl.signal_name(cycle.front());
+    Diagnostic d = make("RLS-E001", Severity::kError, scc.front(),
+                        nl.signal_name(scc.front()),
+                        "combinational cycle through " +
+                            std::to_string(scc.size()) +
+                            " gate(s): " + path_text);
+    d.path = cycle;
+    out.push_back(std::move(d));
+  }
+}
+
+void check_dangling(const Netlist& nl, const LintOptions&,
+                    std::vector<Diagnostic>& out) {
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (nl.fanout()[id].empty() && !nl.is_primary_output(id)) {
+      if (t == GateType::kDff) {
+        out.push_back(make("RLS-W104", Severity::kWarning, id,
+                           nl.signal_name(id),
+                           "state variable '" + nl.signal_name(id) +
+                               "' is scanned but its Q output never feeds "
+                               "logic and is not a primary output"));
+      } else {
+        out.push_back(make("RLS-W101", Severity::kWarning, id,
+                           nl.signal_name(id),
+                           "signal '" + nl.signal_name(id) +
+                               "' drives nothing and is not an output"));
+      }
+    }
+    if (t == GateType::kDff) {
+      const GateType d = nl.gate(nl.gate(id).fanin[0]).type;
+      if (d == GateType::kConst0 || d == GateType::kConst1) {
+        out.push_back(make("RLS-W105", Severity::kWarning, id,
+                           nl.signal_name(id),
+                           "state variable '" + nl.signal_name(id) +
+                               "' captures a constant every cycle (D is "
+                               "tied to " + std::string(to_string(d)) + ")"));
+      }
+    }
+  }
+}
+
+void check_reachability(const Netlist& nl, const LintOptions&,
+                        std::vector<Diagnostic>& out) {
+  // Forward closure from sources (PIs, constants, DFF outputs). Reported
+  // in ascending gate-id order — the full set, every run, so CI diffs of
+  // lint output are stable (see test_lint.cpp).
+  std::vector<std::uint8_t> reached(nl.num_gates(), 0);
+  std::vector<SignalId> frontier;
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (netlist::is_source(t) || t == GateType::kDff) {
+      reached[id] = 1;
+      frontier.push_back(id);
+    }
+  }
+  while (!frontier.empty()) {
+    const SignalId id = frontier.back();
+    frontier.pop_back();
+    for (SignalId consumer : nl.fanout()[id]) {
+      if (!reached[consumer]) {
+        reached[consumer] = 1;
+        frontier.push_back(consumer);
+      }
+    }
+  }
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    if (!reached[id]) {
+      out.push_back(make("RLS-W102", Severity::kWarning, id,
+                         nl.signal_name(id),
+                         "signal '" + nl.signal_name(id) +
+                             "' is not driven (directly or transitively) by "
+                             "any input or state variable"));
+    }
+  }
+}
+
+void check_observability(const Netlist& nl, const LintOptions&,
+                         std::vector<Diagnostic>& out) {
+  // Backward closure from the observation points: primary outputs, DFF D
+  // nets (captured then scanned out) and DFF Q lines themselves (read
+  // directly by the final scan-out). A signal outside the closure can
+  // never influence any observed value.
+  std::vector<std::uint8_t> observable(nl.num_gates(), 0);
+  std::vector<SignalId> frontier;
+  auto seed = [&](SignalId id) {
+    if (!observable[id]) {
+      observable[id] = 1;
+      frontier.push_back(id);
+    }
+  };
+  for (SignalId id : nl.primary_outputs()) seed(id);
+  for (SignalId ff : nl.flip_flops()) {
+    seed(ff);
+    seed(nl.gate(ff).fanin[0]);
+  }
+  while (!frontier.empty()) {
+    const SignalId id = frontier.back();
+    frontier.pop_back();
+    if (!netlist::is_combinational(nl.gate(id).type)) continue;
+    for (SignalId in : nl.gate(id).fanin) seed(in);
+  }
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    if (observable[id] || nl.fanout()[id].empty()) continue;
+    // Dangling signals already carry W101/W104; this code is for live
+    // fanout whose entire cone dead-ends.
+    out.push_back(make(
+        "RLS-W103", Severity::kWarning, id, nl.signal_name(id),
+        "signal '" + nl.signal_name(id) +
+            "' has fanout but no structural path to any primary output or "
+            "state capture (unobservable cone)"));
+  }
+}
+
+void check_scan_chain(const Netlist& nl, const LintOptions& opts,
+                      std::vector<Diagnostic>& out) {
+  const std::size_t n_sv = nl.num_state_vars();
+  const scan::ChainConfig config =
+      opts.chain ? *opts.chain : scan::ChainConfig::single(n_sv);
+
+  auto ff_name = [&](std::size_t pos) -> std::string {
+    return pos < n_sv ? nl.signal_name(nl.flip_flops()[pos])
+                      : "position " + std::to_string(pos);
+  };
+  auto ff_id = [&](std::size_t pos) {
+    return pos < n_sv ? nl.flip_flops()[pos] : netlist::kNoSignal;
+  };
+
+  std::vector<std::uint32_t> uses(n_sv, 0);
+  for (std::size_t c = 0; c < config.chains.size(); ++c) {
+    for (std::size_t k = 0; k < config.chains[c].size(); ++k) {
+      const std::size_t pos = config.chains[c][k];
+      if (pos >= n_sv) {
+        out.push_back(make(
+            "RLS-E005", Severity::kError, netlist::kNoSignal,
+            "chain" + std::to_string(c),
+            "chain " + std::to_string(c) + " element " + std::to_string(k) +
+                " references flip-flop position " + std::to_string(pos) +
+                " but the circuit has only " + std::to_string(n_sv) +
+                " state variables"));
+        continue;
+      }
+      ++uses[pos];
+    }
+  }
+  for (std::size_t pos : config.unscanned) {
+    if (pos >= n_sv) {
+      out.push_back(make("RLS-E005", Severity::kError, netlist::kNoSignal,
+                         "unscanned",
+                         "unscanned list references flip-flop position " +
+                             std::to_string(pos) +
+                             " but the circuit has only " +
+                             std::to_string(n_sv) + " state variables"));
+      continue;
+    }
+    ++uses[pos];
+  }
+  for (std::size_t pos = 0; pos < n_sv; ++pos) {
+    if (uses[pos] > 1) {
+      out.push_back(make(
+          "RLS-E006", Severity::kError, ff_id(pos), ff_name(pos),
+          "flip-flop '" + ff_name(pos) + "' (position " +
+              std::to_string(pos) + ") appears " + std::to_string(uses[pos]) +
+              " times across the scan configuration"));
+    } else if (uses[pos] == 0) {
+      out.push_back(make(
+          "RLS-E007", Severity::kError, ff_id(pos), ff_name(pos),
+          "flip-flop '" + ff_name(pos) + "' (position " +
+              std::to_string(pos) +
+              ") is in no scan chain and not declared unscanned (broken "
+              "chain: scan-in/scan-out would skip it)"));
+    }
+  }
+  if (!config.unscanned.empty()) {
+    out.push_back(make("RLS-I201", Severity::kInfo, netlist::kNoSignal, "",
+                       std::to_string(config.unscanned.size()) + " of " +
+                           std::to_string(n_sv) +
+                           " flip-flops unscanned (partial scan)"));
+  }
+}
+
+constexpr Check kChecks[] = {
+    {"no-outputs", &check_no_outputs},
+    {"comb-cycle", &check_comb_cycles},
+    {"dangling", &check_dangling},
+    {"reachability", &check_reachability},
+    {"observability", &check_observability},
+    {"scan-chain", &check_scan_chain},
+};
+
+void count_severities(LintResult& res) {
+  res.counters.add("lint.diags", res.diagnostics.size());
+  res.counters.add("lint.errors", res.count(Severity::kError));
+  res.counters.add("lint.warnings", res.count(Severity::kWarning));
+  res.counters.add("lint.infos", res.count(Severity::kInfo));
+}
+
+void run_resistance_pass(const Netlist& nl, const LintOptions& opts,
+                         LintResult& res) {
+  const sim::CompiledCircuit cc(nl);
+  const std::vector<fault::Fault> universe = fault::collapsed_universe(nl);
+  res.resistance =
+      predict_resistance(cc, universe, opts.budget, opts.escape_threshold);
+  res.counters.add("lint.faults_analyzed", universe.size());
+  res.counters.add("lint.resistant_faults", res.resistance.flagged.size());
+
+  res.diagnostics.push_back(make(
+      "RLS-I300", Severity::kInfo, netlist::kNoSignal, "",
+      std::to_string(res.resistance.flagged.size()) + " of " +
+          std::to_string(universe.size()) +
+          " collapsed faults predicted random-pattern resistant (escape >= " +
+          prob(opts.escape_threshold) + " over " +
+          std::to_string(opts.budget.pattern_applications()) +
+          " patterns: LA=" + std::to_string(opts.budget.l_a) +
+          " LB=" + std::to_string(opts.budget.l_b) +
+          " N=" + std::to_string(opts.budget.n) + ")"));
+
+  // Report the worst offenders individually, capped; "worst" = highest
+  // escape probability, ties by canonical fault order.
+  std::vector<std::size_t> ranked = res.resistance.flagged;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return res.resistance.faults[a].escape_prob >
+                            res.resistance.faults[b].escape_prob;
+                   });
+  if (ranked.size() > opts.max_resistant_report) {
+    ranked.resize(opts.max_resistant_report);
+  }
+  for (std::size_t i : ranked) {
+    const FaultEscape& fe = res.resistance.faults[i];
+    res.diagnostics.push_back(
+        make("RLS-I301", Severity::kInfo, fe.f.gate,
+             nl.signal_name(fe.f.gate),
+             "fault " + fault::fault_name(nl, fe.f) +
+                 " predicted random-pattern resistant: detection probability " +
+                 prob(fe.det_prob) + ", escape probability " +
+                 prob(fe.escape_prob)));
+  }
+}
+
+}  // namespace
+
+std::span<const Check> structural_checks() { return kChecks; }
+
+LintResult run_lint(const Netlist& nl, const LintOptions& opts) {
+  if (!nl.finalized()) {
+    throw std::invalid_argument("run_lint requires a finalized netlist");
+  }
+  LintResult res;
+  for (const Check& check : kChecks) {
+    check.run(nl, opts, res.diagnostics);
+    res.counters.add("lint.checks", 1);
+  }
+  std::sort(res.diagnostics.begin(), res.diagnostics.end());
+
+  const bool cyclic = std::any_of(
+      res.diagnostics.begin(), res.diagnostics.end(),
+      [](const Diagnostic& d) { return d.code == "RLS-E001"; });
+  if (opts.resistance && !cyclic) {
+    run_resistance_pass(nl, opts, res);
+    std::sort(res.diagnostics.begin(), res.diagnostics.end());
+  }
+  count_severities(res);
+  return res;
+}
+
+LintResult run_lint_source(std::string_view bench_text, std::string name,
+                           const LintOptions& opts) {
+  LintResult res;
+  std::vector<netlist::BenchSyntaxError> syntax;
+  const std::vector<netlist::BenchStatement> statements =
+      netlist::scan_bench(bench_text, &syntax);
+  res.counters.add("lint.checks", 1);  // the source-level pass
+
+  for (const netlist::BenchSyntaxError& e : syntax) {
+    res.diagnostics.push_back(
+        make("RLS-E010", Severity::kError, netlist::kNoSignal, e.token,
+             "line " + std::to_string(e.line) + ": " + e.message +
+                 " (offending token: '" + e.token + "')"));
+  }
+
+  // Definition map: INPUT declarations and assignment left-hand sides.
+  // More than one definition of a name is a multiply-driven net — the
+  // defect the Netlist builder rejects outright and lint must name.
+  std::map<std::string, std::vector<int>> defs;
+  using Kind = netlist::BenchStatement::Kind;
+  for (const netlist::BenchStatement& st : statements) {
+    if (st.kind == Kind::kInput || st.kind == Kind::kAssign) {
+      defs[st.lhs].push_back(st.line);
+    }
+  }
+  for (const auto& [net, lines] : defs) {
+    if (lines.size() < 2) continue;
+    std::string where;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      where += (i ? ", " : "") + std::to_string(lines[i]);
+    }
+    res.diagnostics.push_back(
+        make("RLS-E003", Severity::kError, netlist::kNoSignal, net,
+             "net '" + net + "' is driven " + std::to_string(lines.size()) +
+                 " times (lines " + where + ")"));
+  }
+
+  // Unknown gate types.
+  for (const netlist::BenchStatement& st : statements) {
+    if (st.kind != Kind::kAssign) continue;
+    netlist::GateType type{};
+    if (!netlist::gate_type_from_string(st.op, type) ||
+        type == GateType::kInput) {
+      res.diagnostics.push_back(
+          make("RLS-E011", Severity::kError, netlist::kNoSignal, st.op,
+               "line " + std::to_string(st.line) + ": unknown gate type '" +
+                   st.op + "' driving '" + st.lhs + "'"));
+    }
+  }
+
+  // Undriven nets: referenced (fanin or OUTPUT) but never defined. These
+  // are the X sources of the design — trace them forward to every primary
+  // output they taint.
+  std::map<std::string, std::vector<int>> undriven;  // net -> referencing lines
+  for (const netlist::BenchStatement& st : statements) {
+    if (st.kind == Kind::kAssign) {
+      for (const std::string& arg : st.args) {
+        if (!defs.count(arg)) undriven[arg].push_back(st.line);
+      }
+    } else if (st.kind == Kind::kOutput && !defs.count(st.lhs)) {
+      undriven[st.lhs].push_back(st.line);
+    }
+  }
+  for (const auto& [net, lines] : undriven) {
+    std::string where;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      where += (i ? ", " : "") + std::to_string(lines[i]);
+    }
+    res.diagnostics.push_back(
+        make("RLS-E002", Severity::kError, netlist::kNoSignal, net,
+             "net '" + net + "' is referenced (lines " + where +
+                 ") but never driven — an X source"));
+  }
+
+  // X-source tracing: fixpoint taint propagation over the assignment
+  // graph (handles feedback through DFFs and even malformed cycles).
+  if (!undriven.empty()) {
+    std::set<std::string> tainted;
+    std::map<std::string, std::set<std::string>> sources;  // net -> X roots
+    for (const auto& [net, lines] : undriven) {
+      tainted.insert(net);
+      sources[net].insert(net);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const netlist::BenchStatement& st : statements) {
+        if (st.kind != Kind::kAssign) continue;
+        for (const std::string& arg : st.args) {
+          if (!tainted.count(arg)) continue;
+          const std::size_t before = sources[st.lhs].size();
+          sources[st.lhs].insert(sources[arg].begin(), sources[arg].end());
+          if (tainted.insert(st.lhs).second ||
+              sources[st.lhs].size() != before) {
+            changed = true;
+          }
+        }
+      }
+    }
+    for (const netlist::BenchStatement& st : statements) {
+      if (st.kind != Kind::kOutput || !tainted.count(st.lhs) ||
+          undriven.count(st.lhs)) {
+        continue;
+      }
+      std::string roots;
+      std::size_t shown = 0;
+      for (const std::string& r : sources[st.lhs]) {
+        if (shown == 4) {
+          roots += ", ...";
+          break;
+        }
+        roots += (shown ? ", '" : "'") + r + "'";
+        ++shown;
+      }
+      res.diagnostics.push_back(
+          make("RLS-W106", Severity::kWarning, netlist::kNoSignal, st.lhs,
+               "output '" + st.lhs + "' is X-tainted by undriven net(s) " +
+                   roots));
+    }
+  }
+
+  std::sort(res.diagnostics.begin(), res.diagnostics.end());
+  if (res.has_errors()) {
+    // The text does not build; netlist-level checks are unreachable.
+    count_severities(res);
+    return res;
+  }
+
+  try {
+    const Netlist nl = netlist::parse_bench(bench_text, std::move(name));
+    LintResult structural = run_lint(nl, opts);
+    for (Diagnostic& d : structural.diagnostics) {
+      res.diagnostics.push_back(std::move(d));
+    }
+    res.counters.merge(structural.counters);
+    res.resistance = std::move(structural.resistance);
+    std::sort(res.diagnostics.begin(), res.diagnostics.end());
+    // Severity totals were already folded in via the merged counters.
+    return res;
+  } catch (const netlist::BenchParseError& e) {
+    // Defects only the builder catches (arity violations and the like).
+    res.diagnostics.push_back(make("RLS-E010", Severity::kError,
+                                   netlist::kNoSignal, "", e.what()));
+    std::sort(res.diagnostics.begin(), res.diagnostics.end());
+    count_severities(res);
+    return res;
+  }
+}
+
+std::string format_text(const Diagnostic& d) {
+  std::string out(to_string(d.severity));
+  out += "[" + d.code + "]";
+  if (!d.object.empty()) {
+    out += " " + d.object + ":";
+  }
+  out += " " + d.message;
+  return out;
+}
+
+obs::TraceEvent to_trace_event(const Diagnostic& d) {
+  obs::TraceEvent ev("lint");
+  ev.str("code", d.code).str("sev", std::string(to_string(d.severity)));
+  if (d.signal != netlist::kNoSignal) {
+    ev.u64("signal", d.signal);
+  }
+  ev.str("object", d.object).str("msg", d.message);
+  return ev;
+}
+
+void emit(const LintResult& result, obs::TraceSink& sink) {
+  for (const Diagnostic& d : result.diagnostics) {
+    sink.write(to_trace_event(d));
+  }
+  obs::TraceEvent summary("lint_summary");
+  summary.u64("errors", result.count(Severity::kError))
+      .u64("warnings", result.count(Severity::kWarning))
+      .u64("infos", result.count(Severity::kInfo));
+  for (const auto& [name, total] : result.counters.snapshot()) {
+    summary.u64(name, total);
+  }
+  sink.write(summary);
+  sink.flush();
+}
+
+}  // namespace rls::analysis

@@ -1,0 +1,153 @@
+// rls::lint — circuit design-rule and random-pattern-resistance analyzer.
+//
+// A lint run executes a registry of checks against a circuit and returns a
+// deterministic list of diagnostics. Each diagnostic carries a stable code
+// (the contract CI greps and golden tests pin), a severity, and an anchor
+// (gate/net id + name) so tooling can jump to the offending object.
+//
+// Check catalog (codes are append-only; never renumber):
+//   RLS-E001  combinational cycle (Tarjan SCC, with a concrete cycle path)
+//   RLS-E002  undriven net: referenced but never assigned     (source-level)
+//   RLS-E003  multiply-driven net: assigned more than once    (source-level)
+//   RLS-E004  circuit has no primary outputs
+//   RLS-E005  scan chain references an out-of-range flip-flop position
+//   RLS-E006  flip-flop position appears twice in the scan configuration
+//   RLS-E007  flip-flop in no chain and not declared unscanned (N_SV gap)
+//   RLS-E010  unparseable .bench line                          (source-level)
+//   RLS-E011  unknown gate type                                (source-level)
+//   RLS-W101  dangling signal: drives nothing and is not an output
+//   RLS-W102  gate unreachable from any input or state variable
+//   RLS-W103  unobservable cone: has fanout but no path to any PO / DFF D
+//   RLS-W104  dangling scan variable: flip-flop state is never read
+//   RLS-W105  constant scan variable: flip-flop D is tied to a constant
+//   RLS-W106  X-tainted output: PO depends on an undriven net (source-level)
+//   RLS-I201  partial scan: flip-flops deliberately left unscanned
+//   RLS-I300  resistance summary: predicted escape count for the budget
+//   RLS-I301  random-pattern-resistant fault (COP escape above threshold)
+//
+// Severities map to CI exit codes in the `rls lint` subcommand: errors
+// exit 1, warnings (with no errors) exit 2, info-only runs exit 0.
+//
+// Two front doors:
+//   * run_lint(netlist)          — structural + resistance checks on a
+//     built netlist (multiply-driven / undriven nets cannot exist here:
+//     Netlist construction rejects them);
+//   * run_lint_source(text)      — tolerant `.bench` scan first (catches
+//     what the builder rejects), then the netlist checks when the text
+//     still builds.
+//
+// netlist/validate.hpp survives as a thin compatibility adapter over
+// run_lint (see validate_compat.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/resistance.hpp"
+#include "netlist/netlist.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "scan/chain.hpp"
+
+namespace rls::analysis {
+
+enum class Severity : std::uint8_t { kError, kWarning, kInfo };
+
+/// Canonical lower-case name: "error", "warning", "info".
+std::string_view to_string(Severity s) noexcept;
+
+/// One finding. Ordering (operator<) is the deterministic report order:
+/// by code, then anchor id, then object name, then message — so two runs
+/// over the same circuit always produce byte-identical reports.
+struct Diagnostic {
+  std::string code;     ///< stable "RLS-Exxx" / "RLS-Wxxx" / "RLS-Ixxx"
+  Severity severity = Severity::kError;
+  netlist::SignalId signal = netlist::kNoSignal;  ///< anchor; kNoSignal = circuit-level
+  std::string object;   ///< anchor name (net/gate) or "" for circuit-level
+  std::string message;  ///< human-readable description
+  /// Optional witness path (the E001 cycle: g0 -> g1 -> ... -> g0).
+  std::vector<netlist::SignalId> path;
+
+  friend bool operator<(const Diagnostic& a, const Diagnostic& b) {
+    if (a.code != b.code) return a.code < b.code;
+    if (a.signal != b.signal) return a.signal < b.signal;
+    if (a.object != b.object) return a.object < b.object;
+    return a.message < b.message;
+  }
+};
+
+struct LintOptions {
+  /// Scan configuration to verify (nullopt = single full-scan chain over
+  /// all N_SV flip-flops, which is trivially consistent).
+  std::optional<scan::ChainConfig> chain;
+  /// Run the COP-based random-pattern-resistance pass (needs an acyclic
+  /// core; skipped automatically when structural errors are present).
+  bool resistance = true;
+  /// TS_0 budget the resistance pass predicts escapes for.
+  PatternBudget budget;
+  /// Flag faults whose predicted escape probability is at least this.
+  double escape_threshold = 0.5;
+  /// Cap on individual RLS-I301 diagnostics (the I300 summary always
+  /// carries the full count).
+  std::size_t max_resistant_report = 20;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< sorted (see Diagnostic::operator<)
+  /// "lint.*" totals: lint.checks, lint.diags, lint.errors, lint.warnings,
+  /// lint.infos, lint.faults_analyzed, lint.resistant_faults.
+  obs::CounterRegistry counters;
+  /// Full resistance report when the pass ran (empty otherwise).
+  ResistanceReport resistance;
+
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept {
+    return count(Severity::kError) > 0;
+  }
+  [[nodiscard]] bool has_warnings() const noexcept {
+    return count(Severity::kWarning) > 0;
+  }
+  /// CI exit code: 1 with errors, 2 with warnings only, 0 otherwise.
+  [[nodiscard]] int exit_code() const noexcept;
+};
+
+/// A named structural check over a built netlist. The registry is the
+/// extension point: every check appends its diagnostics independently and
+/// the framework sorts the union.
+struct Check {
+  std::string_view name;  ///< stable check name ("comb-cycle", ...)
+  void (*run)(const netlist::Netlist& nl, const LintOptions& opts,
+              std::vector<Diagnostic>& out);
+};
+
+/// The built-in structural checks, in registration order.
+std::span<const Check> structural_checks();
+
+/// Lints a finalized netlist: every structural check, then (if the core is
+/// acyclic and opts.resistance) the COP resistance pass.
+LintResult run_lint(const netlist::Netlist& nl, const LintOptions& opts = {});
+
+/// Lints `.bench` source text: tolerant scan (RLS-E010/E011), net rules
+/// that only exist pre-construction (RLS-E002/E003), X-source tracing to
+/// primary outputs (RLS-W106), then — when the text builds — everything
+/// run_lint checks on the resulting netlist.
+LintResult run_lint_source(std::string_view bench_text, std::string name,
+                           const LintOptions& opts = {});
+
+/// "error[RLS-E001] object: message" (one line, no trailing newline).
+std::string format_text(const Diagnostic& d);
+
+/// TraceEvent form, one "lint" event per diagnostic:
+///   {"ev":"lint","code":...,"sev":...,"signal":...,"object":...,"msg":...}
+/// (signal omitted when the diagnostic is circuit-level).
+obs::TraceEvent to_trace_event(const Diagnostic& d);
+
+/// Emits every diagnostic plus a terminal "lint_summary" event carrying
+/// the severity totals and the lint.* counters.
+void emit(const LintResult& result, obs::TraceSink& sink);
+
+}  // namespace rls::analysis

@@ -1,0 +1,41 @@
+#include "analysis/resistance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rls::analysis {
+
+double escape_probability(double det_prob, std::uint64_t applications) {
+  if (applications == 0) return 1.0;
+  const double p = std::clamp(det_prob, 0.0, 1.0);
+  if (p >= 1.0) return 0.0;
+  // (1-p)^U = exp(U * log(1-p)); log1p keeps precision for the tiny p of
+  // exactly the faults this module exists to find.
+  return std::exp(static_cast<double>(applications) * std::log1p(-p));
+}
+
+ResistanceReport predict_resistance(const sim::CompiledCircuit& cc,
+                                    std::span<const fault::Fault> faults,
+                                    const PatternBudget& budget,
+                                    double threshold) {
+  ResistanceReport out;
+  out.budget = budget;
+  out.threshold = threshold;
+  out.faults.reserve(faults.size());
+
+  const CopResult cop = compute_cop(cc);
+  const std::uint64_t apps = budget.pattern_applications();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    FaultEscape fe;
+    fe.f = faults[i];
+    fe.det_prob = detection_probability(cop, cc, fe.f);
+    fe.escape_prob = escape_probability(fe.det_prob, apps);
+    if (fe.escape_prob >= threshold) {
+      out.flagged.push_back(i);
+    }
+    out.faults.push_back(fe);
+  }
+  return out;
+}
+
+}  // namespace rls::analysis

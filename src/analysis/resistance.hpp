@@ -1,0 +1,65 @@
+// Static random-pattern-resistance prediction.
+//
+// The paper discovers resistant faults *dynamically*: simulate TS_0, see
+// which faults escape, and let Procedure 2 chase them with limited scan.
+// This module predicts the same set *statically* from COP testability
+// estimates: a fault with per-pattern detection probability p survives U
+// independent pattern applications with probability (1-p)^U, so for a
+// given (L_A, L_B, N) budget — U = N * (L_A + L_B) at-speed time units —
+// the faults whose predicted escape probability clears a threshold are
+// the ones Procedure 2 will most likely have to work on. The prediction
+// is cross-validated against measured TS_0 escapes in test_lint.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/cop.hpp"
+#include "fault/fault.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::analysis {
+
+/// The TS_0 shape the prediction is made for (defaults mirror Ts0Config).
+struct PatternBudget {
+  std::size_t l_a = 8;   ///< short test length
+  std::size_t l_b = 16;  ///< long test length
+  std::size_t n = 64;    ///< tests per length
+
+  /// Independent pattern applications TS_0 exposes every fault to: one
+  /// random input vector per at-speed time unit over all 2N tests.
+  [[nodiscard]] std::uint64_t pattern_applications() const noexcept {
+    return static_cast<std::uint64_t>(n) * (l_a + l_b);
+  }
+};
+
+/// Per-fault prediction.
+struct FaultEscape {
+  fault::Fault f;
+  double det_prob = 0.0;     ///< COP per-pattern detection probability
+  double escape_prob = 1.0;  ///< (1 - det_prob)^applications
+};
+
+struct ResistanceReport {
+  std::vector<FaultEscape> faults;   ///< same order as the input span
+  std::vector<std::size_t> flagged;  ///< indices with escape >= threshold
+  PatternBudget budget;
+  double threshold = 0.5;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+};
+
+/// P(fault undetected after `applications` independent patterns), given a
+/// per-pattern detection probability. Numerically stable for tiny p.
+double escape_probability(double det_prob, std::uint64_t applications);
+
+/// Predicts the escape probability of every fault in `faults` for the
+/// budget, flagging those at or above `threshold`. Uses COP with uniform
+/// 0.5 input and scan-state weights (TS_0 is fully random).
+ResistanceReport predict_resistance(const sim::CompiledCircuit& cc,
+                                    std::span<const fault::Fault> faults,
+                                    const PatternBudget& budget = {},
+                                    double threshold = 0.5);
+
+}  // namespace rls::analysis

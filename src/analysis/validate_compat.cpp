@@ -1,0 +1,43 @@
+// netlist::validate() compatibility adapter over rls::lint.
+//
+// The original 65-line validator (netlist/validate.cpp) is superseded by
+// the lint framework; this TU keeps its API and semantics alive by
+// projecting lint diagnostics back onto the legacy Violation kinds. Codes
+// the old validator never produced (unobservable cones, scan-chain
+// integrity, resistance predictions) are deliberately dropped so existing
+// is_clean() callers — the synthetic generator's cleanliness contract in
+// particular — keep their exact acceptance set.
+//
+// Lint diagnostics are deterministically sorted, which also upgrades
+// validate(): every unreachable gate is reported, in ascending gate-id
+// order, on every run.
+#include "netlist/validate.hpp"
+
+#include "analysis/lint.hpp"
+
+namespace rls::netlist {
+
+std::vector<Violation> validate(const Netlist& nl) {
+  analysis::LintOptions opts;
+  opts.resistance = false;
+  const analysis::LintResult lint = analysis::run_lint(nl, opts);
+
+  std::vector<Violation> out;
+  for (const analysis::Diagnostic& d : lint.diagnostics) {
+    if (d.code == "RLS-E001") {
+      out.push_back({Violation::Kind::kCombinationalLoop, d.signal, d.message});
+    } else if (d.code == "RLS-E004") {
+      out.push_back({Violation::Kind::kNoOutputs, kNoSignal, d.message});
+    } else if (d.code == "RLS-W101" || d.code == "RLS-W104") {
+      out.push_back({Violation::Kind::kDanglingSignal, d.signal, d.message});
+    } else if (d.code == "RLS-W102") {
+      out.push_back({Violation::Kind::kUnreachableFromInput, d.signal,
+                     d.message});
+    }
+  }
+  return out;
+}
+
+bool is_clean(const Netlist& nl) { return validate(nl).empty(); }
+
+}  // namespace rls::netlist

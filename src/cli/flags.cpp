@@ -19,6 +19,16 @@ void assign(const std::string& flag, std::uint64_t* out,
   *out = static_cast<std::uint64_t>(v);
 }
 
+void assign(const std::string& flag, double* out, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || *end != '\0' || errno == ERANGE) {
+    throw FlagError("--" + flag + " expects a number, got '" + text + "'");
+  }
+  *out = v;
+}
+
 void assign(const std::string& flag, bool* out, const std::string& text) {
   if (text == "1" || text == "true") {
     *out = true;
@@ -39,6 +49,10 @@ void FlagParser::add_bool(std::string name, bool* out, std::string help) {
 void FlagParser::add_uint(std::string name, std::uint64_t* out,
                           std::string help) {
   specs_.push_back({std::move(name), Kind::kUint, out, std::move(help)});
+}
+
+void FlagParser::add_double(std::string name, double* out, std::string help) {
+  specs_.push_back({std::move(name), Kind::kDouble, out, std::move(help)});
 }
 
 void FlagParser::add_string(std::string name, std::string* out,
@@ -92,6 +106,9 @@ std::vector<std::string> FlagParser::parse(int argc, const char* const* argv,
         break;
       case Kind::kUint:
         assign(name, static_cast<std::uint64_t*>(spec->out), value);
+        break;
+      case Kind::kDouble:
+        assign(name, static_cast<double*>(spec->out), value);
         break;
       case Kind::kString:
         *static_cast<std::string*>(spec->out) = value;

@@ -35,6 +35,8 @@ class FlagParser {
   void add_bool(std::string name, bool* out, std::string help = {});
   /// Unsigned integer value.
   void add_uint(std::string name, std::uint64_t* out, std::string help = {});
+  /// Floating-point value (e.g. probability thresholds).
+  void add_double(std::string name, double* out, std::string help = {});
   /// String value.
   void add_string(std::string name, std::string* out, std::string help = {});
 
@@ -49,7 +51,7 @@ class FlagParser {
   [[nodiscard]] std::string help() const;
 
  private:
-  enum class Kind : std::uint8_t { kBool, kUint, kString };
+  enum class Kind : std::uint8_t { kBool, kUint, kDouble, kString };
   struct Spec {
     std::string name;
     Kind kind;

@@ -10,13 +10,6 @@ namespace rls::netlist {
 
 namespace {
 
-struct Assignment {
-  std::string lhs;
-  GateType type;
-  std::vector<std::string> args;
-  int line;
-};
-
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
     s.remove_prefix(1);
@@ -27,9 +20,23 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw BenchParseError("bench parse error at line " + std::to_string(line) +
-                        ": " + what);
+[[noreturn]] void fail(int line, const std::string& token,
+                       const std::string& what) {
+  std::string msg =
+      "bench parse error at line " + std::to_string(line) + ": " + what;
+  if (!token.empty()) {
+    msg += " (offending token: '" + token + "')";
+  }
+  throw BenchParseError(msg);
+}
+
+/// Records the defect in `*errors`, or throws when `errors` is null.
+void report(std::vector<BenchSyntaxError>* errors, int line,
+            std::string token, std::string what) {
+  if (errors == nullptr) {
+    fail(line, token, what);
+  }
+  errors->push_back({line, std::move(token), std::move(what)});
 }
 
 /// Parses "HEAD(arg1, arg2, ...)" returning head and args. Returns false if
@@ -61,13 +68,17 @@ bool parse_call(std::string_view text, std::string& head,
   return !head.empty();
 }
 
+std::string upper(std::string_view s) {
+  std::string u(s);
+  for (char& c : u) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return u;
+}
+
 }  // namespace
 
-Netlist parse_bench(std::string_view text, std::string name) {
-  Netlist nl(std::move(name));
-  std::vector<std::string> outputs;
-  std::vector<Assignment> assignments;
-
+std::vector<BenchStatement> scan_bench(std::string_view text,
+                                       std::vector<BenchSyntaxError>* errors) {
+  std::vector<BenchStatement> out;
   int line_no = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -89,70 +100,109 @@ Netlist parse_bench(std::string_view text, std::string name) {
       // INPUT(x) or OUTPUT(x)
       std::string head;
       std::vector<std::string> args;
-      if (!parse_call(line, head, args) || args.size() != 1) {
-        fail(line_no, "expected INPUT(x), OUTPUT(x) or an assignment, got '" +
-                          std::string(line) + "'");
+      if (!parse_call(line, head, args)) {
+        report(errors, line_no, std::string(line),
+               "expected INPUT(x), OUTPUT(x) or an assignment");
+        continue;
       }
-      for (char& c : head) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-      if (head == "INPUT") {
-        nl.add_input(args[0]);
-      } else if (head == "OUTPUT") {
-        outputs.push_back(args[0]);
+      if (args.size() != 1) {
+        report(errors, line_no, std::string(line),
+               head + " takes exactly one signal name, got " +
+                   std::to_string(args.size()));
+        continue;
+      }
+      const std::string dir = upper(head);
+      if (dir == "INPUT") {
+        out.push_back({BenchStatement::Kind::kInput, line_no,
+                       std::move(args[0]), {}, {}});
+      } else if (dir == "OUTPUT") {
+        out.push_back({BenchStatement::Kind::kOutput, line_no,
+                       std::move(args[0]), {}, {}});
       } else {
-        fail(line_no, "unknown directive '" + head + "'");
+        report(errors, line_no, head, "unknown directive");
       }
       continue;
     }
 
-    Assignment a;
-    a.lhs = std::string(trim(line.substr(0, eq)));
-    a.line = line_no;
-    std::string head;
-    if (!parse_call(trim(line.substr(eq + 1)), head, a.args)) {
-      fail(line_no, "malformed right-hand side");
+    BenchStatement st;
+    st.kind = BenchStatement::Kind::kAssign;
+    st.line = line_no;
+    st.lhs = std::string(trim(line.substr(0, eq)));
+    if (!parse_call(trim(line.substr(eq + 1)), st.op, st.args)) {
+      report(errors, line_no, std::string(trim(line.substr(eq + 1))),
+             "malformed right-hand side, expected OP(arg, ...)");
+      continue;
     }
-    if (!gate_type_from_string(head, a.type)) {
-      fail(line_no, "unknown gate type '" + head + "'");
+    if (st.lhs.empty()) {
+      report(errors, line_no, std::string(line),
+             "missing left-hand side before '='");
+      continue;
     }
-    if (a.lhs.empty()) {
-      fail(line_no, "missing left-hand side");
-    }
-    assignments.push_back(std::move(a));
+    out.push_back(std::move(st));
   }
+  return out;
+}
 
-  // First pass: declare all assigned signals (forward references allowed).
-  for (const Assignment& a : assignments) {
-    try {
-      if (a.type == GateType::kDff) {
-        nl.add_dff(a.lhs);
-      } else if (a.type == GateType::kInput) {
-        fail(a.line, "INPUT used as a gate type");
-      } else {
-        nl.add_gate(a.type, a.lhs);
+Netlist parse_bench(std::string_view text, std::string name) {
+  Netlist nl(std::move(name));
+  const std::vector<BenchStatement> statements = scan_bench(text);
+
+  // First pass: declare all signals (forward references allowed).
+  std::vector<const BenchStatement*> outputs;
+  std::vector<std::pair<const BenchStatement*, GateType>> assignments;
+  for (const BenchStatement& st : statements) {
+    switch (st.kind) {
+      case BenchStatement::Kind::kInput:
+        try {
+          nl.add_input(st.lhs);
+        } catch (const NetlistError& e) {
+          fail(st.line, st.lhs, e.what());
+        }
+        break;
+      case BenchStatement::Kind::kOutput:
+        outputs.push_back(&st);
+        break;
+      case BenchStatement::Kind::kAssign: {
+        GateType type{};
+        if (!gate_type_from_string(st.op, type)) {
+          fail(st.line, st.op, "unknown gate type");
+        }
+        if (type == GateType::kInput) {
+          fail(st.line, st.op, "INPUT used as a gate type");
+        }
+        try {
+          if (type == GateType::kDff) {
+            nl.add_dff(st.lhs);
+          } else {
+            nl.add_gate(type, st.lhs);
+          }
+        } catch (const NetlistError& e) {
+          fail(st.line, st.lhs, e.what());
+        }
+        assignments.emplace_back(&st, type);
+        break;
       }
-    } catch (const NetlistError& e) {
-      fail(a.line, e.what());
     }
   }
 
   // Second pass: connect fanins.
-  for (const Assignment& a : assignments) {
+  for (const auto& [st, type] : assignments) {
     std::vector<SignalId> fanin;
-    fanin.reserve(a.args.size());
-    for (const std::string& arg : a.args) {
+    fanin.reserve(st->args.size());
+    for (const std::string& arg : st->args) {
       const SignalId in = nl.by_name(arg);
       if (in == kNoSignal) {
-        fail(a.line, "undefined signal '" + arg + "'");
+        fail(st->line, arg, "undefined signal");
       }
       fanin.push_back(in);
     }
-    nl.connect(nl.by_name(a.lhs), fanin);
+    nl.connect(nl.by_name(st->lhs), fanin);
   }
 
-  for (const std::string& out : outputs) {
-    const SignalId id = nl.by_name(out);
+  for (const BenchStatement* st : outputs) {
+    const SignalId id = nl.by_name(st->lhs);
     if (id == kNoSignal) {
-      throw BenchParseError("OUTPUT(" + out + ") names an undefined signal");
+      fail(st->line, st->lhs, "OUTPUT names an undefined signal");
     }
     nl.mark_output(id);
   }
@@ -194,11 +244,6 @@ std::string write_bench(const Netlist& nl) {
     out << "OUTPUT(" << nl.signal_name(id) << ")\n";
   }
   out << "\n";
-  auto upper = [](std::string_view s) {
-    std::string u(s);
-    for (char& c : u) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    return u;
-  };
   for (SignalId id = 0; id < nl.num_gates(); ++id) {
     const Gate& g = nl.gate(id);
     if (g.type == GateType::kInput) continue;

@@ -8,22 +8,55 @@
 //
 // Forward references are allowed (and required for sequential feedback);
 // OUTPUT lines may precede the defining assignment.
+//
+// Two front ends share the scanner: parse_bench() builds a finalized
+// Netlist and throws on the first defect (messages always carry the line
+// number and the offending token), while scan_bench() in tolerant mode
+// records every malformed line and keeps going — the representation the
+// lint source checks (analysis/lint.hpp) operate on, since a Netlist
+// cannot hold multiply-driven or undriven nets by construction.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 
 namespace rls::netlist {
 
-/// Thrown on malformed `.bench` input; the message contains a line number.
+/// Thrown on malformed `.bench` input; the message contains the 1-based
+/// line number and the offending token.
 class BenchParseError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// One syntactically well-formed `.bench` statement.
+struct BenchStatement {
+  enum class Kind : std::uint8_t { kInput, kOutput, kAssign };
+  Kind kind;
+  int line = 0;                   ///< 1-based source line
+  std::string lhs;                ///< declared (kInput/kOutput) or assigned name
+  std::string op;                 ///< operator text as written (kAssign only)
+  std::vector<std::string> args;  ///< fanin names (kAssign only)
+};
+
+/// One malformed line found while scanning.
+struct BenchSyntaxError {
+  int line = 0;
+  std::string token;    ///< the offending token or line fragment
+  std::string message;  ///< what was expected instead
+};
+
+/// Scans `.bench` text into statements. With `errors == nullptr` the first
+/// malformed line throws BenchParseError; otherwise malformed lines are
+/// recorded in `*errors` and skipped (tolerant mode).
+std::vector<BenchStatement> scan_bench(std::string_view text,
+                                       std::vector<BenchSyntaxError>* errors = nullptr);
 
 /// Parses `.bench` text into a finalized netlist.
 /// `name` becomes the netlist name (usually the circuit name).

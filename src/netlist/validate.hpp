@@ -1,4 +1,12 @@
 // Structural design-rule checks beyond what finalize() enforces.
+//
+// Legacy surface: validate() is now a compatibility adapter implemented on
+// top of the rls::lint framework (analysis/lint.hpp), which supersedes it
+// with stable diagnostic codes, more checks and deterministic ordering.
+// Only the four historical Violation kinds are projected back here, so
+// is_clean() keeps its original acceptance set. The implementation lives
+// in rls_analysis (analysis/validate_compat.cpp); linking rls_analysis is
+// required to use these functions (every existing consumer already does).
 #pragma once
 
 #include <string>

@@ -1,5 +1,8 @@
 #include "sim/worker_pool.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 namespace rls::sim {
 
 WorkerPool::~WorkerPool() {
@@ -19,8 +22,14 @@ void WorkerPool::worker_main(unsigned index, std::uint64_t seen) {
     seen = generation_;
     if (index >= active_) continue;
     lk.unlock();
-    job_(index);  // job_ is stable until running_ reaches zero
+    std::exception_ptr error;
+    try {
+      job_(index);  // job_ is stable until running_ reaches zero
+    } catch (...) {
+      error = std::current_exception();
+    }
     lk.lock();
+    if (error && !first_error_) first_error_ = std::move(error);
     if (--running_ == 0) cv_done_.notify_all();
   }
 }
@@ -28,17 +37,30 @@ void WorkerPool::worker_main(unsigned index, std::uint64_t seen) {
 void WorkerPool::run(unsigned n, std::function<void(unsigned)> job) {
   if (n == 0) return;
   std::unique_lock lk(mu_);
+  if (in_run_) {
+    // A worker's job called back into its own pool: waiting for cv_done_
+    // here could never make progress (the caller is one of the workers
+    // the outer run is waiting on).
+    throw std::logic_error(
+        "WorkerPool::run is not reentrant (called from inside a job)");
+  }
   while (threads_.size() < n) {
     const unsigned index = static_cast<unsigned>(threads_.size());
     threads_.emplace_back(&WorkerPool::worker_main, this, index, generation_);
   }
   job_ = std::move(job);
+  first_error_ = nullptr;
+  in_run_ = true;
   active_ = n;
   running_ = n;
   ++generation_;
   cv_start_.notify_all();
   cv_done_.wait(lk, [&] { return running_ == 0; });
   job_ = nullptr;
+  in_run_ = false;
+  if (first_error_) {
+    std::rethrow_exception(std::exchange(first_error_, nullptr));
+  }
 }
 
 void WorkerPool::run_tasks(unsigned n, std::function<bool(unsigned)> step) {

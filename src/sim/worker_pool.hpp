@@ -16,10 +16,20 @@
 //     attempts): each worker repeatedly invokes step(w) until it returns
 //     false, and step claims its own unit of work (typically via an atomic
 //     cursor). The caller owns ordering/commit semantics.
+//
+// Error and re-entry semantics:
+//   * a job/step that throws does not take the process down: the first
+//     exception (by completion order) is captured and rethrown from run()
+//     on the calling thread once every worker has parked, and the pool
+//     stays usable afterwards (a throwing step simply ends that worker's
+//     task loop for the current run);
+//   * run()/run_tasks() are not reentrant — calling them from inside a job
+//     of the same pool throws std::logic_error instead of deadlocking.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,12 +46,16 @@ class WorkerPool {
 
   /// Runs job(0) .. job(n-1) on persistent threads and blocks until all
   /// return. Grows the pool to n threads on demand; extra idle threads
-  /// from earlier, wider runs are left parked.
+  /// from earlier, wider runs are left parked. If any job throws, the
+  /// first captured exception is rethrown here after all workers parked.
+  /// Throws std::logic_error when called from inside a running job of
+  /// this pool (no nested fan-out).
   void run(unsigned n, std::function<void(unsigned)> job);
 
   /// Task-loop form: each of n persistent workers calls step(w) repeatedly
   /// until it returns false, then parks. Blocks until every worker
   /// returned. step is shared across workers and must be thread-safe.
+  /// Exception/re-entry semantics are those of run().
   void run_tasks(unsigned n, std::function<bool(unsigned)> step);
 
   /// Number of spawned threads (high-water mark of run() widths).
@@ -57,9 +71,11 @@ class WorkerPool {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   std::function<void(unsigned)> job_;
+  std::exception_ptr first_error_;  // first job exception of the run
   std::uint64_t generation_ = 0;
   unsigned active_ = 0;   // workers participating in the current run
   unsigned running_ = 0;  // active workers not yet finished
+  bool in_run_ = false;   // a run is in flight (re-entry guard)
   bool stop_ = false;
 };
 

@@ -69,22 +69,57 @@ x2 = nand(a, b)
   EXPECT_EQ(nl.gate(nl.by_name("x2")).type, GateType::kNand);
 }
 
+/// Parses `text`, expecting failure; returns the BenchParseError message.
+std::string parse_error(std::string_view text) {
+  try {
+    parse_bench(text);
+  } catch (const BenchParseError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected BenchParseError for:\n" << text;
+  return {};
+}
+
+/// True if `msg` carries both the line anchor and the offending token —
+/// the contract every parse error honors.
+void expect_anchored(const std::string& msg, int line,
+                     const std::string& token) {
+  EXPECT_NE(msg.find("line " + std::to_string(line)), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("offending token: '" + token + "'"), std::string::npos)
+      << msg;
+}
+
 TEST(BenchIo, ErrorUnknownGate) {
-  EXPECT_THROW(parse_bench("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"),
-               BenchParseError);
+  expect_anchored(parse_error("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"), 2,
+                  "FROB");
 }
 
 TEST(BenchIo, ErrorUndefinedSignal) {
-  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
-               BenchParseError);
+  expect_anchored(parse_error("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"), 3,
+                  "ghost");
 }
 
 TEST(BenchIo, ErrorUndefinedOutput) {
-  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(ghost)\n"), BenchParseError);
+  expect_anchored(parse_error("INPUT(a)\nOUTPUT(ghost)\n"), 2, "ghost");
 }
 
 TEST(BenchIo, ErrorMalformedLine) {
-  EXPECT_THROW(parse_bench("INPUT(a)\nthis is not bench\n"), BenchParseError);
+  expect_anchored(parse_error("INPUT(a)\nthis is not bench\n"), 2,
+                  "this is not bench");
+}
+
+TEST(BenchIo, ErrorMalformedRightHandSide) {
+  expect_anchored(parse_error("INPUT(a)\nOUTPUT(y)\ny = (a\n"), 3, "(a");
+}
+
+TEST(BenchIo, ErrorDirectiveArity) {
+  expect_anchored(parse_error("INPUT(a, b)\nOUTPUT(a)\n"), 1, "INPUT(a, b)");
+}
+
+TEST(BenchIo, ErrorDuplicateDefinition) {
+  // The duplicated name is the offending token; the line is the redefinition.
+  expect_anchored(parse_error("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"), 2, "a");
 }
 
 TEST(BenchIo, ErrorMessageHasLineNumber) {
@@ -94,6 +129,35 @@ TEST(BenchIo, ErrorMessageHasLineNumber) {
   } catch (const BenchParseError& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
   }
+}
+
+TEST(BenchIo, ScanBenchClassifiesStatements) {
+  const auto statements = scan_bench(
+      "# header\nINPUT(a)\nOUTPUT(y)\ny = NAND(a, a)  # trailing\n");
+  ASSERT_EQ(statements.size(), 3u);
+  EXPECT_EQ(statements[0].kind, BenchStatement::Kind::kInput);
+  EXPECT_EQ(statements[0].line, 2);
+  EXPECT_EQ(statements[0].lhs, "a");
+  EXPECT_EQ(statements[1].kind, BenchStatement::Kind::kOutput);
+  EXPECT_EQ(statements[2].kind, BenchStatement::Kind::kAssign);
+  EXPECT_EQ(statements[2].line, 4);
+  EXPECT_EQ(statements[2].op, "NAND");
+  EXPECT_EQ(statements[2].args, (std::vector<std::string>{"a", "a"}));
+}
+
+TEST(BenchIo, ScanBenchCollectsAllSyntaxErrorsTolerantly) {
+  // With an error sink, the scanner keeps going instead of throwing on the
+  // first defect — the lint front end needs the full defect list.
+  std::vector<BenchSyntaxError> errors;
+  const auto statements = scan_bench(
+      "INPUT(a)\ngarbage here\nWIBBLE(a)\ny = NOT(a)\nOUTPUT(y)\n", &errors);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].line, 2);
+  EXPECT_EQ(errors[0].token, "garbage here");
+  EXPECT_EQ(errors[1].line, 3);
+  EXPECT_EQ(errors[1].token, "WIBBLE");
+  EXPECT_EQ(errors[1].message, "unknown directive");
+  EXPECT_EQ(statements.size(), 3u);  // the well-formed lines survive
 }
 
 TEST(BenchIo, RoundTripS27) {

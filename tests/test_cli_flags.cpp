@@ -101,6 +101,32 @@ TEST(CliFlags, ErrorsNameTheOffendingArgument) {
   }
 }
 
+TEST(CliFlags, DoubleFlagsParseBothForms) {
+  FlagParser fp;
+  double threshold = 0.5;
+  fp.add_double("threshold", &threshold, "escape probability cutoff");
+  const char* argv1[] = {"prog", "--threshold=0.25"};
+  (void)fp.parse(2, argv1);
+  EXPECT_DOUBLE_EQ(threshold, 0.25);
+  const char* argv2[] = {"prog", "--threshold", "1e-3"};
+  (void)fp.parse(3, argv2);
+  EXPECT_DOUBLE_EQ(threshold, 1e-3);
+}
+
+TEST(CliFlags, DoubleFlagRejectsNonNumbers) {
+  FlagParser fp;
+  double threshold = 0.5;
+  fp.add_double("threshold", &threshold);
+  const char* argv[] = {"prog", "--threshold=half"};
+  try {
+    (void)fp.parse(2, argv);
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    EXPECT_NE(std::string(e.what()).find("half"), std::string::npos);
+  }
+  EXPECT_DOUBLE_EQ(threshold, 0.5);  // untouched on error
+}
+
 TEST(CliFlags, HelpListsEveryRegisteredFlag) {
   FlagParser fp;
   bool b = false;

@@ -1,0 +1,388 @@
+// rls::lint framework tests: stable diagnostic codes on seeded defects,
+// deterministic ordering, the golden JSONL stream behind `rls lint --json`,
+// and the COP resistance prediction cross-validated against measured TS_0
+// escapes (the paper's dynamically-discovered random-pattern-resistant
+// faults).
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "analysis/resistance.hpp"
+#include "core/ts0.hpp"
+#include "fault/collapse.hpp"
+#include "fault/fault.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/validate.hpp"
+#include "obs/trace.hpp"
+#include "scan/chain.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls {
+namespace {
+
+using analysis::Diagnostic;
+using analysis::LintOptions;
+using analysis::LintResult;
+using analysis::Severity;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+std::vector<const Diagnostic*> with_code(const LintResult& res,
+                                         std::string_view code) {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : res.diagnostics) {
+    if (d.code == code) out.push_back(&d);
+  }
+  return out;
+}
+
+LintOptions structural_only() {
+  LintOptions opts;
+  opts.resistance = false;
+  return opts;
+}
+
+// ---- structural checks on built netlists ----------------------------------
+
+TEST(LintStructural, CleanRegistryCircuitIsQuiet) {
+  const LintResult res =
+      analysis::run_lint(gen::make_circuit("s27"), structural_only());
+  EXPECT_TRUE(res.diagnostics.empty());
+  EXPECT_EQ(res.exit_code(), 0);
+  EXPECT_EQ(res.counters.value("lint.checks"),
+            analysis::structural_checks().size());
+}
+
+TEST(LintStructural, SeededCombinationalLoopGetsE001WithWitnessPath) {
+  Netlist nl("loop");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_gate(GateType::kAnd, "b", {a, a});
+  const SignalId c = nl.add_gate(GateType::kOr, "c", {b, a});
+  nl.connect(b, {a, c});  // close the b <-> c loop
+  const SignalId z = nl.add_gate(GateType::kNot, "z", {c});
+  nl.mark_output(z);
+  nl.finalize();
+
+  const LintResult res = analysis::run_lint(nl);  // resistance auto-skipped
+  const auto loops = with_code(res, "RLS-E001");
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0]->severity, Severity::kError);
+  EXPECT_EQ(loops[0]->signal, b);
+  EXPECT_EQ(loops[0]->path, (std::vector<SignalId>{b, c}));
+  EXPECT_NE(loops[0]->message.find("b -> c -> b"), std::string::npos);
+  EXPECT_EQ(res.exit_code(), 1);
+  // The resistance pass must not run on a cyclic core.
+  EXPECT_TRUE(res.resistance.empty());
+  EXPECT_TRUE(with_code(res, "RLS-I300").empty());
+}
+
+TEST(LintStructural, DanglingVariantsAreDistinguished) {
+  Netlist nl("dangling");
+  const SignalId a = nl.add_input("a");
+  nl.add_gate(GateType::kNot, "dead", {a});  // W101: comb, drives nothing
+  const SignalId c0 = nl.add_gate(GateType::kConst0, "zero", {});
+  const SignalId fconst = nl.add_dff("f_const", c0);  // W105: D tied to 0
+  const SignalId fdead = nl.add_dff("f_dead", a);     // W104: Q never read
+  (void)fdead;
+  const SignalId z = nl.add_gate(GateType::kOr, "z", {a, fconst});
+  nl.mark_output(z);
+  nl.finalize();
+
+  const LintResult res = analysis::run_lint(nl, structural_only());
+  ASSERT_EQ(with_code(res, "RLS-W101").size(), 1u);
+  EXPECT_EQ(with_code(res, "RLS-W101")[0]->object, "dead");
+  ASSERT_EQ(with_code(res, "RLS-W104").size(), 1u);
+  EXPECT_EQ(with_code(res, "RLS-W104")[0]->object, "f_dead");
+  ASSERT_EQ(with_code(res, "RLS-W105").size(), 1u);
+  EXPECT_EQ(with_code(res, "RLS-W105")[0]->object, "f_const");
+  EXPECT_EQ(res.exit_code(), 2);  // warnings only
+}
+
+TEST(LintStructural, AllUnreachableGatesReportedSortedById) {
+  // Two isolated feedback islands: four gates total, none driven by any
+  // input. The check must report every one of them, in ascending gate id,
+  // not just the first discovery.
+  Netlist nl("islands");
+  const SignalId a = nl.add_input("a");
+  const SignalId u1 = nl.add_gate(GateType::kBuf, "u1", {a});
+  const SignalId u2 = nl.add_gate(GateType::kNot, "u2", {u1});
+  nl.connect(u1, {u2});
+  const SignalId v1 = nl.add_gate(GateType::kBuf, "v1", {a});
+  const SignalId v2 = nl.add_gate(GateType::kNot, "v2", {v1});
+  nl.connect(v1, {v2});
+  const SignalId z = nl.add_gate(GateType::kOr, "z", {u2, v2, a});
+  nl.mark_output(z);
+  nl.finalize();
+
+  const LintResult res = analysis::run_lint(nl, structural_only());
+  const auto unreachable = with_code(res, "RLS-W102");
+  std::vector<SignalId> ids;
+  for (const Diagnostic* d : unreachable) ids.push_back(d->signal);
+  EXPECT_EQ(ids, (std::vector<SignalId>{u1, u2, v1, v2}));
+  // Both islands are also combinational loops.
+  EXPECT_EQ(with_code(res, "RLS-E001").size(), 2u);
+}
+
+TEST(LintStructural, UnobservableConeGetsW103) {
+  Netlist nl("cone");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  // mid has fanout (into sink), but sink dangles: the whole cone is
+  // structurally unobservable. mid gets W103, sink gets W101.
+  const SignalId mid = nl.add_gate(GateType::kAnd, "mid", {a, b});
+  nl.add_gate(GateType::kNot, "sink", {mid});
+  const SignalId z = nl.add_gate(GateType::kOr, "z", {a, b});
+  nl.mark_output(z);
+  nl.finalize();
+
+  const LintResult res = analysis::run_lint(nl, structural_only());
+  const auto cones = with_code(res, "RLS-W103");
+  ASSERT_EQ(cones.size(), 1u);
+  EXPECT_EQ(cones[0]->object, "mid");
+  ASSERT_EQ(with_code(res, "RLS-W101").size(), 1u);
+  EXPECT_EQ(with_code(res, "RLS-W101")[0]->object, "sink");
+}
+
+TEST(LintStructural, ScanChainIntegrity) {
+  const Netlist nl = gen::make_circuit("s27");  // 3 flip-flops: G5 G6 G7
+  LintOptions opts = structural_only();
+
+  // Gap: position 1 in no chain and not declared unscanned.
+  opts.chain = scan::ChainConfig{{{0, 2}}, {}};
+  const LintResult gap = analysis::run_lint(nl, opts);
+  const auto broken = with_code(gap, "RLS-E007");
+  ASSERT_EQ(broken.size(), 1u);
+  EXPECT_EQ(broken[0]->object, "G6");
+  EXPECT_EQ(gap.exit_code(), 1);
+
+  // Duplicate: position 1 appears in two chains.
+  opts.chain = scan::ChainConfig{{{0, 1}, {1, 2}}, {}};
+  const LintResult dup = analysis::run_lint(nl, opts);
+  ASSERT_EQ(with_code(dup, "RLS-E006").size(), 1u);
+  EXPECT_EQ(with_code(dup, "RLS-E006")[0]->object, "G6");
+
+  // Out of range: position 5 of 3.
+  opts.chain = scan::ChainConfig{{{0, 1, 2, 5}}, {}};
+  const LintResult oob = analysis::run_lint(nl, opts);
+  ASSERT_EQ(with_code(oob, "RLS-E005").size(), 1u);
+
+  // Partial scan is legal and reported as info only.
+  opts.chain = scan::ChainConfig::partial(3, {0, 2});
+  const LintResult partial = analysis::run_lint(nl, opts);
+  EXPECT_TRUE(with_code(partial, "RLS-E007").empty());
+  ASSERT_EQ(with_code(partial, "RLS-I201").size(), 1u);
+  EXPECT_EQ(partial.exit_code(), 0);
+}
+
+TEST(LintStructural, ValidateCompatKeepsOldAcceptanceSet) {
+  // The legacy API must still see exactly the four historical kinds.
+  Netlist nl("compat");
+  const SignalId a = nl.add_input("a");
+  nl.add_gate(GateType::kNot, "dead", {a});
+  const SignalId z = nl.add_gate(GateType::kBuf, "z", {a});
+  nl.mark_output(z);
+  nl.finalize();
+  const auto violations = netlist::validate(nl);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, netlist::Violation::Kind::kDanglingSignal);
+  EXPECT_FALSE(netlist::is_clean(nl));
+  EXPECT_TRUE(netlist::is_clean(gen::make_circuit("s27")));
+}
+
+// ---- source-level checks --------------------------------------------------
+
+TEST(LintSource, MultiplyDrivenAndUndrivenNets) {
+  const LintResult res = analysis::run_lint_source(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\nz = OR(a, b)\n"
+      "y = NAND(a, w)\n",
+      "multi");
+  const auto multi = with_code(res, "RLS-E003");
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_EQ(multi[0]->object, "z");
+  EXPECT_NE(multi[0]->message.find("lines 4, 5"), std::string::npos);
+  const auto undriven = with_code(res, "RLS-E002");
+  ASSERT_EQ(undriven.size(), 1u);
+  EXPECT_EQ(undriven[0]->object, "w");
+  EXPECT_NE(undriven[0]->message.find("lines 6"), std::string::npos);
+  EXPECT_EQ(res.exit_code(), 1);
+}
+
+TEST(LintSource, XSourceTracedToTaintedOutputs) {
+  const LintResult res = analysis::run_lint_source(
+      "INPUT(a)\nOUTPUT(z)\nOUTPUT(ok)\ny = AND(a, w)\nz = OR(y, a)\n"
+      "ok = NOT(a)\n",
+      "taint");
+  ASSERT_EQ(with_code(res, "RLS-E002").size(), 1u);
+  const auto tainted = with_code(res, "RLS-W106");
+  ASSERT_EQ(tainted.size(), 1u);  // z is tainted through y; ok is not
+  EXPECT_EQ(tainted[0]->object, "z");
+  EXPECT_NE(tainted[0]->message.find("'w'"), std::string::npos);
+}
+
+TEST(LintSource, SyntaxAndUnknownGateDefectsAreCollected) {
+  const LintResult res = analysis::run_lint_source(
+      "INPUT(a)\ngarbage here\nz = FROB(a)\nOUTPUT(z)\n", "bad");
+  ASSERT_EQ(with_code(res, "RLS-E010").size(), 1u);
+  EXPECT_NE(with_code(res, "RLS-E010")[0]->message.find("line 2"),
+            std::string::npos);
+  const auto unknown = with_code(res, "RLS-E011");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0]->object, "FROB");
+  EXPECT_NE(unknown[0]->message.find("line 3"), std::string::npos);
+}
+
+TEST(LintSource, CleanSourceFallsThroughToStructuralChecks) {
+  const LintResult res = analysis::run_lint_source(
+      "INPUT(a)\nOUTPUT(z)\ndead = NOT(a)\nz = BUFF(a)\n", "fallthrough",
+      structural_only());
+  const auto dangling = with_code(res, "RLS-W101");
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_EQ(dangling[0]->object, "dead");
+  EXPECT_EQ(res.exit_code(), 2);
+}
+
+// ---- determinism and the golden JSONL stream ------------------------------
+
+TEST(LintDeterminism, RepeatedRunsAreByteIdentical) {
+  const Netlist nl = gen::make_circuit("s298");
+  const LintResult first = analysis::run_lint(nl);
+  const LintResult second = analysis::run_lint(nl);
+  obs::VectorSink sink_a;
+  obs::VectorSink sink_b;
+  analysis::emit(first, sink_a);
+  analysis::emit(second, sink_b);
+  ASSERT_EQ(sink_a.events().size(), sink_b.events().size());
+  for (std::size_t i = 0; i < sink_a.events().size(); ++i) {
+    EXPECT_EQ(to_jsonl(sink_a.events()[i]), to_jsonl(sink_b.events()[i]));
+  }
+  EXPECT_TRUE(std::is_sorted(first.diagnostics.begin(),
+                             first.diagnostics.end()));
+}
+
+TEST(LintGolden, JsonStreamIsPinned) {
+  // Pins the exact JSONL the `rls lint --json` subcommand prints (cmd_lint
+  // feeds the same emit() into a stdout JsonlSink). Any change here is a
+  // contract change for downstream consumers — update deliberately.
+  const LintResult res = analysis::run_lint_source(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\nz = OR(a, b)\n"
+      "y = NAND(a, w)\n",
+      "golden");
+  obs::VectorSink sink;
+  analysis::emit(res, sink);
+  std::vector<std::string> lines;
+  for (const obs::TraceEvent& ev : sink.events()) {
+    lines.push_back(to_jsonl(ev));
+  }
+  const std::vector<std::string> expected = {
+      "{\"ev\":\"lint\",\"code\":\"RLS-E002\",\"sev\":\"error\","
+      "\"object\":\"w\",\"msg\":\"net 'w' is referenced (lines 6) but never "
+      "driven — an X source\"}",
+      "{\"ev\":\"lint\",\"code\":\"RLS-E003\",\"sev\":\"error\","
+      "\"object\":\"z\",\"msg\":\"net 'z' is driven 2 times (lines 4, 5)\"}",
+      "{\"ev\":\"lint_summary\",\"errors\":2,\"warnings\":0,\"infos\":0,"
+      "\"lint.checks\":1,\"lint.diags\":2,\"lint.errors\":2,"
+      "\"lint.infos\":0,\"lint.warnings\":0}",
+  };
+  EXPECT_EQ(lines, expected);
+}
+
+TEST(LintGolden, LoopDiagnosticTextIsPinned) {
+  const LintResult res = analysis::run_lint_source(
+      "INPUT(a)\nOUTPUT(z)\nb = AND(a, c)\nc = OR(b, a)\nz = NOT(c)\n",
+      "loop");
+  ASSERT_EQ(res.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis::format_text(res.diagnostics[0]),
+            "error[RLS-E001] b: combinational cycle through 2 gate(s): "
+            "b -> c -> b");
+}
+
+// ---- resistance prediction ------------------------------------------------
+
+TEST(Resistance, EscapeProbabilityMath) {
+  EXPECT_DOUBLE_EQ(analysis::escape_probability(0.0, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(analysis::escape_probability(1.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(analysis::escape_probability(0.5, 2), 0.25);
+  EXPECT_DOUBLE_EQ(analysis::escape_probability(0.25, 0), 1.0);
+  // Numerically stable for tiny p: (1 - 1e-12)^1e6 ~ exp(-1e-6).
+  EXPECT_NEAR(analysis::escape_probability(1e-12, 1000000),
+              std::exp(-1e-6), 1e-9);
+  // Monotone: more patterns, lower escape.
+  EXPECT_GT(analysis::escape_probability(0.01, 10),
+            analysis::escape_probability(0.01, 100));
+}
+
+TEST(Resistance, BudgetScalesTheFlaggedSet) {
+  const Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const auto universe = fault::collapsed_universe(nl);
+  analysis::PatternBudget tiny{1, 1, 1};     // 2 pattern applications
+  analysis::PatternBudget huge{64, 128, 512};
+  const auto few =
+      analysis::predict_resistance(cc, universe, huge, 0.5).flagged;
+  const auto many =
+      analysis::predict_resistance(cc, universe, tiny, 0.5).flagged;
+  EXPECT_LE(few.size(), many.size());
+  EXPECT_GT(many.size(), 0u);  // almost everything escapes two patterns
+}
+
+TEST(Resistance, ReportIndicesAreConsistent) {
+  const Netlist nl = gen::make_circuit("s27");
+  const sim::CompiledCircuit cc(nl);
+  const auto universe = fault::collapsed_universe(nl);
+  const auto report = analysis::predict_resistance(cc, universe);
+  ASSERT_EQ(report.faults.size(), universe.size());
+  for (std::size_t i : report.flagged) {
+    ASSERT_LT(i, report.faults.size());
+    EXPECT_GE(report.faults[i].escape_prob, report.threshold);
+  }
+  for (std::size_t i = 0; i < report.faults.size(); ++i) {
+    EXPECT_EQ(report.faults[i].f.gate, universe[i].gate);
+    EXPECT_GE(report.faults[i].det_prob, 0.0);
+    EXPECT_LE(report.faults[i].det_prob, 1.0);
+  }
+}
+
+// The acceptance gate: on s5378 the statically flagged faults must
+// actually be the ones TS_0 fails to detect. Precision >= 0.5 means at
+// least half the predictions are measured escapes.
+TEST(LintPrecision, S5378PredictionOverlapsMeasuredTs0Escapes) {
+  const Netlist nl = gen::make_circuit("s5378");
+  const sim::CompiledCircuit cc(nl);
+  const auto universe = fault::collapsed_universe(nl);
+
+  analysis::PatternBudget budget;  // LA=8 LB=16 N=64, the Ts0Config default
+  const analysis::ResistanceReport report =
+      analysis::predict_resistance(cc, universe, budget, 0.5);
+  ASSERT_GT(report.flagged.size(), 0u)
+      << "s5378 is known to contain random-pattern-resistant faults";
+
+  core::Ts0Config cfg;  // same (L_A, L_B, N) as the predicted budget
+  fault::FaultList fl(universe);
+  fault::SeqFaultSim sim(cc);
+  sim.set_threads(1);
+  sim.run_test_set(core::make_ts0(nl, cfg), fl);
+
+  std::size_t hits = 0;
+  for (std::size_t i : report.flagged) {
+    if (!fl.detected(i)) ++hits;
+  }
+  const double precision =
+      static_cast<double>(hits) / static_cast<double>(report.flagged.size());
+  EXPECT_GE(precision, 0.5)
+      << hits << " of " << report.flagged.size()
+      << " predicted-resistant faults actually escaped TS_0";
+  // The prediction must also be informative, not vacuous: the flagged set
+  // stays a small fraction of the universe.
+  EXPECT_LT(report.flagged.size(), universe.size() / 4);
+}
+
+}  // namespace
+}  // namespace rls

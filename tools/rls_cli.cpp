@@ -7,6 +7,7 @@
 //   rls cop     <circuit> [n]         the n hardest faults by COP estimate
 //   rls run     <circuit> [options]   Procedure 2 (one Table-6 style row)
 //   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
+//   rls lint    <circuit|file.bench>  design-rule + resistance diagnostics
 //
 // `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
 // ISCAS-89 .bench file. Common flags (uniform across subcommands):
@@ -19,9 +20,11 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "analysis/cop.hpp"
+#include "analysis/lint.hpp"
 #include "cli/flags.hpp"
 #include "core/campaign.hpp"
 #include "core/run_context.hpp"
@@ -248,14 +251,94 @@ int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
   return row.found_complete ? 0 : 2;
 }
 
+/// Everything `rls lint` accepts beyond the circuit argument.
+struct LintFlags {
+  bool json = false;
+  bool no_resistance = false;
+  double threshold = 0.5;
+  std::uint64_t la = 0, lb = 0, n = 0;
+  std::uint64_t max_resistant = 20;
+
+  void add_to(cli::FlagParser& fp) {
+    fp.add_bool("json", &json, "emit diagnostics as JSONL on stdout");
+    fp.add_bool("no-resistance", &no_resistance,
+                "skip the COP resistance pass (structural checks only)");
+    fp.add_double("threshold", &threshold,
+                  "flag faults with escape probability >= this (default 0.5)");
+    fp.add_uint("la", &la, "resistance budget: short test length");
+    fp.add_uint("lb", &lb, "resistance budget: long test length");
+    fp.add_uint("n", &n, "resistance budget: tests per length");
+    fp.add_uint("max-resistant", &max_resistant,
+                "cap on individual RLS-I301 diagnostics (default 20)");
+  }
+
+  [[nodiscard]] analysis::LintOptions to_options() const {
+    analysis::LintOptions opts;
+    opts.resistance = !no_resistance;
+    opts.escape_threshold = threshold;
+    if (la) opts.budget.l_a = static_cast<std::size_t>(la);
+    if (lb) opts.budget.l_b = static_cast<std::size_t>(lb);
+    if (n) opts.budget.n = static_cast<std::size_t>(n);
+    opts.max_resistant_report = static_cast<std::size_t>(max_resistant);
+    return opts;
+  }
+};
+
+int cmd_lint(const std::string& which, CommonFlags& common,
+             const LintFlags& flags) {
+  const analysis::LintOptions opts = flags.to_options();
+  // Registry circuits always build; files go through the tolerant source
+  // scanner so defects the Netlist constructor rejects still get reported
+  // as diagnostics instead of a hard parse error.
+  analysis::LintResult result;
+  std::string name = which;
+  if (gen::is_known_circuit(which)) {
+    result = analysis::run_lint(gen::make_circuit(which), opts);
+  } else {
+    std::ifstream in(which);
+    if (!in.good()) {
+      throw std::runtime_error(
+          "'" + which +
+          "' is neither a known circuit (see `rls list`) nor a readable "
+          ".bench file");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    result = analysis::run_lint_source(text.str(), which, opts);
+  }
+
+  core::RunContext ctx;
+  common.configure(ctx);
+  if (ctx.sink()) {
+    analysis::emit(result, *ctx.sink());
+    ctx.flush();
+  }
+  if (flags.json) {
+    obs::JsonlSink out(stdout);
+    analysis::emit(result, out);
+    out.flush();
+  } else {
+    for (const auto& d : result.diagnostics) {
+      std::printf("%s\n", analysis::format_text(d).c_str());
+    }
+    std::printf("%s: %zu error(s), %zu warning(s), %zu info\n", name.c_str(),
+                result.count(analysis::Severity::kError),
+                result.count(analysis::Severity::kWarning),
+                result.count(analysis::Severity::kInfo));
+  }
+  return result.exit_code();
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: rls <list|stats|bench|faults|cop|tables|run> "
+               "usage: rls <list|stats|bench|faults|cop|tables|run|lint> "
                "[circuit] [options]\n"
                "common options: --engine=conediff|fullsweep --threads=N "
                "--seed=S --trace=FILE --progress\n"
                "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc "
-               "--combo-jobs=W\n");
+               "--combo-jobs=W\n"
+               "lint options:   --json --no-resistance --threshold=P "
+               "--la=N --lb=N --n=N --max-resistant=K\n");
   return 64;
 }
 
@@ -273,6 +356,8 @@ int main(int argc, char** argv) {
     std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, top = 10;
     std::uint64_t combo_jobs = 1;
     bool d1_desc = false;
+    LintFlags lint_flags;
+    if (cmd == "lint") lint_flags.add_to(fp);
     if (cmd == "run") {
       fp.add_uint("la", &la, "TS_0 short test length");
       fp.add_uint("lb", &lb, "TS_0 long test length");
@@ -295,6 +380,7 @@ int main(int argc, char** argv) {
       return cmd_cop(which, static_cast<std::size_t>(top));
     }
     if (cmd == "tables") return cmd_tables(which, common);
+    if (cmd == "lint") return cmd_lint(which, common, lint_flags);
     if (cmd == "run") {
       return cmd_run(which, common, la, lb, n, max_iters, d1_desc, combo_jobs);
     }

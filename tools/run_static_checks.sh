@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Static-analysis + sanitizer gate for the rls repo.
+#
+#   tools/run_static_checks.sh [--quick]
+#
+# Runs, in order:
+#   1. clang-tidy (bugprone-*, concurrency-*, performance-* per .clang-tidy)
+#      over src/ and tools/ — skipped with a notice when clang-tidy is not
+#      installed (the CI container ships only g++);
+#   2. `rls lint` over every registry circuit — structural diagnostics must
+#      be clean (exit 0; resistance findings are Info and do not fail);
+#   3. unless --quick: the TSan preset build + thread-heavy test suites
+#      (ParallelFsim / SweepEquiv / SweepAbort / EngineCrossCheck /
+#      WorkerPool) with suppressions from tools/tsan.supp.
+#
+# Exit code 0 means every gate that could run passed.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+fail=0
+
+# ---- 1. clang-tidy (advisory: container may not have clang) -------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  # compile_commands.json from the release tree; generate if missing.
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+  if ! clang-tidy -p build --quiet "${sources[@]}"; then
+    echo "clang-tidy: FAILED" >&2
+    fail=1
+  fi
+else
+  echo "== clang-tidy: not installed, skipping (advisory gate) =="
+fi
+
+# ---- 2. rls lint over the circuit registry ------------------------------
+echo "== rls lint (registry circuits) =="
+if [[ ! -x build/tools/rls ]]; then
+  cmake --preset release >/dev/null
+  cmake --build build --target rls -j"$(nproc)" >/dev/null
+fi
+while IFS= read -r circuit; do
+  # Structural errors exit 1, warnings exit 2; both fail the gate.
+  if ! build/tools/rls lint "$circuit" --no-resistance >/dev/null; then
+    echo "rls lint $circuit: FAILED" >&2
+    build/tools/rls lint "$circuit" --no-resistance || true
+    fail=1
+  fi
+done < <(build/tools/rls list)
+echo "lint: registry clean"
+
+# ---- 3. TSan suites -----------------------------------------------------
+if [[ "$quick" == 0 ]]; then
+  echo "== TSan (thread-heavy suites) =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$(nproc)" >/dev/null
+  if ! ctest --preset tsan --output-on-failure; then
+    echo "tsan suites: FAILED" >&2
+    fail=1
+  fi
+else
+  echo "== TSan: skipped (--quick) =="
+fi
+
+if [[ "$fail" != 0 ]]; then
+  echo "static checks: FAILED" >&2
+  exit 1
+fi
+echo "static checks: OK"
