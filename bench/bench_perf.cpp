@@ -2,8 +2,11 @@
 // Not a paper table — engineering baselines for the library itself.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/campaign.hpp"
@@ -19,6 +22,9 @@
 #include "rand/rng.hpp"
 #include "sim/compiled.hpp"
 #include "sim/seq_sim.hpp"
+#include "store/artifact_store.hpp"
+#include "store/checkpoint.hpp"
+#include "store/serde.hpp"
 
 namespace {
 
@@ -196,6 +202,97 @@ BENCHMARK_CAPTURE(BM_ComboSweep, s420_w2, "s420", 2)
 BENCHMARK_CAPTURE(BM_ComboSweep, s420_w4, "s420", 4)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_ComboSweep, s420_w8, "s420", 8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Fresh scratch directory for the store benchmarks, removed on scope exit.
+struct BenchScratch {
+  std::string path;
+  explicit BenchScratch(const char* tag) {
+    path = (std::filesystem::temp_directory_path() /
+            (std::string("rls-bench-") + tag + "-XXXXXX"))
+               .string();
+    if (::mkdtemp(path.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for " + path);
+    }
+  }
+  ~BenchScratch() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+// One full artifact roundtrip — encode a TS_0 test set, frame, crash-safe
+// put (write + fsync + rename), get, unframe, decode — the steady-state
+// cost a checkpointing campaign pays per save/load (BENCH_PR5.json).
+void BM_StoreRoundTrip(benchmark::State& state, const char* name) {
+  Fixture& f = fixture(name);
+  core::Ts0Config cfg;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  const BenchScratch scratch("roundtrip");
+  store::ArtifactStore astore(scratch.path);
+  store::ArtifactKey key{"bench", store::digest_circuit(f.nl), {}};
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    store::ByteWriter w;
+    store::write_test_set(w, ts0);
+    bytes += astore.put(key, w.buffer());
+    const auto body = astore.get(key);
+    store::ByteReader r(*body, "bench");
+    const scan::TestSet back = store::read_test_set(r);
+    benchmark::DoNotOptimize(back.tests.size());
+  }
+  state.counters["artifact_bytes"] =
+      static_cast<double>(bytes) / static_cast<double>(state.iterations());
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(2 * bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_StoreRoundTrip, s953, "s953");
+BENCHMARK_CAPTURE(BM_StoreRoundTrip, s5378, "s5378");
+
+// Cold-versus-warm campaign: the same bounded first-complete sweep against
+// an empty store (every iteration wipes it) and against a populated one
+// (the second-run path — served entirely from artifacts, zero fault
+// simulation). The cold/warm wall-time ratio is the PR-5 headline.
+void BM_CampaignCached(benchmark::State& state, const char* name, bool warm) {
+  static std::map<std::string, std::unique_ptr<core::Workbench>> wbs;
+  auto& wb = wbs[name];
+  if (!wb) wb = std::make_unique<core::Workbench>(name);
+  core::CampaignOptions opts;
+  opts.p2.sim_threads = 1;
+  opts.p2.d1_order = {1, 2};
+  opts.p2.max_iterations = 2;
+  opts.p2.n_same_fc = 1;
+  opts.max_attempts = 3;
+  opts.max_combos_on_failure = 3;
+  const BenchScratch scratch(warm ? "warm" : "cold");
+  if (warm) {
+    store::ArtifactStore astore(scratch.path);
+    store::CampaignStore cs(astore, wb->nl(), wb->target_faults(), false);
+    core::RunContext ctx(opts);
+    ctx.set_store(&cs);
+    (void)core::run_first_complete(*wb, ctx);
+  }
+  std::size_t attempts = 0;
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      std::error_code ec;
+      std::filesystem::remove_all(scratch.path, ec);
+      state.ResumeTiming();
+    }
+    store::ArtifactStore astore(scratch.path);
+    store::CampaignStore cs(astore, wb->nl(), wb->target_faults(), false);
+    core::RunContext ctx(opts);
+    ctx.set_store(&cs);
+    const core::ExperimentRow row = core::run_first_complete(*wb, ctx);
+    attempts = row.attempts;
+    benchmark::DoNotOptimize(row.result.total_detected);
+  }
+  state.counters["attempts"] = static_cast<double>(attempts);
+}
+BENCHMARK_CAPTURE(BM_CampaignCached, s298_cold, "s298", false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignCached, s298_warm, "s298", true)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CombFaultSimRound(benchmark::State& state, const char* name) {

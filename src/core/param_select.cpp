@@ -11,6 +11,7 @@
 #include "core/run_context.hpp"
 #include "scan/cost.hpp"
 #include "sim/worker_pool.hpp"
+#include "store/checkpoint.hpp"
 
 namespace rls::core {
 
@@ -55,7 +56,7 @@ ComboRun run_combo(const sim::CompiledCircuit& cc,
   scan::TestSet local;
   const scan::TestSet* ts0 = nullptr;
   if (cache) {
-    cached = cache->get(cc.nl(), cfg);
+    cached = cache->get(cc.nl(), cfg, p2_opt.engine, ctx);
     ts0 = cached.get();
   } else {
     local = make_ts0(cc.nl(), cfg);
@@ -75,7 +76,12 @@ ComboRun run_combo(const sim::CompiledCircuit& cc,
   fault::FaultList fl(target_faults);
   ComboRun run;
   run.combo = combo;
-  run.result = run_procedure2(cc, *ts0, fl, p2_opt, ctx, abort);
+  if (store::CampaignStore* cs = ctx ? ctx->store() : nullptr) {
+    const store::P2Checkpoint ckpt(*cs, cs->p2_key(combo, p2_opt, ts0_seed));
+    run.result = run_procedure2(cc, *ts0, fl, p2_opt, ctx, abort, &ckpt);
+  } else {
+    run.result = run_procedure2(cc, *ts0, fl, p2_opt, ctx, abort);
+  }
   return run;
 }
 
@@ -96,19 +102,49 @@ void report_combo_progress(RunContext* ctx, const Combo& c,
   ctx->update_progress(p);
 }
 
+/// Sweep-level checkpoint scope: the campaign snapshot (committed prefix,
+/// adopted from a previous run when resuming) plus the fixed key it is
+/// saved under after every commit.
+struct CampaignCkpt {
+  store::CampaignStore* cs = nullptr;
+  store::ArtifactKey key;
+  store::CampaignSnapshot snap;
+
+  /// Appends a freshly committed run and persists the snapshot. A
+  /// complete run is the winner and makes the snapshot terminal.
+  void commit(const ComboRun& run, std::size_t global_attempt,
+              RunContext* ctx) {
+    snap.committed.push_back(run);
+    snap.next_attempt = global_attempt + 1;
+    if (run.result.complete) {
+      snap.winner = static_cast<std::int64_t>(snap.committed.size()) - 1;
+      snap.terminal = true;
+    }
+    cs->save_campaign(key, snap, ctx);
+  }
+  /// Marks the natural end of a winnerless sweep (every combo committed).
+  void finish(RunContext* ctx) {
+    if (snap.terminal) return;
+    snap.terminal = true;
+    cs->save_campaign(key, snap, ctx);
+  }
+};
+
 /// Serial sweep (W = 1): attempts run and commit in the same order, so
 /// events stream straight through the parent context — byte-identical to
 /// the speculative path's buffered commit by construction (pinned by the
-/// sweep-equivalence test).
+/// sweep-equivalence test). `combos` is the not-yet-committed tail of the
+/// rank order; `attempt_base` is how many attempts a resumed campaign
+/// already committed (0 on a fresh run).
 std::optional<ComboRun> sweep_serial(
     const sim::CompiledCircuit& cc,
     const std::vector<fault::Fault>& target_faults,
     const std::vector<Combo>& combos, const Procedure2Options& p2_opt,
     std::uint64_t ts0_seed, Ts0Cache& cache, std::vector<ComboRun>* runs_out,
-    RunContext* ctx) {
+    RunContext* ctx, std::size_t attempt_base, CampaignCkpt* camp) {
   std::uint64_t attempt = 0;
   for (const Combo& c : combos) {
-    if (ctx) ctx->set_attempt(attempt);
+    if (ctx) ctx->set_attempt(attempt_base + attempt);
     const double t_combo = ctx ? ctx->elapsed_ms() : 0.0;
     ComboRun run =
         run_combo(cc, target_faults, c, p2_opt, ts0_seed, ctx, &cache);
@@ -120,6 +156,7 @@ std::optional<ComboRun> sweep_serial(
                               complete, ctx->elapsed_ms() - t_combo);
       report_combo_progress(ctx, c, run, target_faults.size());
     }
+    if (camp) camp->commit(run, attempt_base + attempt, ctx);
     ++attempt;
     if (complete) {
       if (ctx) {
@@ -130,6 +167,7 @@ std::optional<ComboRun> sweep_serial(
       return run;
     }
   }
+  if (camp) camp->finish(ctx);
   if (ctx) {
     ctx->counters().add("sweep.attempts", attempt);
     ctx->counters().add("sweep.dispatched", attempt);
@@ -149,7 +187,8 @@ std::optional<ComboRun> sweep_speculative(
     const std::vector<fault::Fault>& target_faults,
     const std::vector<Combo>& combos, const Procedure2Options& p2_opt,
     std::uint64_t ts0_seed, Ts0Cache& cache, std::vector<ComboRun>* runs_out,
-    RunContext* ctx, unsigned workers) {
+    RunContext* ctx, unsigned workers, std::size_t attempt_base,
+    CampaignCkpt* camp) {
   struct Slot {
     std::atomic<bool> cancel{false};
     bool claimed = false;
@@ -177,7 +216,13 @@ std::optional<ComboRun> sweep_speculative(
     s.claimed = true;
     RunContext child;
     child.set_timing(timing);
-    child.set_attempt(i);
+    child.set_attempt(attempt_base + i);
+    // The store travels into workers: terminal p2 artifacts are shared
+    // reads, and each attempt checkpoints under its own combo key. A
+    // doomed attempt may leave a partial p2 artifact behind — harmless,
+    // because checkpoints are deterministic prefixes of the same run a
+    // future resume would redo anyway.
+    if (ctx) child.set_store(ctx->store());
     if (buffer_events) child.set_sink(&s.buf);
     ComboRun run = run_combo(cc, target_faults, combos[i], p2_opt, ts0_seed,
                              ctx ? &child : nullptr, &cache, &s.cancel);
@@ -212,7 +257,7 @@ std::optional<ComboRun> sweep_speculative(
     if (s.run.result.aborted) break;  // unreachable before the winner
     if (ctx) {
       ctx->counters().merge(s.counters);
-      ctx->set_attempt(k);
+      ctx->set_attempt(attempt_base + k);
       if (buffer_events) {
         for (const obs::TraceEvent& ev : s.buf.events()) ctx->emit(ev);
       }
@@ -226,12 +271,14 @@ std::optional<ComboRun> sweep_speculative(
       }
     }
     if (runs_out) runs_out->push_back(s.run);
+    if (camp) camp->commit(s.run, attempt_base + k, ctx);
     ++committed;
     if (s.run.result.complete) {
       winner = std::move(s.run);
       break;
     }
   }
+  if (camp && !winner) camp->finish(ctx);
   if (ctx) {
     std::size_t dispatched = 0;
     std::size_t cancelled = 0;
@@ -262,16 +309,77 @@ std::optional<ComboRun> first_complete_combo(
   if (max_attempts > 0 && combos.size() > max_attempts) {
     combos.resize(max_attempts);
   }
+
+  // Campaign-level persistence. A stored snapshot is consulted before any
+  // sweeping: a winner inside the current cap (or a terminal winnerless
+  // sweep at least as deep) is a full cache hit; anything shorter is a
+  // resume point when resume is enabled, and ignored (recomputed and
+  // overwritten) otherwise. max_attempts is not part of the key, so a
+  // snapshot taken under one cap serves any other.
+  CampaignCkpt camp_storage;
+  CampaignCkpt* camp = nullptr;
+  std::size_t attempt_base = 0;
+  if (store::CampaignStore* cs = ctx ? ctx->store() : nullptr) {
+    camp_storage.cs = cs;
+    camp_storage.key = cs->campaign_key(p2_opt, ts0_seed);
+    camp = &camp_storage;
+    if (std::optional<store::CampaignSnapshot> loaded =
+            cs->load_campaign(camp->key, ctx)) {
+      const std::size_t prefix =
+          std::min(loaded->committed.size(), combos.size());
+      const bool full_hit =
+          loaded->winner >= 0 &&
+          static_cast<std::size_t>(loaded->winner) < prefix;
+      const bool exhausted = loaded->terminal && loaded->winner < 0 &&
+                             loaded->committed.size() >= combos.size();
+      if (full_hit || exhausted) {
+        const std::size_t replay =
+            full_hit ? static_cast<std::size_t>(loaded->winner) + 1 : prefix;
+        cs->note_cache_hit(ctx, camp->key);
+        if (runs_out) {
+          runs_out->insert(runs_out->end(), loaded->committed.begin(),
+                           loaded->committed.begin() +
+                               static_cast<std::ptrdiff_t>(replay));
+        }
+        if (ctx) ctx->counters().add("sweep.attempts", replay);
+        if (full_hit) {
+          return loaded->committed[static_cast<std::size_t>(loaded->winner)];
+        }
+        return std::nullopt;
+      }
+      if (cs->resume_enabled() && prefix > 0) {
+        // Adopt the committed prefix silently (its events were already
+        // emitted by the interrupted run — the continued stream is a pure
+        // suffix) and sweep only the remaining tail.
+        attempt_base = prefix;
+        camp->snap.committed.assign(
+            loaded->committed.begin(),
+            loaded->committed.begin() + static_cast<std::ptrdiff_t>(prefix));
+        camp->snap.next_attempt = prefix;
+        if (runs_out) {
+          runs_out->insert(runs_out->end(), camp->snap.committed.begin(),
+                           camp->snap.committed.end());
+        }
+        if (ctx) ctx->counters().add("sweep.attempts", prefix);
+        cs->note_resume(ctx, camp->key);
+      }
+    }
+  }
+
+  const std::vector<Combo> rest(
+      combos.begin() + static_cast<std::ptrdiff_t>(attempt_base),
+      combos.end());
   unsigned w = combo_jobs == 0
                    ? std::max(1u, std::thread::hardware_concurrency())
                    : combo_jobs;
-  w = static_cast<unsigned>(std::min<std::size_t>(w, combos.size()));
+  w = static_cast<unsigned>(std::min<std::size_t>(w, rest.size()));
   Ts0Cache cache;
+  if (ctx) cache.set_store(ctx->store());
   std::optional<ComboRun> winner =
-      w <= 1 ? sweep_serial(cc, target_faults, combos, p2_opt, ts0_seed,
-                            cache, runs_out, ctx)
-             : sweep_speculative(cc, target_faults, combos, p2_opt, ts0_seed,
-                                 cache, runs_out, ctx, w);
+      w <= 1 ? sweep_serial(cc, target_faults, rest, p2_opt, ts0_seed, cache,
+                            runs_out, ctx, attempt_base, camp)
+             : sweep_speculative(cc, target_faults, rest, p2_opt, ts0_seed,
+                                 cache, runs_out, ctx, w, attempt_base, camp);
   if (ctx) ctx->counters().add("sweep.ts0_cache_hits", cache.hits());
   return winner;
 }

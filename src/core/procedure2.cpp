@@ -4,6 +4,7 @@
 
 #include "core/run_context.hpp"
 #include "scan/cost.hpp"
+#include "store/checkpoint.hpp"
 
 namespace rls::core {
 
@@ -28,9 +29,27 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                                 fault::FaultList& fl,
                                 const Procedure2Options& opt,
                                 RunContext* ctx,
-                                const std::atomic<bool>* abort) {
+                                const std::atomic<bool>* abort,
+                                const store::P2Checkpoint* ckpt) {
   Procedure2Result res;
   const std::size_t n_sv = cc.flip_flops().size();
+
+  // Warm cache: a terminal snapshot *is* the finished run. Restore the
+  // fault list and return before the simulator is even constructed, so a
+  // fully cached campaign reports fsim.* == 0.
+  if (ckpt) {
+    if (std::optional<store::P2Snapshot> snap = ckpt->load_terminal(ctx)) {
+      fl.restore_detected(snap->detected);
+      res = std::move(snap->result);
+      ckpt->note_cache_hit(ctx);
+      if (ctx && ctx->observed()) {
+        ctx->emit_summary(res, fl.size(), ctx->elapsed_ms());
+        report_progress(ctx, "p2", "cached result", fl, res.total_cycles());
+      }
+      return res;
+    }
+  }
+
   fault::SeqFaultSim fsim(cc);
   fsim.set_engine(opt.engine);
   fsim.set_threads(opt.sim_threads);
@@ -41,39 +60,75 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
       ctx->emit_summary(res, fl.size(), ctx->elapsed_ms());
     }
   };
+  const auto save_terminal = [&]() {
+    if (!ckpt) return;
+    store::P2Snapshot snap;
+    snap.terminal = true;
+    snap.result = res;
+    snap.detected = fl.detected_flags();
+    ckpt->save(snap, ctx);
+  };
 
-  // Step 2: simulate TS_0 and drop detected faults.
-  const double t_ts0 = ctx ? ctx->elapsed_ms() : 0.0;
-  res.ts0_detected = fsim.run_test_set(ts0, fl);
-  res.ncyc0 = scan::n_cyc(ts0, n_sv);
-  res.total_detected = fl.num_detected();
-  if (ctx && ctx->observed()) {
-    ctx->emit_ts0(res.ts0_detected, fl.size(), res.ncyc0,
-                  ctx->elapsed_ms() - t_ts0);
-    report_progress(ctx, "ts0", "TS_0 applied", fl, res.ncyc0);
+  // Crash resume: a partial snapshot restores the exact loop position;
+  // TS_0 simulation and every already-swept (I, D_1) are skipped, and the
+  // event stream continues exactly where the interrupted run stopped.
+  std::uint32_t start_iter = 1;
+  std::size_t start_d1 = 0;
+  bool resumed = false;
+  bool resume_improve = false;
+  std::uint32_t n_same_fc = 0;
+  std::uint64_t cum_cycles = 0;
+  if (ckpt) {
+    if (std::optional<store::P2Snapshot> snap = ckpt->load_partial(ctx)) {
+      fl.restore_detected(snap->detected);
+      res = std::move(snap->result);
+      start_iter = snap->iteration;
+      start_d1 = snap->d1_index;
+      resume_improve = snap->improve;
+      n_same_fc = snap->n_same_fc;
+      cum_cycles = snap->cum_cycles;
+      resumed = true;
+      ckpt->note_resume(ctx);
+    }
   }
-  if (fl.all_detected()) {
-    res.complete = true;
-    finish();
-    return res;
+
+  if (!resumed) {
+    // Step 2: simulate TS_0 and drop detected faults.
+    const double t_ts0 = ctx ? ctx->elapsed_ms() : 0.0;
+    res.ts0_detected = fsim.run_test_set(ts0, fl);
+    res.ncyc0 = scan::n_cyc(ts0, n_sv);
+    res.total_detected = fl.num_detected();
+    if (ctx && ctx->observed()) {
+      ctx->emit_ts0(res.ts0_detected, fl.size(), res.ncyc0,
+                    ctx->elapsed_ms() - t_ts0);
+      report_progress(ctx, "ts0", "TS_0 applied", fl, res.ncyc0);
+    }
+    if (fl.all_detected()) {
+      res.complete = true;
+      save_terminal();
+      finish();
+      return res;
+    }
+    cum_cycles = res.ncyc0;
   }
 
   // Steps 3-6: iterate I, sweep D_1.
-  std::uint64_t cum_cycles = res.ncyc0;
-  std::uint32_t n_same_fc = 0;
-  for (std::uint32_t iteration = 1;
+  for (std::uint32_t iteration = start_iter;
        iteration <= opt.max_iterations && n_same_fc < opt.n_same_fc;
        ++iteration) {
     // Cooperative cancellation point for speculative sweep attempts: an
     // aborted result is partial by construction, so no summary is emitted
-    // (the caller discards the run entirely).
+    // and no checkpoint is written (the caller discards the run entirely).
     if (abort && abort->load(std::memory_order_relaxed)) {
       res.total_detected = fl.num_detected();
       res.aborted = true;
       return res;
     }
-    bool improve = false;
-    for (std::uint32_t d1 : opt.d1_order) {
+    const bool continuing = resumed && iteration == start_iter;
+    bool improve = continuing && resume_improve;
+    for (std::size_t di = continuing ? start_d1 : 0;
+         di < opt.d1_order.size(); ++di) {
+      const std::uint32_t d1 = opt.d1_order[di];
       LimitedScanParams p;
       p.iteration = iteration;
       p.d1 = d1;
@@ -120,12 +175,28 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                         d1, newly);
           report_progress(ctx, "p2", detail, fl, cum_cycles);
         }
+        // Committed-pair checkpoint: resuming here re-enters the loop at
+        // (iteration, di + 1) with the current detection state, replaying
+        // nothing. The final pair skips straight to the terminal save.
+        if (ckpt && !fl.all_detected()) {
+          store::P2Snapshot snap;
+          snap.iteration = iteration;
+          snap.d1_index = static_cast<std::uint32_t>(di + 1);
+          snap.improve = true;
+          snap.n_same_fc = n_same_fc;
+          snap.cum_cycles = cum_cycles;
+          snap.result = res;
+          snap.result.total_detected = fl.num_detected();
+          snap.detected = fl.detected_flags();
+          ckpt->save(snap, ctx);
+        }
       }
       if (fl.all_detected()) break;
     }
     res.total_detected = fl.num_detected();
     if (fl.all_detected()) {
       res.complete = true;
+      save_terminal();
       finish();
       return res;
     }
@@ -133,6 +204,7 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
   }
   res.total_detected = fl.num_detected();
   res.complete = fl.all_detected();
+  save_terminal();
   finish();
   return res;
 }

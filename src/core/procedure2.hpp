@@ -18,6 +18,10 @@
 #include "scan/test.hpp"
 #include "sim/compiled.hpp"
 
+namespace rls::store {
+class P2Checkpoint;
+}  // namespace rls::store
+
 namespace rls::core {
 
 struct Procedure2Options {
@@ -93,11 +97,24 @@ class RunContext;
 /// its partial state with `aborted = true` and emits no summary event (the
 /// speculative combo sweep discards such results, so a cancelled attempt
 /// leaves no trace-stream residue).
+///
+/// `ckpt`, when non-null, persists progress through the artifact store
+/// (rls::store). A terminal snapshot short-circuits the whole run — the
+/// stored result is restored into `fl` and returned without touching the
+/// fault simulator (the warm-cache path, "cache_hit" event). A partial
+/// snapshot (present only after an interrupted run, and honored only when
+/// the store was opened with resume enabled) restores the exact loop
+/// position and detection state, so the continued run replays nothing and
+/// emits exactly the event suffix the uninterrupted run would have
+/// emitted from that point. Partial snapshots are written after every
+/// kept (I, D_1) pair; a terminal snapshot replaces them at every normal
+/// exit. Aborted runs never checkpoint.
 Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
                                 const scan::TestSet& ts0,
                                 fault::FaultList& fl,
                                 const Procedure2Options& opt,
                                 RunContext* ctx = nullptr,
-                                const std::atomic<bool>* abort = nullptr);
+                                const std::atomic<bool>* abort = nullptr,
+                                const store::P2Checkpoint* ckpt = nullptr);
 
 }  // namespace rls::core

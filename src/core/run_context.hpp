@@ -31,6 +31,10 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
+namespace rls::store {
+class CampaignStore;
+}  // namespace rls::store
+
 namespace rls::core {
 
 /// Everything a campaign run can be configured with, by name.
@@ -61,6 +65,11 @@ class RunContext {
   void set_progress(obs::ProgressObserver* p) noexcept { progress_ = p; }
   /// false pins every wall_ms field to 0 (deterministic traces).
   void set_timing(bool enabled) noexcept { timing_ = enabled; }
+
+  /// Attaches the artifact-store binding (rls::store). Null (default)
+  /// disables persistence: no artifacts are read or written.
+  void set_store(store::CampaignStore* s) noexcept { store_ = s; }
+  [[nodiscard]] store::CampaignStore* store() const noexcept { return store_; }
 
   [[nodiscard]] obs::TraceSink* sink() const noexcept { return sink_; }
   [[nodiscard]] obs::ProgressObserver* progress() const noexcept {
@@ -133,6 +142,7 @@ class RunContext {
 
  private:
   obs::TraceSink* sink_ = nullptr;
+  store::CampaignStore* store_ = nullptr;
   obs::ProgressObserver* progress_ = nullptr;
   obs::CounterRegistry counters_;
   bool timing_ = true;

@@ -1,6 +1,7 @@
 #include "core/ts0.hpp"
 
 #include "rand/rng.hpp"
+#include "store/checkpoint.hpp"
 
 namespace rls::core {
 
@@ -27,16 +28,37 @@ scan::TestSet make_ts0(const netlist::Netlist& nl, const Ts0Config& cfg) {
   return ts;
 }
 
+std::uint64_t Ts0Cache::circuit_digest_locked(const netlist::Netlist& nl) {
+  auto& slot = digests_[&nl];
+  if (slot == 0) slot = store::digest_circuit(nl);
+  return slot;
+}
+
 std::shared_ptr<const scan::TestSet> Ts0Cache::get(const netlist::Netlist& nl,
-                                                   const Ts0Config& cfg) {
-  const Key key{cfg.l_a, cfg.l_b, cfg.n, cfg.seed};
+                                                   const Ts0Config& cfg,
+                                                   fault::Engine engine,
+                                                   RunContext* ctx) {
   std::lock_guard lk(mu_);
+  const Key key{circuit_digest_locked(nl), cfg.l_a,  cfg.l_b,
+                cfg.n,                     cfg.seed, static_cast<std::uint8_t>(
+                                                         engine)};
   auto& slot = cache_[key];
   if (slot) {
     ++hits_;
-  } else {
-    slot = std::make_shared<const scan::TestSet>(make_ts0(nl, cfg));
+    return slot;
   }
+  if (store_ != nullptr) {
+    const store::ArtifactKey akey = store_->ts0_key(cfg, engine);
+    if (std::optional<scan::TestSet> ts = store_->load_ts0(akey, ctx)) {
+      ++hits_;
+      slot = std::make_shared<const scan::TestSet>(std::move(*ts));
+      return slot;
+    }
+    slot = std::make_shared<const scan::TestSet>(make_ts0(nl, cfg));
+    store_->save_ts0(akey, *slot, ctx);
+    return slot;
+  }
+  slot = std::make_shared<const scan::TestSet>(make_ts0(nl, cfg));
   return slot;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,25 @@ class FaultList {
 
   /// Indices of still-undetected faults (the simulation targets).
   [[nodiscard]] std::vector<std::size_t> remaining_indices() const;
+
+  /// Raw detection flags, index-aligned with faults() — the checkpoint
+  /// payload (rls::store persists these bit-packed).
+  [[nodiscard]] const std::vector<std::uint8_t>& detected_flags()
+      const noexcept {
+    return detected_;
+  }
+  /// Restores a flag vector captured by detected_flags() (checkpoint
+  /// resume). The flags must cover exactly this list's faults.
+  void restore_detected(const std::vector<std::uint8_t>& flags) {
+    if (flags.size() != faults_.size()) {
+      throw std::invalid_argument(
+          "FaultList::restore_detected: flag count does not match fault "
+          "count");
+    }
+    detected_ = flags;
+    num_detected_ = 0;
+    for (std::uint8_t f : detected_) num_detected_ += (f != 0) ? 1 : 0;
+  }
 
  private:
   std::vector<Fault> faults_;

@@ -1,0 +1,208 @@
+#include "store/artifact_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace fs = std::filesystem;
+
+namespace rls::store {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Reads a whole file as bytes. nullopt when the file does not exist;
+/// StoreError on any other failure.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw StoreError(path + ": open failed: " + errno_text());
+  }
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      const std::string msg = errno_text();
+      ::close(fd);
+      throw StoreError(path + ": read failed: " + msg);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t ArtifactKey::digest() const {
+  std::uint64_t h = fnv1a64(kind.data(), kind.size());
+  ByteWriter w;
+  w.u64(circuit);
+  for (const auto& [name, value] : params) {
+    w.u64(fnv1a64(name.data(), name.size()));
+    w.u64(value);
+  }
+  return fnv1a64(w.buffer().data(), w.buffer().size(), h);
+}
+
+std::string ArtifactKey::filename() const {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(digest()));
+  return kind + "-" + hex + ".rlsa";
+}
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw StoreError(dir_ + ": cannot create store directory: " + ec.message());
+  }
+  if (!fs::is_directory(dir_)) {
+    throw StoreError(dir_ + ": store path is not a directory");
+  }
+}
+
+std::string ArtifactStore::path_for(const ArtifactKey& key) const {
+  return dir_ + "/" + key.filename();
+}
+
+std::uint64_t ArtifactStore::put(const ArtifactKey& key,
+                                 std::span<const std::uint8_t> body) {
+  const std::vector<std::uint8_t> framed = frame(key.digest(), body);
+  const std::string path = path_for(key);
+  // Unique temp name per (process, call): concurrent speculative writers
+  // never collide, and a crash leaves only an invisible orphan.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    throw StoreError(tmp + ": cannot create temp artifact: " + errno_text());
+  }
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      const std::string msg = errno_text();
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw StoreError(tmp + ": write failed: " + msg);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Flush file data before the rename makes it visible: an artifact under
+  // its final name is always complete, even across a power cut.
+  if (::fsync(fd) != 0) {
+    const std::string msg = errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw StoreError(tmp + ": fsync failed: " + msg);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string msg = errno_text();
+    ::unlink(tmp.c_str());
+    throw StoreError(path + ": atomic rename failed: " + msg);
+  }
+  // Persist the directory entry too (best effort — the data is safe either
+  // way, the entry merely might need the journal replay).
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return framed.size();
+}
+
+std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
+    const ArtifactKey& key) const {
+  const std::string path = path_for(key);
+  std::optional<std::vector<std::uint8_t>> framed = read_file(path);
+  if (!framed) return std::nullopt;
+  std::vector<std::uint8_t> body = unframe(*framed, key.digest(), path);
+  // LRU signal for gc(): touch on successful load.
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return body;
+}
+
+bool ArtifactStore::contains(const ArtifactKey& key) const {
+  std::error_code ec;
+  return fs::exists(path_for(key), ec);
+}
+
+std::uint64_t ArtifactStore::total_bytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".rlsa") {
+      total += entry.file_size();
+    }
+  }
+  return total;
+}
+
+std::size_t ArtifactStore::size() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".rlsa") ++n;
+  }
+  return n;
+}
+
+ArtifactStore::GcStats ArtifactStore::gc(std::uint64_t max_bytes) {
+  struct Item {
+    fs::path path;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  GcStats stats;
+  std::vector<Item> items;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      // Crash orphan from an interrupted put(): always collectable.
+      stats.removed_bytes += entry.file_size(ec);
+      ++stats.removed_files;
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (entry.path().extension() != ".rlsa") continue;
+    items.push_back({entry.path(), entry.file_size(ec),
+                     entry.last_write_time(ec)});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;  // deterministic tie-break
+  });
+  std::uint64_t total = 0;
+  for (const Item& it : items) total += it.size;
+  for (const Item& it : items) {
+    if (total <= max_bytes) break;
+    fs::remove(it.path, ec);
+    if (!ec) {
+      total -= it.size;
+      stats.removed_bytes += it.size;
+      ++stats.removed_files;
+    }
+  }
+  stats.kept_bytes = total;
+  return stats;
+}
+
+}  // namespace rls::store

@@ -1,0 +1,95 @@
+// Content-addressed on-disk artifact store with crash-safe writes.
+//
+// Artifacts are addressed by an ArtifactKey — a kind string plus the
+// circuit content digest and an ordered list of named u64 parameters
+// (seed, L_A/L_B/N, engine, options digest, ...). The key folds into one
+// FNV-1a digest that both names the file ("<kind>-<16 hex>.rlsa") and is
+// embedded in the frame header, so a renamed or cross-copied file is
+// rejected on load exactly like a corrupt one.
+//
+// Write protocol (crash safety): the framed artifact is written to a
+// uniquely named temp file in the same directory, flushed and fsync'd,
+// then atomically rename(2)'d over the final path. A crash at any point
+// leaves either the old artifact, the new artifact, or an invisible
+// "*.tmp.*" orphan — never a partially written artifact under the final
+// name. Orphans are swept by gc().
+//
+// gc(max_bytes) is LRU-ish: loads bump the artifact's mtime, and the
+// collector deletes oldest-first until the store fits the budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/serde.hpp"
+
+namespace rls::store {
+
+/// Logical address of one artifact. Field order is part of the identity:
+/// the digest folds kind, circuit and params in sequence.
+struct ArtifactKey {
+  std::string kind;            ///< "ts0", "p2", "campaign", ...
+  std::uint64_t circuit = 0;   ///< digest_circuit() of the subject netlist
+  std::vector<std::pair<std::string, std::uint64_t>> params;
+
+  ArtifactKey& with(std::string name, std::uint64_t value) {
+    params.emplace_back(std::move(name), value);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const;
+  /// "<kind>-<%016x digest>.rlsa"
+  [[nodiscard]] std::string filename() const;
+};
+
+class ArtifactStore {
+ public:
+  /// Opens (creating if needed) the store directory. Throws StoreError if
+  /// the directory cannot be created or is not writable.
+  explicit ArtifactStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Frames and atomically persists `body` under `key` (overwrites).
+  /// Returns the framed size in bytes. Thread-safe: concurrent writers
+  /// (speculative sweep workers) use distinct temp names and last rename
+  /// wins — both writers produce identical bytes by determinism.
+  std::uint64_t put(const ArtifactKey& key,
+                    std::span<const std::uint8_t> body);
+
+  /// Loads and validates the artifact. Returns nullopt when absent;
+  /// throws StoreError when present but unreadable, truncated, corrupt,
+  /// version-incompatible, or keyed differently. Bumps the file mtime on
+  /// success (the gc LRU signal).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const ArtifactKey& key) const;
+
+  /// True when an artifact file exists for the key (no validation).
+  [[nodiscard]] bool contains(const ArtifactKey& key) const;
+
+  /// Total size of all committed artifacts (bytes; temp orphans excluded).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  /// Number of committed artifacts.
+  [[nodiscard]] std::size_t size() const;
+
+  struct GcStats {
+    std::uint64_t removed_files = 0;
+    std::uint64_t removed_bytes = 0;
+    std::uint64_t kept_bytes = 0;
+  };
+  /// Deletes temp orphans unconditionally, then oldest artifacts
+  /// (by mtime) until the store holds at most `max_bytes`.
+  GcStats gc(std::uint64_t max_bytes);
+
+ private:
+  [[nodiscard]] std::string path_for(const ArtifactKey& key) const;
+
+  std::string dir_;
+  std::atomic<std::uint64_t> tmp_seq_{0};
+};
+
+}  // namespace rls::store

@@ -78,16 +78,22 @@ TEST(ParamSelect, Ts0CacheMemoizesPerKey) {
   cfg.l_b = 16;
   cfg.n = 4;
   cfg.seed = wb.ts0_seed();
-  const auto a = cache.get(wb.nl(), cfg);
-  const auto b = cache.get(wb.nl(), cfg);
+  const auto a = cache.get(wb.nl(), cfg, fault::Engine::kConeDiff);
+  const auto b = cache.get(wb.nl(), cfg, fault::Engine::kConeDiff);
   EXPECT_EQ(a.get(), b.get());  // same shared set, not a regeneration
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.size(), 1u);
   cfg.seed ^= 1;
-  const auto c = cache.get(wb.nl(), cfg);
+  const auto c = cache.get(wb.nl(), cfg, fault::Engine::kConeDiff);
   EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.size(), 2u);
+  // The engine is part of the artifact identity even though the set bytes
+  // are engine-independent: a fullsweep entry is a distinct slot.
+  const auto d = cache.get(wb.nl(), cfg, fault::Engine::kFullSweep);
+  EXPECT_NE(c.get(), d.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 3u);
 }
 
 TEST(ParamSelect, RunComboValidatesNcyc0AgainstGeneratedSet) {

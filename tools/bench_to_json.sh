@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
 # Runs the perf microbenchmarks with JSON output and writes the result to
-# BENCH_PR3.json at the repository root (override with -o). The BM_ObsOverhead
+# BENCH_PR5.json at the repository root (override with -o). The BM_ObsOverhead
 # benchmark exports the engine's obs counters (obs.fsim.* per sweep) as
 # benchmark user counters, so they land in the JSON artifact alongside the
 # timings — compare the s5378_off/_on pair to check the <2% overhead contract.
 # BM_ComboSweep/s420_w{1,2,4,8} is the speculative combo-sweep scaling curve
 # (compare w1 vs w4 real_time for the PR-3 speedup headline).
+# BM_StoreRoundTrip is one full artifact encode/put/get/decode cycle, and
+# BM_CampaignCached/s298_{cold,warm} is the same campaign against an empty
+# versus a populated artifact store — the cold/warm ratio is the PR-5
+# caching headline.
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]
@@ -18,7 +22,7 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-output="$repo_root/BENCH_PR3.json"
+output="$repo_root/BENCH_PR5.json"
 filter=""
 min_time="0.2"
 

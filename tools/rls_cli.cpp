@@ -37,6 +37,8 @@
 #include "obs/trace.hpp"
 #include "report/format.hpp"
 #include "scan/cost.hpp"
+#include "store/artifact_store.hpp"
+#include "store/checkpoint.hpp"
 
 namespace {
 
@@ -204,7 +206,15 @@ int cmd_tables(const std::string& which, CommonFlags& common) {
 
 int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
             std::uint64_t lb, std::uint64_t n, std::uint64_t max_iters,
-            bool d1_desc, std::uint64_t combo_jobs) {
+            bool d1_desc, std::uint64_t combo_jobs,
+            const std::string& store_dir, bool resume,
+            std::uint64_t gc_max_bytes) {
+  if (resume && store_dir.empty()) {
+    throw cli::FlagError("--resume requires --store-dir");
+  }
+  if (gc_max_bytes > 0 && store_dir.empty()) {
+    throw cli::FlagError("--gc-max-bytes requires --store-dir");
+  }
   core::RunContext ctx;
   common.configure(ctx);
   if (max_iters > 0) {
@@ -219,6 +229,14 @@ int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
     ctx.options.p2.sim_threads = 1;
   }
   core::Workbench wb(load(which), ctx.options);
+  std::unique_ptr<store::ArtifactStore> artifacts;
+  std::unique_ptr<store::CampaignStore> cstore;
+  if (!store_dir.empty()) {
+    artifacts = std::make_unique<store::ArtifactStore>(store_dir);
+    cstore = std::make_unique<store::CampaignStore>(
+        *artifacts, wb.nl(), wb.target_faults(), resume);
+    ctx.set_store(cstore.get());
+  }
   const core::ExperimentRow row =
       (la && lb && n)
           ? core::run_single_combo(
@@ -248,6 +266,27 @@ int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
               row.found_complete ? "complete" : "incomplete",
               report::format_cycles(row.result.total_cycles()).c_str(),
               row.result.average_limited_scan_units());
+  if (artifacts) {
+    const auto& c = ctx.counters();
+    std::printf(
+        "store: %zu artifact(s), %llu bytes (%llu written, %llu read; "
+        "%llu cache hit(s), %llu checkpoint(s), %llu resume(s))\n",
+        artifacts->size(),
+        static_cast<unsigned long long>(artifacts->total_bytes()),
+        static_cast<unsigned long long>(c.value("store.bytes_written")),
+        static_cast<unsigned long long>(c.value("store.bytes_read")),
+        static_cast<unsigned long long>(c.value("store.cache_hit")),
+        static_cast<unsigned long long>(c.value("store.checkpoint_saves")),
+        static_cast<unsigned long long>(c.value("store.resumes")));
+    if (gc_max_bytes > 0) {
+      const store::ArtifactStore::GcStats g = artifacts->gc(gc_max_bytes);
+      std::printf("store gc: removed %llu file(s) / %llu bytes, kept %llu "
+                  "bytes\n",
+                  static_cast<unsigned long long>(g.removed_files),
+                  static_cast<unsigned long long>(g.removed_bytes),
+                  static_cast<unsigned long long>(g.kept_bytes));
+    }
+  }
   return row.found_complete ? 0 : 2;
 }
 
@@ -337,6 +376,7 @@ int usage() {
                "--seed=S --trace=FILE --progress\n"
                "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc "
                "--combo-jobs=W\n"
+               "                --store-dir=DIR --resume --gc-max-bytes=N\n"
                "lint options:   --json --no-resistance --threshold=P "
                "--la=N --lb=N --n=N --max-resistant=K\n");
   return 64;
@@ -356,6 +396,9 @@ int main(int argc, char** argv) {
     std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, top = 10;
     std::uint64_t combo_jobs = 1;
     bool d1_desc = false;
+    std::string store_dir;
+    bool resume = false;
+    std::uint64_t gc_max_bytes = 0;
     LintFlags lint_flags;
     if (cmd == "lint") lint_flags.add_to(fp);
     if (cmd == "run") {
@@ -367,6 +410,12 @@ int main(int argc, char** argv) {
       fp.add_uint("combo-jobs", &combo_jobs,
                   "speculative combo attempts in flight (0 = hardware); "
                   "forces --threads=1 per attempt unless --threads is given");
+      fp.add_string("store-dir", &store_dir,
+                    "content-addressed artifact store (cache + checkpoints)");
+      fp.add_bool("resume", &resume,
+                  "continue from the checkpoints in --store-dir");
+      fp.add_uint("gc-max-bytes", &gc_max_bytes,
+                  "after the run, shrink the store to at most N bytes");
     }
     const std::vector<std::string> pos = fp.parse(argc, argv, 2);
     if (pos.empty()) return usage();
@@ -382,7 +431,8 @@ int main(int argc, char** argv) {
     if (cmd == "tables") return cmd_tables(which, common);
     if (cmd == "lint") return cmd_lint(which, common, lint_flags);
     if (cmd == "run") {
-      return cmd_run(which, common, la, lb, n, max_iters, d1_desc, combo_jobs);
+      return cmd_run(which, common, la, lb, n, max_iters, d1_desc, combo_jobs,
+                     store_dir, resume, gc_max_bytes);
     }
   } catch (const cli::FlagError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,9 +9,14 @@
 #      installed (the CI container ships only g++);
 #   2. `rls lint` over every registry circuit — structural diagnostics must
 #      be clean (exit 0; resistance findings are Info and do not fail);
-#   3. unless --quick: the TSan preset build + thread-heavy test suites
+#   3. unless --quick: the ASan+UBSan preset build + the rls::store suites
+#      (StoreSerde / StoreArtifact / StoreNegative / StoreCheckpoint /
+#      StoreResume / ...) — the adversarial corruption tests must be clean
+#      under AddressSanitizer (typed errors, never UB);
+#   4. unless --quick: the TSan preset build + thread-heavy test suites
 #      (ParallelFsim / SweepEquiv / SweepAbort / EngineCrossCheck /
-#      WorkerPool) with suppressions from tools/tsan.supp.
+#      WorkerPool / StoreConcurrency) with suppressions from
+#      tools/tsan.supp.
 #
 # Exit code 0 means every gate that could run passed.
 set -euo pipefail
@@ -55,7 +60,20 @@ while IFS= read -r circuit; do
 done < <(build/tools/rls list)
 echo "lint: registry clean"
 
-# ---- 3. TSan suites -----------------------------------------------------
+# ---- 3. ASan store suites -----------------------------------------------
+if [[ "$quick" == 0 ]]; then
+  echo "== ASan+UBSan (rls::store suites) =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j"$(nproc)" >/dev/null
+  if ! ctest --test-dir build-asan -R "Store" --output-on-failure; then
+    echo "asan store suites: FAILED" >&2
+    fail=1
+  fi
+else
+  echo "== ASan store suites: skipped (--quick) =="
+fi
+
+# ---- 4. TSan suites -----------------------------------------------------
 if [[ "$quick" == 0 ]]; then
   echo "== TSan (thread-heavy suites) =="
   cmake --preset tsan >/dev/null
