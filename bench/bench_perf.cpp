@@ -130,10 +130,58 @@ BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s953_fullsweep, "s953",
                   fault::Engine::kFullSweep);
 BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s953_conediff, "s953",
                   fault::Engine::kConeDiff);
+BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s953_packed, "s953",
+                  fault::Engine::kPacked);
 BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_fullsweep, "s5378",
                   fault::Engine::kFullSweep);
 BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_conediff, "s5378",
                   fault::Engine::kConeDiff);
+BENCHMARK_CAPTURE(BM_SeqFaultSimEngines, s5378_packed, "s5378",
+                  fault::Engine::kPacked);
+
+// Packed (PPSFP) engine detail: one TS_0 sweep with the 64-pattern word
+// engine, exporting the packed-specific work counters. gate_evals_per_sweep
+// here counts word evaluations (64 patterns each) — the ratio against the
+// conediff row of BM_SeqFaultSimEngines is the PR-6 headline.
+void BM_PackedFsim(benchmark::State& state, const char* name) {
+  Fixture& f = fixture(name);
+  core::Ts0Config cfg;
+  cfg.n = 8;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  const auto faults = fault::collapsed_universe(f.nl);
+  fault::SeqFaultSim fsim(f.cc);
+  fsim.set_engine(fault::Engine::kPacked);
+  std::uint64_t evals_per_sweep = 0;
+  std::uint64_t words_per_sweep = 0;
+  std::uint64_t batches_per_sweep = 0;
+  std::uint64_t lanes_per_sweep = 0;
+  for (auto _ : state) {
+    fault::FaultList fl(faults);
+    const std::uint64_t evals0 = fsim.gate_evals();
+    const std::uint64_t words0 = fsim.packed_words();
+    const std::uint64_t batches0 = fsim.packed_batches();
+    const std::uint64_t lanes0 = fsim.lanes_active();
+    fsim.run_test_set(ts0, fl);
+    evals_per_sweep = fsim.gate_evals() - evals0;
+    words_per_sweep = fsim.packed_words() - words0;
+    batches_per_sweep = fsim.packed_batches() - batches0;
+    lanes_per_sweep = fsim.lanes_active() - lanes0;
+    benchmark::DoNotOptimize(fl.num_detected());
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["gate_evals_per_sweep"] =
+      static_cast<double>(evals_per_sweep);
+  state.counters["packed_words_per_sweep"] =
+      static_cast<double>(words_per_sweep);
+  state.counters["packed_batches_per_sweep"] =
+      static_cast<double>(batches_per_sweep);
+  state.counters["lanes_active_per_sweep"] =
+      static_cast<double>(lanes_per_sweep);
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(fsim.gate_evals()), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_PackedFsim, s953, "s953");
+BENCHMARK_CAPTURE(BM_PackedFsim, s5378, "s5378");
 
 // Observability overhead contract: with no sink and no counter registry
 // attached, instrumentation must cost <2% versus the PR-1 engine. Run the

@@ -66,11 +66,51 @@ void LaneMisr::absorb_one(sim::Word word, std::size_t stream) {
   stages_[stream % static_cast<std::size_t>(degree_)] ^= word;
 }
 
+void LaneMisr::shift_masked(sim::Word mask) {
+  // Per-lane Galois shift restricted to `mask`: lanes outside it keep
+  // every stage bit (their MISR does not clock this cycle).
+  const sim::Word out = stages_[0] & mask;
+  for (std::size_t k = 0; k + 1 < stages_.size(); ++k) {
+    stages_[k] = (stages_[k] & ~mask) | (stages_[k + 1] & mask);
+  }
+  stages_.back() &= ~mask;
+  if (out == 0) return;
+  for (std::size_t k = 1; k < static_cast<std::size_t>(degree_); ++k) {
+    if ((taps_ >> k) & 1) {
+      stages_[k - 1] ^= out;
+    }
+  }
+  stages_.back() ^= out;
+}
+
+void LaneMisr::absorb_masked(std::span<const sim::Word> words,
+                             sim::Word mask) {
+  shift_masked(mask);
+  for (std::size_t k = 0; k < words.size(); ++k) {
+    stages_[k % static_cast<std::size_t>(degree_)] ^= words[k] & mask;
+  }
+}
+
+void LaneMisr::absorb_one_masked(sim::Word word, sim::Word mask,
+                                 std::size_t stream) {
+  shift_masked(mask);
+  stages_[stream % static_cast<std::size_t>(degree_)] ^= word & mask;
+}
+
 sim::Word LaneMisr::differs_from(std::uint64_t reference_signature) const {
   sim::Word diff = 0;
   for (std::size_t k = 0; k < stages_.size(); ++k) {
     const sim::Word ref_word = sim::broadcast((reference_signature >> k) & 1);
     diff |= stages_[k] ^ ref_word;
+  }
+  return diff;
+}
+
+sim::Word LaneMisr::differs_from(
+    std::span<const sim::Word> reference_stages) const {
+  sim::Word diff = 0;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    diff |= stages_[k] ^ reference_stages[k];
   }
   return diff;
 }

@@ -54,9 +54,28 @@ class LaneMisr {
   /// Convenience: absorbs a single stream into stage `stream % degree`.
   void absorb_one(sim::Word word, std::size_t stream = 0);
 
+  /// Lane-masked compaction cycle: only lanes in `mask` shift and absorb;
+  /// the others keep their state bit-exactly. Used by the packed (PPSFP)
+  /// engine, where lane j compacts test j's response stream and tests in
+  /// a batch perform different numbers of scan shifts per time unit.
+  void absorb_masked(std::span<const sim::Word> words, sim::Word mask);
+  void absorb_one_masked(sim::Word word, sim::Word mask,
+                         std::size_t stream = 0);
+
   /// Lane mask of signatures differing from a reference signature (from a
   /// scalar MISR that absorbed the fault-free streams in the same order).
   [[nodiscard]] sim::Word differs_from(std::uint64_t reference_signature) const;
+
+  /// Lane mask of signatures differing from per-lane reference stages
+  /// (another LaneMisr that absorbed the fault-free packed streams in the
+  /// same order; pass its stages()).
+  [[nodiscard]] sim::Word differs_from(
+      std::span<const sim::Word> reference_stages) const;
+
+  /// Raw stage words (stage k, lane j = bit k of lane j's signature).
+  [[nodiscard]] std::span<const sim::Word> stages() const noexcept {
+    return stages_;
+  }
 
   void reset();
   [[nodiscard]] int degree() const noexcept { return degree_; }
@@ -64,6 +83,7 @@ class LaneMisr {
 
  private:
   void shift();
+  void shift_masked(sim::Word mask);
 
   int degree_;
   std::uint64_t taps_;

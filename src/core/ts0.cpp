@@ -39,9 +39,14 @@ std::shared_ptr<const scan::TestSet> Ts0Cache::get(const netlist::Netlist& nl,
                                                    fault::Engine engine,
                                                    RunContext* ctx) {
   std::lock_guard lk(mu_);
-  const Key key{circuit_digest_locked(nl), cfg.l_a,  cfg.l_b,
-                cfg.n,                     cfg.seed, static_cast<std::uint8_t>(
-                                                         engine)};
+  // Key the engine's artifact identity: kPacked shares kConeDiff's sets
+  // (bit-identical results), so either engine hits the other's entries.
+  const Key key{circuit_digest_locked(nl),
+                cfg.l_a,
+                cfg.l_b,
+                cfg.n,
+                cfg.seed,
+                static_cast<std::uint8_t>(fault::artifact_engine(engine))};
   auto& slot = cache_[key];
   if (slot) {
     ++hits_;

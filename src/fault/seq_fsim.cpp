@@ -1,6 +1,7 @@
 #include "fault/seq_fsim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <memory>
 #include <thread>
@@ -22,6 +23,31 @@ namespace {
 constexpr double kWideConeFraction = 0.95;
 
 }  // namespace
+
+const char* engine_name(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::kFullSweep:
+      return "fullsweep";
+    case Engine::kConeDiff:
+      return "conediff";
+    case Engine::kPacked:
+      return "packed";
+  }
+  return "unknown";
+}
+
+const char* engine_choices() noexcept { return "conediff, fullsweep, packed"; }
+
+std::optional<Engine> parse_engine(std::string_view name) noexcept {
+  if (name == "conediff") return Engine::kConeDiff;
+  if (name == "fullsweep") return Engine::kFullSweep;
+  if (name == "packed") return Engine::kPacked;
+  return std::nullopt;
+}
+
+Engine artifact_engine(Engine engine) noexcept {
+  return engine == Engine::kPacked ? Engine::kConeDiff : engine;
+}
 
 SeqFaultSim::SeqFaultSim(const sim::CompiledCircuit& cc)
     : cc_(&cc), ref_(cc) {
@@ -138,7 +164,9 @@ void SeqFaultSim::clock_with_fixes(const Overlay& o) {
 SeqFaultSim::Trace SeqFaultSim::compute_trace(const scan::ScanTest& test) {
   Trace tr;
   const std::size_t n_sv = cc_->flip_flops().size();
-  const bool capture_snap = engine_ == Engine::kConeDiff;
+  // kPacked falls back to kConeDiff for the scalar single-test entry
+  // points, so it needs the snapshot too.
+  const bool capture_snap = engine_ != Engine::kFullSweep;
   const std::size_t snap_words = (cc_->num_signals() + 63) / 64;
   ref_.load_state_broadcast(test.scan_in);
   tr.po_bits.resize(test.length());
@@ -427,11 +455,398 @@ void SeqFaultSim::cone_eval(const Overlay& o, const Trace& trace,
   frontier_evals_ += evals;
 }
 
+SeqFaultSim::PackedOverlay SeqFaultSim::build_packed_overlay(
+    const Fault& f, Word live) const {
+  PackedOverlay o;
+  o.site = f.gate;
+  const GateType t = cc_->type(f.gate);
+  // Forces are pre-masked with the batch's live lanes so dead (tail)
+  // lanes can never diverge from the reference.
+  const ForceMask force{f.stuck ? kAllOnes : ~live, f.stuck ? live : Word{0}};
+  const auto ff_position = [&] {
+    const auto ffs = cc_->flip_flops();
+    std::size_t pos = 0;
+    for (; pos < ffs.size(); ++pos) {
+      if (ffs[pos] == f.gate) break;
+    }
+    return pos;
+  };
+  if (f.pin < 0) {
+    o.is_out = true;
+    o.out = force;
+    o.is_source = t == GateType::kInput || t == GateType::kDff;
+    if (t == GateType::kDff) {
+      o.has_ff_force = true;
+      o.ff_pos = ff_position();
+    }
+  } else if (t == GateType::kDff) {
+    o.is_dff_d = true;
+    o.pin_force = force;
+    o.dff_pos = ff_position();
+  } else {
+    o.pin = f.pin;
+    o.pin_force = force;
+  }
+  return o;
+}
+
+SeqFaultSim::PackedTrace SeqFaultSim::compute_packed_trace(
+    const sim::PackedBatch& batch) {
+  PackedTrace tr;
+  const std::size_t n_signals = cc_->num_signals();
+  const std::size_t n_sv = cc_->flip_flops().size();
+  const bool signature = mode_ == ObservationMode::kSignature;
+  tr.snap.resize(batch.length() * n_signals);
+  tr.shift_out.resize(batch.total_steps());
+  std::unique_ptr<bist::LaneMisr> ref_misr;
+  if (signature) ref_misr = std::make_unique<bist::LaneMisr>(misr_degree_);
+
+  ref_.load_state_words({batch.scan_in(), n_sv});
+  for (std::size_t u = 0; u < batch.length(); ++u) {
+    for (std::uint32_t j = 0; j < batch.shifts(u); ++j) {
+      const std::size_t step = batch.step_index(u, j);
+      const Word mask = batch.step_mask(step);
+      const Word out = ref_.shift_masked(batch.step_in(step), mask);
+      tr.shift_out[step] = out;
+      if (signature) ref_misr->absorb_one_masked(out, mask);
+    }
+    const Word* pi = batch.pi_unit(u);
+    for (std::size_t k = 0; k < batch.num_inputs(); ++k) {
+      ref_.set_input(k, pi[k]);
+    }
+    ref_.eval();
+    const std::span<const Word> vals = ref_.values();
+    std::copy(vals.begin(), vals.end(), tr.snap.begin() + u * n_signals);
+    if (signature) {
+      misr_inputs_.clear();
+      for (SignalId po : cc_->outputs()) misr_inputs_.push_back(vals[po]);
+      for (SignalId extra : extra_observed_) misr_inputs_.push_back(vals[extra]);
+      ref_misr->absorb_masked(misr_inputs_, batch.live());
+    }
+    ref_.clock();
+  }
+  tr.final_state.resize(n_sv);
+  for (std::size_t k = 0; k < n_sv; ++k) tr.final_state[k] = ref_.state_word(k);
+  if (signature) {
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      ref_misr->absorb_one_masked(tr.final_state[n_sv - 1 - k], batch.live());
+    }
+    tr.misr_stages.assign(ref_misr->stages().begin(),
+                          ref_misr->stages().end());
+  }
+  return tr;
+}
+
+Word SeqFaultSim::packed_shift(Word scan_in, Word mask,
+                               const PackedOverlay& o) {
+  const std::size_t n_sv = pk_state_.size();
+  if (n_sv == 0) return 0;
+  const Word out = pk_state_[n_sv - 1];
+  for (std::size_t k = n_sv; k-- > 1;) {
+    pk_state_[k] = (pk_state_[k] & ~mask) | (pk_state_[k - 1] & mask);
+  }
+  pk_state_[0] = (pk_state_[0] & ~mask) | (scan_in & mask);
+  if (o.has_ff_force) {
+    pk_state_[o.ff_pos] =
+        (pk_state_[o.ff_pos] & o.out.and_mask) | o.out.or_mask;
+  }
+  return out;
+}
+
+void SeqFaultSim::packed_unit_eval(const sim::PackedBatch& batch,
+                                   const PackedTrace& trace,
+                                   const PackedOverlay& o, std::size_t unit) {
+  (void)batch;
+  ++epoch_;
+  const std::size_t n_signals = cc_->num_signals();
+  const Word* snap = trace.snap_unit(unit, n_signals);
+  const auto ffs = cc_->flip_flops();
+
+  const auto set_diff = [&](SignalId id, Word w) {
+    diff_val_[id] = w;
+    diff_epoch_[id] = epoch_;
+  };
+  const auto fv = [&](SignalId id) -> Word {
+    return diff_epoch_[id] == epoch_ ? diff_val_[id] : snap[id];
+  };
+
+  // Seed the frontier from flip-flops whose packed state diverged (via
+  // capture, scan shifting of corrupted data, or a Q force)...
+  for (std::size_t k = 0; k < ffs.size(); ++k) {
+    if (pk_state_[k] != snap[ffs[k]]) {
+      set_diff(ffs[k], pk_state_[k]);
+      enqueue_fanout(ffs[k]);
+    }
+  }
+  // ...and from the fault site. Forced sources diverge in place; a forced
+  // or pin-fixed combinational site must be evaluated even with clean
+  // fanins. A DFF D-pin fault acts at the clock edge only.
+  if (o.is_out && o.is_source) {
+    const Word w = (fv(o.site) & o.out.and_mask) | o.out.or_mask;
+    if (w != snap[o.site]) {
+      set_diff(o.site, w);
+      enqueue_fanout(o.site);
+    }
+  } else if (!o.is_dff_d) {
+    enqueue_gate(o.site);
+  }
+
+  // Level-ordered frontier over difference *words*: an entry stays live
+  // while any pattern lane differs from the reference; gates that
+  // recompute to the reference word are pruned from propagation.
+  std::uint64_t evals = 0;
+  for (std::vector<SignalId>& bucket : level_queue_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const SignalId id = bucket[i];
+      const auto fi = cc_->fanin(id);
+      Word w;
+      if (o.pin >= 0 && id == o.site) {
+        w = sim::eval_gate_with(*cc_, id, [&](std::size_t k) {
+          Word v = fv(fi[k]);
+          if (static_cast<int>(k) == o.pin) {
+            v = (v & o.pin_force.and_mask) | o.pin_force.or_mask;
+          }
+          return v;
+        });
+      } else {
+        w = sim::eval_gate_with(*cc_, id,
+                                [&](std::size_t k) { return fv(fi[k]); });
+      }
+      if (o.is_out && id == o.site) {
+        w = (w & o.out.and_mask) | o.out.or_mask;
+      }
+      ++evals;
+      if (w != snap[id]) {
+        set_diff(id, w);
+        enqueue_fanout(id);
+      }
+    }
+    bucket.clear();
+  }
+  gate_evals_ += evals;
+  frontier_evals_ += evals;
+  packed_words_ += evals;
+}
+
+bool SeqFaultSim::run_packed_fault(const sim::PackedBatch& batch,
+                                   const PackedTrace& trace,
+                                   const PackedOverlay& o) {
+  const std::size_t n_signals = cc_->num_signals();
+  if (diff_epoch_.size() < n_signals) {
+    diff_val_.assign(n_signals, 0);
+    diff_epoch_.assign(n_signals, 0);
+  }
+  const auto ffs = cc_->flip_flops();
+  const std::size_t n_sv = ffs.size();
+  pk_state_.assign(n_sv, 0);
+  const Word live = batch.live();
+  const bool signature = mode_ == ObservationMode::kSignature;
+  if (signature) lane_misr_->reset();
+  Word detected = 0;
+
+  // ---- scan-in ----
+  if (o.has_ff_force) {
+    // A stuck Q corrupts every bit transiting its chain position: after a
+    // full scan-in, positions >= ff_pos hold the forced value (each such
+    // bit was forced when it sat in ff_pos and shifted on unchanged).
+    // Closed form in O(n_sv) instead of n_sv chain shifts.
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      const Word w = batch.scan_in()[k];
+      pk_state_[k] =
+          k >= o.ff_pos ? (w & o.out.and_mask) | o.out.or_mask : w;
+    }
+  } else {
+    for (std::size_t k = 0; k < n_sv; ++k) pk_state_[k] = batch.scan_in()[k];
+  }
+
+  // ---- at-speed sequence with limited scan operations ----
+  for (std::size_t u = 0; u < batch.length(); ++u) {
+    for (std::uint32_t j = 0; j < batch.shifts(u); ++j) {
+      const std::size_t step = batch.step_index(u, j);
+      const Word mask = batch.step_mask(step);
+      const Word out = packed_shift(batch.step_in(step), mask, o);
+      if (signature) {
+        lane_misr_->absorb_one_masked(out, mask);
+      } else {
+        detected |= (out ^ trace.shift_out[step]) & mask;
+      }
+    }
+    packed_unit_eval(batch, trace, o, u);
+    const Word* snap = trace.snap_unit(u, n_signals);
+    const auto fv = [&](SignalId id) -> Word {
+      return diff_epoch_[id] == epoch_ ? diff_val_[id] : snap[id];
+    };
+    if (signature) {
+      misr_inputs_.clear();
+      for (SignalId po : cc_->outputs()) misr_inputs_.push_back(fv(po));
+      for (SignalId extra : extra_observed_) misr_inputs_.push_back(fv(extra));
+      lane_misr_->absorb_masked(misr_inputs_, live);
+    } else {
+      for (SignalId po : cc_->outputs()) {
+        detected |= (fv(po) ^ snap[po]) & live;
+      }
+      for (SignalId extra : extra_observed_) {
+        detected |= (fv(extra) ^ snap[extra]) & live;
+      }
+      // Lane retirement: any live lane differing at any observation point
+      // detects the fault — no need to finish the batch (per-cycle mode
+      // only; a signature needs the full response stream).
+      if (detected != 0) return true;
+    }
+    // ---- clock edge ----
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      next_state_[k] = fv(cc_->fanin(ffs[k])[0]);
+    }
+    if (o.is_dff_d) {
+      next_state_[o.dff_pos] =
+          (next_state_[o.dff_pos] & o.pin_force.and_mask) |
+          o.pin_force.or_mask;
+    }
+    for (std::size_t k = 0; k < n_sv; ++k) pk_state_[k] = next_state_[k];
+    if (o.has_ff_force) {
+      pk_state_[o.ff_pos] =
+          (pk_state_[o.ff_pos] & o.out.and_mask) | o.out.or_mask;
+    }
+  }
+
+  // ---- complete scan-out ----
+  if (!o.has_ff_force && !signature) {
+    // Undistorted chain: the observed stream is exactly the final state,
+    // compared in place (mirrors the scalar engines' shortcut).
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      detected |= (pk_state_[k] ^ trace.final_state[k]) & live;
+    }
+  } else {
+    // Observed stream = state right-to-left; a bit leaving position
+    // pos <= ff_pos transits the stuck Q on its way out and is forced
+    // (closed form of the explicit shift-out, O(n_sv) total).
+    for (std::size_t k = 0; k < n_sv; ++k) {
+      const std::size_t pos = n_sv - 1 - k;
+      Word out = pk_state_[pos];
+      if (o.has_ff_force && pos <= o.ff_pos) {
+        out = (out & o.out.and_mask) | o.out.or_mask;
+      }
+      if (signature) {
+        lane_misr_->absorb_one_masked(out, live);
+      } else {
+        detected |= (out ^ trace.final_state[pos]) & live;
+      }
+    }
+  }
+  if (signature) {
+    detected = lane_misr_->differs_from(trace.misr_stages) & live;
+  }
+  return detected != 0;
+}
+
+std::size_t SeqFaultSim::run_packed_test_set(const scan::TestSet& ts,
+                                             FaultList& fl) {
+  const std::uint64_t ge0 = gate_evals_;
+  const std::uint64_t fe0 = frontier_evals_;
+  const std::uint64_t se0 = sweep_evals_;
+  const std::uint64_t pw0 = packed_words_;
+  const std::uint64_t pb0 = packed_batches_;
+  const std::uint64_t la0 = lanes_active_;
+  const auto export_counters = [&](std::size_t faults, std::size_t newly) {
+    if (!counters_) return;
+    counters_->add("fsim.sweeps", 1);
+    counters_->add("fsim.tests", ts.tests.size());
+    counters_->add("fsim.groups", faults);
+    counters_->add("fsim.detected", newly);
+    counters_->add("fsim.gate_evals", gate_evals_ - ge0);
+    counters_->add("fsim.frontier_evals", frontier_evals_ - fe0);
+    counters_->add("fsim.sweep_evals", sweep_evals_ - se0);
+    counters_->add("fsim.fallback_groups", 0);
+    counters_->add("fsim.packed_words", packed_words_ - pw0);
+    counters_->add("fsim.packed_batches", packed_batches_ - pb0);
+    counters_->add("fsim.lanes_active", lanes_active_ - la0);
+  };
+
+  std::vector<std::size_t> remaining = fl.remaining_indices();
+  const std::size_t n_faults = remaining.size();
+  if (remaining.empty() || ts.tests.empty()) {
+    export_counters(n_faults, 0);
+    return 0;
+  }
+
+  const std::vector<sim::PackedBatch> batches =
+      sim::PackedBatch::make_batches(ts);
+  const unsigned hw = threads_ == 0
+                          ? std::max(1u, std::thread::hardware_concurrency())
+                          : threads_;
+
+  std::size_t newly = 0;
+  std::vector<std::uint8_t> hit;
+  for (const sim::PackedBatch& batch : batches) {
+    if (remaining.empty()) break;
+    ++packed_batches_;
+    lanes_active_ += static_cast<std::uint64_t>(std::popcount(batch.live()));
+    const PackedTrace trace = compute_packed_trace(batch);
+    hit.assign(remaining.size(), 0);
+
+    const unsigned n_workers =
+        static_cast<unsigned>(std::min<std::size_t>(hw, remaining.size()));
+    if (n_workers <= 1) {
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        const PackedOverlay o =
+            build_packed_overlay(fl.fault(remaining[i]), batch.live());
+        hit[i] = run_packed_fault(batch, trace, o) ? 1 : 0;
+      }
+    } else {
+      // Workers stride over the remaining faults and write disjoint hit[]
+      // bytes; detections are applied after the join in index order, so
+      // results and counters are bit-identical to the serial path.
+      ensure_workers(n_workers);
+      std::vector<std::uint64_t> ge_b(n_workers);
+      std::vector<std::uint64_t> fe_b(n_workers);
+      std::vector<std::uint64_t> pw_b(n_workers);
+      for (unsigned w = 0; w < n_workers; ++w) {
+        ge_b[w] = worker_sims_[w]->gate_evals_;
+        fe_b[w] = worker_sims_[w]->frontier_evals_;
+        pw_b[w] = worker_sims_[w]->packed_words_;
+      }
+      pool_->run(n_workers, [&](unsigned w) {
+        SeqFaultSim& sim = *worker_sims_[w];
+        for (std::size_t i = w; i < remaining.size(); i += n_workers) {
+          const PackedOverlay o =
+              sim.build_packed_overlay(fl.fault(remaining[i]), batch.live());
+          hit[i] = sim.run_packed_fault(batch, trace, o) ? 1 : 0;
+        }
+      });
+      for (unsigned w = 0; w < n_workers; ++w) {
+        gate_evals_ += worker_sims_[w]->gate_evals_ - ge_b[w];
+        frontier_evals_ += worker_sims_[w]->frontier_evals_ - fe_b[w];
+        packed_words_ += worker_sims_[w]->packed_words_ - pw_b[w];
+      }
+    }
+
+    // Fault dropping at batch granularity: detected faults never see
+    // another batch.
+    std::vector<std::size_t> next;
+    next.reserve(remaining.size());
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (hit[i]) {
+        fl.mark_detected(remaining[i]);
+        ++newly;
+      } else {
+        next.push_back(remaining[i]);
+      }
+    }
+    remaining.swap(next);
+  }
+  export_counters(n_faults, newly);
+  return newly;
+}
+
 Word SeqFaultSim::run_test(const scan::ScanTest& test,
                            std::span<const Fault> group) {
   const Overlay o = build_overlay(group);
   const Trace tr = compute_trace(test);
-  Word mask = run_test_with_trace(test, o, tr, engine_);
+  // This entry point's lanes are faults; kPacked (lanes = patterns)
+  // delegates to the equally exact kConeDiff path.
+  const Engine engine =
+      engine_ == Engine::kPacked ? Engine::kConeDiff : engine_;
+  Word mask = run_test_with_trace(test, o, tr, engine);
   if (group.size() < sim::kLanes) {
     mask &= (Word{1} << group.size()) - 1;
   }
@@ -455,6 +870,7 @@ void SeqFaultSim::ensure_workers(unsigned n) {
 }
 
 std::size_t SeqFaultSim::run_test_set(const scan::TestSet& ts, FaultList& fl) {
+  if (engine_ == Engine::kPacked) return run_packed_test_set(ts, fl);
   // Per-call deltas exported to the attached counter registry on every
   // exit path. One branch + a few map updates per run_test_set call; the
   // per-gate hot paths are untouched (see BM_ObsOverhead).

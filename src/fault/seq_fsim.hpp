@@ -19,18 +19,28 @@
 //     DFF D-pin fault corrupts functional capture but not scan shifting
 //     (the scan-in path bypasses D through the scan mux).
 //
-// Two evaluation engines produce bit-identical results:
+// Three evaluation engines produce bit-identical results:
 //   * kFullSweep re-evaluates every combinational gate at every time unit;
 //   * kConeDiff (default) seeds the faulty machine from the fault-free
 //     reference trace and re-evaluates only gates reachable from a
 //     divergence source (fault sites and flip-flops whose state differs
 //     from the reference), pruning propagation wherever a recomputed word
 //     matches the reference. See DESIGN.md, "Engine".
+//   * kPacked flips the lane convention: 64 *patterns* per word, one
+//     fault per run (PPSFP). The fault-free reference is simulated once
+//     per batch of up to 64 equal-length tests, then each remaining fault
+//     replays the batch through the same cone-restricted frontier with
+//     difference *words* (a frontier entry stays live while any lane
+//     differs) and is dropped at the first observation point whose
+//     difference word intersects the live-lane mask. See DESIGN.md,
+//     "Packed engine".
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +49,7 @@
 #include "obs/counters.hpp"
 #include "scan/test.hpp"
 #include "sim/compiled.hpp"
+#include "sim/packed_logic.hpp"
 #include "sim/seq_sim.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -55,15 +66,37 @@ enum class ObservationMode : std::uint8_t {
   kSignature,
 };
 
-/// Faulty-machine evaluation strategy. Both engines are exact; they trade
+/// Faulty-machine evaluation strategy. All engines are exact; they trade
 /// per-gate bookkeeping against skipped work.
 enum class Engine : std::uint8_t {
   /// Full levelized sweep every time unit (the historical engine; right
   /// for tiny circuits or faults whose cones span the whole core).
   kFullSweep,
-  /// Cone-restricted difference propagation off the reference trace.
+  /// Cone-restricted difference propagation off the reference trace
+  /// (64 faults per word, one test at a time).
   kConeDiff,
+  /// Bit-parallel pattern-parallel single-fault propagation (64 test
+  /// patterns per word, one fault at a time).
+  kPacked,
 };
+
+/// Canonical lowercase engine name, as accepted by parse_engine() and the
+/// CLI --engine flag.
+[[nodiscard]] const char* engine_name(Engine engine) noexcept;
+
+/// Comma-separated list of valid engine names (for error messages and
+/// help text).
+[[nodiscard]] const char* engine_choices() noexcept;
+
+/// Parses an engine name; nullopt for anything outside engine_choices().
+[[nodiscard]] std::optional<Engine> parse_engine(std::string_view name) noexcept;
+
+/// Engine identity for artifact digests (rls::store, Ts0Cache). All
+/// engines are exact, so kPacked produces bit-identical artifacts to
+/// kConeDiff and shares its on-disk identity; kFullSweep keeps its
+/// historical distinct identity (pinned by StoreSerde tests). See
+/// DESIGN.md §10.
+[[nodiscard]] Engine artifact_engine(Engine engine) noexcept;
 
 class SeqFaultSim {
  public:
@@ -75,7 +108,10 @@ class SeqFaultSim {
   std::size_t run_test_set(const scan::TestSet& ts, FaultList& fl);
 
   /// Simulates one test against an explicit group of <= 64 faults.
-  /// Returns the lane mask of detected faults.
+  /// Returns the lane mask of detected faults. The lanes of this entry
+  /// point are faults, so under kPacked (whose lanes are patterns) it
+  /// evaluates via kConeDiff — all engines are exact, so the mask is
+  /// identical either way.
   sim::Word run_test(const scan::ScanTest& test, std::span<const Fault> group);
 
   /// Cumulative gate-evaluation count (one count per gate visit per word).
@@ -94,6 +130,21 @@ class SeqFaultSim {
   /// sweep (cumulative across run_test_set calls).
   [[nodiscard]] std::uint64_t fallback_groups() const noexcept {
     return fallback_groups_;
+  }
+
+  /// kPacked instrumentation: word-level gate visits done by the packed
+  /// frontier (a subset of gate_evals(), each visit covering up to 64
+  /// patterns), batches simulated, and the total live-lane population
+  /// across those batches (lanes_active / (64 * packed_batches) is the
+  /// packing occupancy).
+  [[nodiscard]] std::uint64_t packed_words() const noexcept {
+    return packed_words_;
+  }
+  [[nodiscard]] std::uint64_t packed_batches() const noexcept {
+    return packed_batches_;
+  }
+  [[nodiscard]] std::uint64_t lanes_active() const noexcept {
+    return lanes_active_;
   }
 
   /// Attaches a counter registry; every run_test_set call then adds its
@@ -161,11 +212,54 @@ class SeqFaultSim {
     }
   };
 
+  /// kPacked: fault-free reference of one batch. `snap` holds the full
+  /// lane-transposed machine per time unit (flat [unit * num_signals + id]
+  /// layout — lanes are patterns, so no broadcast compression applies);
+  /// `shift_out` is step-aligned with the batch's limited scan steps.
+  struct PackedTrace {
+    std::vector<sim::Word> snap;          // [length * num_signals]
+    std::vector<sim::Word> shift_out;     // [batch.total_steps()]
+    std::vector<sim::Word> final_state;   // [n_sv], post-clock of last unit
+    std::vector<sim::Word> misr_stages;   // kSignature mode only
+
+    [[nodiscard]] const sim::Word* snap_unit(
+        std::size_t unit, std::size_t num_signals) const noexcept {
+      return snap.data() + unit * num_signals;
+    }
+  };
+  /// kPacked: one fault broadcast across the batch's live lanes. Force
+  /// masks are pre-masked with live() so dead lanes never diverge from
+  /// the reference.
+  struct PackedOverlay {
+    netlist::SignalId site = 0;
+    ForceMask out;                    // pin < 0 (output fault)
+    bool is_out = false;
+    bool is_source = false;           // site is a PI or DFF (no frontier eval)
+    bool has_ff_force = false;        // Q fault: corrupts the scan path
+    std::size_t ff_pos = 0;           // chain position when has_ff_force
+    int pin = -1;                     // >= 0: input-pin fault at `site`
+    ForceMask pin_force;              // applied to the fanin word of `pin`
+    bool is_dff_d = false;            // D-pin fault: capture only
+    std::size_t dff_pos = 0;
+  };
+
   Overlay build_overlay(std::span<const Fault> group) const;
   Trace compute_trace(const scan::ScanTest& test);
   sim::Word run_test_with_trace(const scan::ScanTest& test,
                                 const Overlay& overlay, const Trace& trace,
                                 Engine engine);
+
+  // kPacked primitives.
+  PackedOverlay build_packed_overlay(const Fault& f, sim::Word live) const;
+  PackedTrace compute_packed_trace(const sim::PackedBatch& batch);
+  bool run_packed_fault(const sim::PackedBatch& batch,
+                        const PackedTrace& trace, const PackedOverlay& o);
+  sim::Word packed_shift(sim::Word scan_in, sim::Word mask,
+                         const PackedOverlay& o);
+  void packed_unit_eval(const sim::PackedBatch& batch,
+                        const PackedTrace& trace, const PackedOverlay& o,
+                        std::size_t unit);
+  std::size_t run_packed_test_set(const scan::TestSet& ts, FaultList& fl);
 
   // Faulty-machine primitives (operate on values_).
   void apply_out_forces(const Overlay& o);
@@ -190,6 +284,9 @@ class SeqFaultSim {
   std::uint64_t frontier_evals_ = 0;   // gate_evals_ done via cone_eval
   std::uint64_t sweep_evals_ = 0;      // gate_evals_ done via full sweeps
   std::uint64_t fallback_groups_ = 0;  // wide-cone demotions
+  std::uint64_t packed_words_ = 0;     // kPacked word-level gate visits
+  std::uint64_t packed_batches_ = 0;   // kPacked batches simulated
+  std::uint64_t lanes_active_ = 0;     // sum of popcount(live) per batch
   obs::CounterRegistry* counters_ = nullptr;
 
   /// Per-signal overlay kind flags, rebuilt per group (0 none, 1 out-force,
@@ -207,6 +304,15 @@ class SeqFaultSim {
   std::vector<std::uint64_t> queued_epoch_;
   std::vector<std::vector<netlist::SignalId>> level_queue_;
   std::vector<sim::Word> ff_scratch_;  // faulty state across the restore
+
+  // kPacked scratch. The faulty machine is a sparse difference over the
+  // packed reference snapshot: fv(id) = diff_val_[id] when diff_epoch_[id]
+  // is current, else the snapshot word — no per-fault value array is ever
+  // materialized or restored. Only the flip-flop state persists across
+  // time units (pk_state_).
+  std::vector<sim::Word> pk_state_;        // faulty packed FF state
+  std::vector<sim::Word> diff_val_;        // per-signal diverged words
+  std::vector<std::uint64_t> diff_epoch_;  // validity of diff_val_
 
   std::vector<netlist::SignalId> extra_observed_;
   unsigned threads_ = 0;

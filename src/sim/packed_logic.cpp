@@ -1,0 +1,72 @@
+#include "sim/packed_logic.hpp"
+
+#include <algorithm>
+
+namespace rls::sim {
+
+std::vector<PackedBatch> PackedBatch::make_batches(const scan::TestSet& ts) {
+  std::vector<PackedBatch> batches;
+  std::size_t base = 0;
+  while (base < ts.tests.size()) {
+    const std::size_t length = ts.tests[base].length();
+    std::size_t count = 1;
+    while (count < static_cast<std::size_t>(kLanes) &&
+           base + count < ts.tests.size() &&
+           ts.tests[base + count].length() == length) {
+      ++count;
+    }
+
+    PackedBatch b;
+    b.first_ = base;
+    b.count_ = count;
+    b.live_ = tail_mask(count);
+    b.length_ = length;
+    b.n_sv_ = ts.tests[base].scan_in.size();
+    b.n_pi_ = length == 0 ? 0 : ts.tests[base].vectors[0].size();
+
+    b.scan_in_.assign(b.n_sv_, 0);
+    b.pi_.assign(length * b.n_pi_, 0);
+    b.step_off_.assign(length + 1, 0);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      const scan::ScanTest& t = ts.tests[base + lane];
+      const Word bit = Word{1} << lane;
+      for (std::size_t k = 0; k < b.n_sv_; ++k) {
+        if (t.scan_in[k]) b.scan_in_[k] |= bit;
+      }
+      for (std::size_t u = 0; u < length; ++u) {
+        for (std::size_t k = 0; k < b.n_pi_; ++k) {
+          if (t.vectors[u][k]) b.pi_[u * b.n_pi_ + k] |= bit;
+        }
+      }
+    }
+    for (std::size_t u = 0; u < length; ++u) {
+      std::uint32_t max_shift = 0;
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        const scan::ScanTest& t = ts.tests[base + lane];
+        if (u < t.shift.size()) max_shift = std::max(max_shift, t.shift[u]);
+      }
+      b.step_off_[u + 1] = b.step_off_[u] + max_shift;
+      for (std::uint32_t j = 0; j < max_shift; ++j) {
+        Word mask = 0;
+        Word in = 0;
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          const scan::ScanTest& t = ts.tests[base + lane];
+          if (u >= t.shift.size() || j >= t.shift[u]) continue;
+          const Word bit = Word{1} << lane;
+          mask |= bit;
+          if (u < t.scan_bits.size() && j < t.scan_bits[u].size() &&
+              t.scan_bits[u][j]) {
+            in |= bit;
+          }
+        }
+        b.step_mask_.push_back(mask);
+        b.step_in_.push_back(in);
+      }
+    }
+    batches.push_back(std::move(b));
+    base += count;
+  }
+  return batches;
+}
+
+}  // namespace rls::sim

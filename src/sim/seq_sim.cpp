@@ -94,6 +94,18 @@ Word SeqSim::shift(Word scan_in) {
   return out;
 }
 
+Word SeqSim::shift_masked(Word scan_in, Word mask) {
+  const auto ffs = cc_->flip_flops();
+  if (ffs.empty()) return 0;
+  const Word out = values_[ffs[ffs.size() - 1]];
+  for (std::size_t k = ffs.size(); k-- > 1;) {
+    values_[ffs[k]] =
+        (values_[ffs[k]] & ~mask) | (values_[ffs[k - 1]] & mask);
+  }
+  values_[ffs[0]] = (values_[ffs[0]] & ~mask) | (scan_in & mask);
+  return out;
+}
+
 std::vector<Word> SeqSim::shift_sequence(std::span<const std::uint8_t> bits) {
   std::vector<Word> out;
   out.reserve(bits.size());

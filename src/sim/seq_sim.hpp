@@ -72,6 +72,12 @@ class SeqSim {
   /// scan-out word).
   Word shift(Word scan_in);
 
+  /// Lane-masked scan shift for pattern-parallel batches: only lanes in
+  /// `mask` move (tests in a packed batch may shift different amounts in
+  /// the same time unit). Returns the pre-shift rightmost word; callers
+  /// observe it under `mask`.
+  Word shift_masked(Word scan_in, Word mask);
+
   /// Convenience: shifts `bits.size()` times, feeding `bits` front-to-back
   /// (bits[0] is scanned in first and ends up rightmost of the scanned-in
   /// run). Returns the words shifted out, in shift order.

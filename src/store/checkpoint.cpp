@@ -114,7 +114,8 @@ ArtifactKey CampaignStore::ts0_key(const core::Ts0Config& cfg,
       .with("lb", cfg.l_b)
       .with("n", cfg.n)
       .with("seed", cfg.seed)
-      .with("engine", static_cast<std::uint64_t>(engine));
+      .with("engine",
+            static_cast<std::uint64_t>(fault::artifact_engine(engine)));
   return key;
 }
 

@@ -324,7 +324,10 @@ std::uint64_t digest_p2_options(const core::Procedure2Options& opt) {
   w.u32(opt.max_iterations);
   w.u64(opt.base_seed);
   w.u8(opt.reseed_per_test ? 1 : 0);
-  w.u8(static_cast<std::uint8_t>(opt.engine));
+  // Digest the artifact identity of the engine, not the raw enum:
+  // kPacked is bit-identical to kConeDiff, so their artifacts are
+  // interchangeable and share one digest (see DESIGN.md §10).
+  w.u8(static_cast<std::uint8_t>(fault::artifact_engine(opt.engine)));
   return fnv1a64(w.buffer().data(), w.buffer().size());
 }
 

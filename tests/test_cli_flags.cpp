@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/flags.hpp"
+#include "fault/seq_fsim.hpp"
 
 namespace rls::cli {
 namespace {
@@ -137,6 +140,44 @@ TEST(CliFlags, HelpListsEveryRegisteredFlag) {
   EXPECT_NE(help.find("--progress"), std::string::npos);
   EXPECT_NE(help.find("--threads"), std::string::npos);
   EXPECT_NE(help.find("live status lines"), std::string::npos);
+}
+
+TEST(CliFlags, EngineFlagParsesAllThreeEnginesAndNamesValidSet) {
+  // The CLI maps --engine through fault::parse_engine and reports the
+  // full valid set on mismatch (the same construction rls_cli uses).
+  FlagParser fp;
+  std::string engine = "conediff";
+  fp.add_string("engine", &engine,
+                "fault-simulation engine: conediff (default), fullsweep, "
+                "or packed");
+  const std::string help = fp.help();
+  EXPECT_NE(help.find("conediff"), std::string::npos);
+  EXPECT_NE(help.find("fullsweep"), std::string::npos);
+  EXPECT_NE(help.find("packed"), std::string::npos);
+
+  for (const auto& [name, want] :
+       {std::pair<const char*, fault::Engine>{"conediff",
+                                              fault::Engine::kConeDiff},
+        {"fullsweep", fault::Engine::kFullSweep},
+        {"packed", fault::Engine::kPacked}}) {
+    parse(fp, {(std::string("--engine=") + name).c_str()});
+    const std::optional<fault::Engine> parsed = fault::parse_engine(engine);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, want) << name;
+    EXPECT_STREQ(fault::engine_name(*parsed), name);
+  }
+
+  parse(fp, {"--engine=bogus"});
+  ASSERT_FALSE(fault::parse_engine(engine).has_value());
+  const FlagError err("--engine expects one of " +
+                      std::string(fault::engine_choices()) + ", got '" +
+                      engine + "'");
+  const std::string what = err.what();
+  EXPECT_EQ(what.find('\n'), std::string::npos);  // one-line error
+  EXPECT_NE(what.find("conediff"), std::string::npos);
+  EXPECT_NE(what.find("fullsweep"), std::string::npos);
+  EXPECT_NE(what.find("packed"), std::string::npos);
+  EXPECT_NE(what.find("bogus"), std::string::npos);
 }
 
 }  // namespace

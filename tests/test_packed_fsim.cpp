@@ -1,0 +1,342 @@
+// Engine::kPacked (bit-parallel PPSFP: 64 patterns per word, one fault
+// per run) must be bit-identical to the parallel-fault engines at any
+// thread count: same detection sets, same fault-coverage counts, same
+// MISR-signature detections — including the tail-lane mask edge cases
+// where the pattern count is not divisible by 64.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bist/misr.hpp"
+#include "fault/collapse.hpp"
+#include "fault/seq_fsim.hpp"
+#include "gen/registry.hpp"
+#include "gen/synth.hpp"
+#include "helpers.hpp"
+#include "sim/packed_logic.hpp"
+
+namespace rls::fault {
+namespace {
+
+/// Uniform-length random test set; limited scan on even tests with shift
+/// counts capped at 8 so big-registry chains stay affordable.
+scan::TestSet make_set(const netlist::Netlist& nl, std::uint64_t seed,
+                       int tests, std::size_t length = 6) {
+  rls::rand::Rng rng(seed);
+  const std::size_t n_sv = nl.num_state_vars();
+  const std::uint32_t max_shift =
+      static_cast<std::uint32_t>(std::min<std::size_t>(n_sv, 8));
+  scan::TestSet ts;
+  for (int i = 0; i < tests; ++i) {
+    scan::ScanTest t = rls::test::random_test(rng, n_sv, nl.num_inputs(),
+                                              length, /*with_limited_scan=*/
+                                              i % 2 == 0);
+    for (std::size_t u = 0; u < t.shift.size(); ++u) {
+      if (t.shift[u] > max_shift) {
+        t.shift[u] = max_shift;
+        t.scan_bits[u].resize(max_shift);
+      }
+    }
+    ts.tests.push_back(std::move(t));
+  }
+  return ts;
+}
+
+std::vector<bool> run_engine(const sim::CompiledCircuit& cc,
+                             const std::vector<Fault>& universe,
+                             const scan::TestSet& ts, Engine engine,
+                             unsigned threads,
+                             ObservationMode mode = ObservationMode::kPerCycle,
+                             SeqFaultSim* out_sim = nullptr) {
+  FaultList fl(universe);
+  SeqFaultSim local(cc);
+  SeqFaultSim& sim = out_sim != nullptr ? *out_sim : local;
+  sim.set_engine(engine);
+  sim.set_threads(threads);
+  if (mode == ObservationMode::kSignature) {
+    sim.set_observation_mode(mode, 24);
+  }
+  sim.run_test_set(ts, fl);
+  std::vector<bool> detected(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    detected[i] = fl.detected(i);
+  }
+  return detected;
+}
+
+void expect_same_detections(const netlist::Netlist& nl,
+                            const std::vector<Fault>& universe,
+                            const std::vector<bool>& a,
+                            const std::vector<bool>& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << ": " << fault_name(nl, universe[i]);
+  }
+}
+
+// ---- batching / tail-mask mechanics -----------------------------------
+
+TEST(PackedFsimBatches, TailMaskCoversPartialBatches) {
+  EXPECT_EQ(sim::tail_mask(0), 0u);
+  EXPECT_EQ(sim::tail_mask(1), 1u);
+  EXPECT_EQ(sim::tail_mask(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(sim::tail_mask(64), ~std::uint64_t{0});
+
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  for (const std::size_t count : {1u, 63u, 64u, 65u, 257u}) {
+    const scan::TestSet ts =
+        make_set(nl, 11, static_cast<int>(count), /*length=*/4);
+    const auto batches = sim::PackedBatch::make_batches(ts);
+    std::size_t total = 0;
+    for (const auto& b : batches) {
+      EXPECT_EQ(b.first(), total);
+      EXPECT_EQ(b.live(), sim::tail_mask(b.count()));
+      EXPECT_EQ(b.length(), 4u);
+      total += b.count();
+    }
+    EXPECT_EQ(total, count);
+    EXPECT_EQ(batches.size(), (count + 63) / 64);
+  }
+}
+
+TEST(PackedFsimBatches, LengthChangeStartsNewBatch) {
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  rls::rand::Rng rng(3);
+  scan::TestSet ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.tests.push_back(rls::test::random_test(rng, nl.num_state_vars(),
+                                              nl.num_inputs(),
+                                              i < 4 ? 3 : 5, i % 2 == 0));
+  }
+  const auto batches = sim::PackedBatch::make_batches(ts);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].count(), 4u);
+  EXPECT_EQ(batches[0].length(), 3u);
+  EXPECT_EQ(batches[1].first(), 4u);
+  EXPECT_EQ(batches[1].count(), 6u);
+  EXPECT_EQ(batches[1].length(), 5u);
+}
+
+// ---- masked LaneMisr == per-lane scalar Misr ---------------------------
+
+TEST(PackedFsimMisr, MaskedAbsorbMatchesScalarPerLaneSchedules) {
+  // Each lane follows its own clocking schedule (as packed tests do when
+  // their shift counts differ); a lane's signature must equal a scalar
+  // MISR clocked on exactly that lane's stream.
+  constexpr int kDegree = 16;
+  constexpr int kCycles = 200;
+  rls::rand::Rng rng(77);
+  bist::LaneMisr lanes(kDegree);
+  std::vector<bist::Misr> scalars(64, bist::Misr(kDegree));
+  scan::BitVector one(1);
+  for (int c = 0; c < kCycles; ++c) {
+    const sim::Word mask = rng.next_u64();
+    const sim::Word word = rng.next_u64();
+    lanes.absorb_one_masked(word, mask);
+    for (int lane = 0; lane < 64; ++lane) {
+      if (!sim::lane_bit(mask, lane)) continue;
+      one[0] = sim::lane_bit(word, lane) ? 1 : 0;
+      scalars[lane].absorb(one);
+    }
+  }
+  for (int lane = 0; lane < 64; ++lane) {
+    ASSERT_EQ(lanes.signature(lane), scalars[lane].signature()) << lane;
+  }
+  // Stage-wise comparison against a reference LaneMisr detects exactly
+  // the lanes whose signatures differ.
+  bist::LaneMisr other(kDegree);
+  other.absorb_one_masked(~sim::Word{0}, sim::tail_mask(5));
+  const sim::Word diff = lanes.differs_from(other.stages());
+  for (int lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(sim::lane_bit(diff, lane),
+              lanes.signature(lane) != other.signature(lane))
+        << lane;
+  }
+}
+
+// ---- packed vs parallel-fault engines ----------------------------------
+
+class PackedFsim
+    : public ::testing::TestWithParam<std::tuple<const char*, unsigned>> {};
+
+TEST_P(PackedFsim, PerCycleDetectionSetsMatchConeDiff) {
+  const auto [name, threads] = GetParam();
+  const netlist::Netlist nl = gen::make_circuit(name);
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 1234, 20);
+  const auto universe = full_universe(nl);
+
+  SeqFaultSim cone_sim(cc);
+  const std::vector<bool> cone =
+      run_engine(cc, universe, ts, Engine::kConeDiff, 1,
+                 ObservationMode::kPerCycle, &cone_sim);
+  SeqFaultSim packed_sim(cc);
+  const std::vector<bool> packed =
+      run_engine(cc, universe, ts, Engine::kPacked, threads,
+                 ObservationMode::kPerCycle, &packed_sim);
+  expect_same_detections(nl, universe, cone, packed, "per-cycle");
+
+  // The packed frontier visits far fewer words than the parallel-fault
+  // union-cone frontier (the tentpole speedup), and its bookkeeping is
+  // consistent: every packed gate visit is a frontier visit.
+  EXPECT_LT(packed_sim.gate_evals(), cone_sim.gate_evals());
+  EXPECT_EQ(packed_sim.packed_words(), packed_sim.frontier_evals());
+  EXPECT_EQ(packed_sim.gate_evals(),
+            packed_sim.frontier_evals() + packed_sim.sweep_evals());
+  EXPECT_GT(packed_sim.packed_batches(), 0u);
+  EXPECT_GT(packed_sim.lanes_active(), 0u);
+}
+
+TEST_P(PackedFsim, SignatureDetectionSetsMatchConeDiff) {
+  const auto [name, threads] = GetParam();
+  const netlist::Netlist nl = gen::make_circuit(name);
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 4321, 12);
+  const auto universe = full_universe(nl);
+
+  const std::vector<bool> cone = run_engine(
+      cc, universe, ts, Engine::kConeDiff, 1, ObservationMode::kSignature);
+  const std::vector<bool> packed = run_engine(
+      cc, universe, ts, Engine::kPacked, threads, ObservationMode::kSignature);
+  expect_same_detections(nl, universe, cone, packed, "signature");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsAndThreads, PackedFsim,
+    ::testing::Combine(::testing::Values("s298", "s953"),
+                       ::testing::Values(1u, 2u, 8u)));
+
+TEST(PackedFsim, ExtraObservedMatchesConeDiff) {
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 5, 10);
+  const auto universe = full_universe(nl);
+  const std::vector<netlist::SignalId> extra{cc.flip_flops()[0],
+                                             cc.flip_flops()[3]};
+  for (const ObservationMode mode :
+       {ObservationMode::kPerCycle, ObservationMode::kSignature}) {
+    FaultList cone_fl(universe);
+    SeqFaultSim cone(cc);
+    cone.set_engine(Engine::kConeDiff);
+    cone.set_threads(1);
+    cone.set_extra_observed(extra);
+    cone.set_observation_mode(mode, 24);
+    cone.run_test_set(ts, cone_fl);
+
+    FaultList packed_fl(universe);
+    SeqFaultSim packed(cc);
+    packed.set_engine(Engine::kPacked);
+    packed.set_threads(2);
+    packed.set_extra_observed(extra);
+    packed.set_observation_mode(mode, 24);
+    packed.run_test_set(ts, packed_fl);
+
+    ASSERT_EQ(packed_fl.num_detected(), cone_fl.num_detected());
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      ASSERT_EQ(packed_fl.detected(i), cone_fl.detected(i))
+          << fault_name(nl, universe[i]);
+    }
+  }
+}
+
+TEST(PackedFsim, SingleTestEntryPointFallsBackExactly) {
+  // run_test's lanes are faults, so kPacked delegates to kConeDiff; the
+  // masks must match the other engines bit for bit.
+  const netlist::Netlist nl = gen::make_circuit("s298");
+  const sim::CompiledCircuit cc(nl);
+  const scan::TestSet ts = make_set(nl, 77, 3);
+  const auto universe = full_universe(nl);
+  SeqFaultSim cone(cc);
+  cone.set_engine(Engine::kConeDiff);
+  SeqFaultSim packed(cc);
+  packed.set_engine(Engine::kPacked);
+  for (const scan::ScanTest& test : ts.tests) {
+    for (std::size_t base = 0; base < universe.size(); base += sim::kLanes) {
+      const std::size_t n =
+          std::min<std::size_t>(sim::kLanes, universe.size() - base);
+      const std::span<const Fault> group(universe.data() + base, n);
+      ASSERT_EQ(packed.run_test(test, group), cone.run_test(test, group));
+    }
+  }
+}
+
+// ---- randomized differential over generated circuits -------------------
+
+class PackedFsimDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PackedFsimDifferential, ThreeEnginesAgreeAtEveryTailCount) {
+  // Seeded synthetic circuits x pattern counts around the 64-lane
+  // boundary: 1 (single live lane), 63/65 (partial tail), 64 (full), 257
+  // (4 full batches + 1-lane tail).
+  const netlist::Netlist nl =
+      gen::synthesize(rls::test::small_profile(GetParam()));
+  const sim::CompiledCircuit cc(nl);
+  const auto universe = full_universe(nl);
+  for (const int count : {1, 63, 64, 65, 257}) {
+    const scan::TestSet ts =
+        make_set(nl, 1000 + GetParam() * 31 + count, count, /*length=*/4);
+    const std::vector<bool> cone =
+        run_engine(cc, universe, ts, Engine::kConeDiff, 1);
+    const std::vector<bool> sweep =
+        run_engine(cc, universe, ts, Engine::kFullSweep, 1);
+    const std::vector<bool> packed =
+        run_engine(cc, universe, ts, Engine::kPacked, 2);
+    const std::string what = "count=" + std::to_string(count);
+    expect_same_detections(nl, universe, cone, sweep, what + " sweep");
+    expect_same_detections(nl, universe, cone, packed, what + " packed");
+  }
+}
+
+TEST_P(PackedFsimDifferential, SignaturesAgreeAcrossTailCounts) {
+  const netlist::Netlist nl =
+      gen::synthesize(rls::test::small_profile(GetParam(), 0.3));
+  const sim::CompiledCircuit cc(nl);
+  const auto universe = full_universe(nl);
+  for (const int count : {1, 63, 65}) {
+    const scan::TestSet ts =
+        make_set(nl, 2000 + GetParam() * 17 + count, count, /*length=*/5);
+    const std::vector<bool> cone = run_engine(
+        cc, universe, ts, Engine::kConeDiff, 1, ObservationMode::kSignature);
+    const std::vector<bool> sweep = run_engine(
+        cc, universe, ts, Engine::kFullSweep, 1, ObservationMode::kSignature);
+    const std::vector<bool> packed = run_engine(
+        cc, universe, ts, Engine::kPacked, 2, ObservationMode::kSignature);
+    const std::string what = "count=" + std::to_string(count);
+    expect_same_detections(nl, universe, cone, sweep, what + " sweep");
+    expect_same_detections(nl, universe, cone, packed, what + " packed");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedFsimDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---- full registry cross-check -----------------------------------------
+
+class PackedFsimRegistry : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PackedFsimRegistry, MatchesConeDiffOnEveryCircuit) {
+  for (const std::string& name : gen::known_circuits()) {
+    const netlist::Netlist nl = gen::make_circuit(name);
+    const sim::CompiledCircuit cc(nl);
+    const scan::TestSet ts = make_set(nl, 0xC0FFEE, 6, /*length=*/3);
+    const auto universe = full_universe(nl);
+    const std::vector<bool> cone =
+        run_engine(cc, universe, ts, Engine::kConeDiff, 1);
+    const std::vector<bool> packed =
+        run_engine(cc, universe, ts, Engine::kPacked, GetParam());
+    expect_same_detections(nl, universe, cone, packed, name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PackedFsimRegistry,
+                         ::testing::Values(1u, 2u, 8u));
+
+}  // namespace
+}  // namespace rls::fault

@@ -222,6 +222,42 @@ TEST(StoreSerde, P2OptionsDigestIgnoresThreadsButNotEngine) {
   EXPECT_NE(digest_p2_options(a), digest_p2_options(d));
 }
 
+TEST(StoreSerde, PackedEngineSharesConeDiffArtifactIdentity) {
+  // DESIGN.md §10: digests key the engine's *artifact* identity. kPacked
+  // is bit-identical to kConeDiff, so the two share cache entries; only
+  // kFullSweep keeps a distinct (historical) identity.
+  EXPECT_EQ(fault::artifact_engine(fault::Engine::kPacked),
+            fault::Engine::kConeDiff);
+  EXPECT_EQ(fault::artifact_engine(fault::Engine::kConeDiff),
+            fault::Engine::kConeDiff);
+  EXPECT_EQ(fault::artifact_engine(fault::Engine::kFullSweep),
+            fault::Engine::kFullSweep);
+
+  core::Procedure2Options cone;
+  core::Procedure2Options packed;
+  packed.engine = fault::Engine::kPacked;
+  core::Procedure2Options sweep;
+  sweep.engine = fault::Engine::kFullSweep;
+  EXPECT_EQ(digest_p2_options(cone), digest_p2_options(packed));
+  EXPECT_NE(digest_p2_options(cone), digest_p2_options(sweep));
+
+  // ts0_key applies the same policy: kPacked resolves to kConeDiff's key.
+  const ScratchDir dir("enginekey");
+  const netlist::Netlist nl = gen::make_circuit("s27");
+  const std::vector<fault::Fault> targets = fault::collapsed_universe(nl);
+  ArtifactStore astore(dir.path());
+  const CampaignStore cs(astore, nl, targets, false);
+  core::Ts0Config cfg;
+  cfg.l_a = 4;
+  cfg.l_b = 8;
+  cfg.n = 4;
+  cfg.seed = 7;
+  EXPECT_EQ(cs.ts0_key(cfg, fault::Engine::kPacked).digest(),
+            cs.ts0_key(cfg, fault::Engine::kConeDiff).digest());
+  EXPECT_NE(cs.ts0_key(cfg, fault::Engine::kPacked).digest(),
+            cs.ts0_key(cfg, fault::Engine::kFullSweep).digest());
+}
+
 // ---- StoreArtifact -------------------------------------------------------
 
 TEST(StoreArtifact, PutGetRoundTrip) {

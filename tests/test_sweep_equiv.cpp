@@ -120,6 +120,70 @@ TEST(SweepEquiv, S5378MatchesSerialAtAnyWidth) {
   expect_equivalent(serial, run_sweep(wb, p2, 2, 8));
 }
 
+/// Strips the engine-dependent "gate_evals" field from "sweep" events so
+/// traces from different engines can be compared byte for byte.
+std::string strip_gate_evals(const std::string& trace) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < trace.size()) {
+    const std::size_t hit = trace.find("\"gate_evals\":", pos);
+    if (hit == std::string::npos) {
+      out.append(trace, pos, std::string::npos);
+      break;
+    }
+    out.append(trace, pos, hit - pos);
+    std::size_t end = hit + 13;  // skip the key
+    while (end < trace.size() && trace[end] != ',' && trace[end] != '}') ++end;
+    if (end < trace.size() && trace[end] == ',') ++end;
+    pos = end;
+  }
+  return out;
+}
+
+TEST(SweepEquiv, PackedEngineMatchesConeDiffSweep) {
+  // Cross-engine equivalence: a serial kConeDiff sweep vs a W = 8
+  // speculative sweep running the packed (PPSFP) engine. Detection is
+  // bit-identical, so the winner, committed runs, and trace agree byte
+  // for byte — except the engine-dependent gate_evals field in "sweep"
+  // events, and the fsim.* work counters, which measure different work.
+  const Workbench wb("s298");
+  Procedure2Options p2;
+  p2.sim_threads = 1;
+  p2.max_iterations = 4;
+  p2.n_same_fc = 2;
+  const SweepOutput serial = run_sweep(wb, p2, 3, 1);
+
+  Procedure2Options packed = p2;
+  packed.engine = fault::Engine::kPacked;
+  const SweepOutput spec = run_sweep(wb, packed, 3, 8);
+
+  ASSERT_EQ(serial.winner.has_value(), spec.winner.has_value());
+  if (serial.winner) {
+    EXPECT_EQ(serial.winner->combo.l_a, spec.winner->combo.l_a);
+    EXPECT_EQ(serial.winner->combo.l_b, spec.winner->combo.l_b);
+    EXPECT_EQ(serial.winner->combo.n, spec.winner->combo.n);
+    EXPECT_EQ(serial.winner->combo.ncyc0, spec.winner->combo.ncyc0);
+    EXPECT_EQ(serial.winner->result.total_detected,
+              spec.winner->result.total_detected);
+    EXPECT_EQ(serial.winner->result.total_cycles(),
+              spec.winner->result.total_cycles());
+  }
+  ASSERT_EQ(serial.runs.size(), spec.runs.size());
+  for (std::size_t k = 0; k < serial.runs.size(); ++k) {
+    EXPECT_EQ(serial.runs[k].combo.ncyc0, spec.runs[k].combo.ncyc0) << k;
+    EXPECT_EQ(serial.runs[k].result.total_detected,
+              spec.runs[k].result.total_detected)
+        << k;
+    EXPECT_EQ(serial.runs[k].result.total_cycles(),
+              spec.runs[k].result.total_cycles())
+        << k;
+    EXPECT_EQ(serial.runs[k].result.complete, spec.runs[k].result.complete)
+        << k;
+  }
+  EXPECT_EQ(strip_gate_evals(serial.trace), strip_gate_evals(spec.trace));
+  EXPECT_EQ(serial.sweep_attempts, spec.sweep_attempts);
+}
+
 TEST(SweepEquiv, RowLevelResultsMatchAcrossJobs) {
   CampaignOptions opts;
   opts.p2.sim_threads = 1;

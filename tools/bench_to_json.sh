@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Runs the perf microbenchmarks with JSON output and writes the result to
-# BENCH_PR5.json at the repository root (override with -o). The BM_ObsOverhead
+# BENCH_PR6.json at the repository root (override with -o). The BM_ObsOverhead
 # benchmark exports the engine's obs counters (obs.fsim.* per sweep) as
 # benchmark user counters, so they land in the JSON artifact alongside the
 # timings — compare the s5378_off/_on pair to check the <2% overhead contract.
@@ -9,7 +9,10 @@
 # BM_StoreRoundTrip is one full artifact encode/put/get/decode cycle, and
 # BM_CampaignCached/s298_{cold,warm} is the same campaign against an empty
 # versus a populated artifact store — the cold/warm ratio is the PR-5
-# caching headline.
+# caching headline. BM_PackedFsim and the *_packed rows of
+# BM_SeqFaultSimEngines measure the bit-parallel PPSFP engine: compare
+# s5378_packed gate_evals_per_sweep against s5378_conediff for the PR-6
+# (>=5x) reduction headline.
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]
@@ -22,7 +25,7 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-output="$repo_root/BENCH_PR5.json"
+output="$repo_root/BENCH_PR6.json"
 filter=""
 min_time="0.2"
 

@@ -11,7 +11,7 @@
 //
 // `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
 // ISCAS-89 .bench file. Common flags (uniform across subcommands):
-//   --engine=conediff|fullsweep   fault-simulation engine
+//   --engine=conediff|fullsweep|packed   fault-simulation engine
 //   --threads=N                   simulation worker threads (0 = hardware)
 //   --seed=S                      base seed (Procedure 1 + detectability)
 //   --trace=FILE                  JSONL event stream ("-" = stdout)
@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -71,7 +72,8 @@ struct CommonFlags {
   std::unique_ptr<obs::StreamProgress> reporter;
 
   void add_to(cli::FlagParser& fp) {
-    fp.add_string("engine", &engine, "conediff (default) or fullsweep");
+    fp.add_string("engine", &engine,
+                  "conediff (default), fullsweep, or packed");
     fp.add_uint("threads", &threads, "sim worker threads (0 = hardware)");
     fp.add_string("seed", &seed_text, "base seed (decimal)");
     fp.add_string("trace", &trace, "write JSONL event trace to FILE");
@@ -83,10 +85,11 @@ struct CommonFlags {
       ctx.options.p2.base_seed = std::stoull(seed_text);
       ctx.options.detect.seed = std::stoull(seed_text);
     }
-    if (engine == "fullsweep") {
-      ctx.options.p2.engine = fault::Engine::kFullSweep;
-    } else if (engine != "conediff") {
-      throw cli::FlagError("--engine expects conediff or fullsweep, got '" +
+    if (const std::optional<fault::Engine> e = fault::parse_engine(engine)) {
+      ctx.options.p2.engine = *e;
+    } else {
+      throw cli::FlagError("--engine expects one of " +
+                           std::string(fault::engine_choices()) + ", got '" +
                            engine + "'");
     }
     ctx.options.p2.sim_threads = static_cast<unsigned>(threads);
@@ -251,9 +254,10 @@ int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
     ctx.flush();
   }
 
-  std::printf("circuit %s: LA=%zu LB=%zu N=%zu (Ncyc0=%llu)\n",
+  std::printf("circuit %s: LA=%zu LB=%zu N=%zu (Ncyc0=%llu) engine=%s\n",
               row.circuit.c_str(), row.combo.l_a, row.combo.l_b, row.combo.n,
-              static_cast<unsigned long long>(row.combo.ncyc0));
+              static_cast<unsigned long long>(row.combo.ncyc0),
+              fault::engine_name(ctx.options.p2.engine));
   std::printf("TS_0: %zu / %zu faults, %s cycles\n", row.result.ts0_detected,
               row.target_faults,
               report::format_cycles(row.result.ncyc0).c_str());
@@ -372,7 +376,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: rls <list|stats|bench|faults|cop|tables|run|lint> "
                "[circuit] [options]\n"
-               "common options: --engine=conediff|fullsweep --threads=N "
+               "common options: --engine=conediff|fullsweep|packed "
+               "--threads=N "
                "--seed=S --trace=FILE --progress\n"
                "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc "
                "--combo-jobs=W\n"
