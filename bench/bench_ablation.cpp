@@ -88,10 +88,12 @@ void ablation_seeding(const char* name) {
   core::Workbench wb(name);
   report::Table table({"mode", "app", "det", "cycles", "complete"});
   for (const bool reseed : {true, false}) {
-    core::Procedure2Options opt;
-    opt.reseed_per_test = reseed;
-    opt.max_iterations = 24;
-    const core::ExperimentRow row = core::run_first_complete(wb, opt, 3);
+    core::CampaignOptions opt;
+    opt.p2.reseed_per_test = reseed;
+    opt.p2.max_iterations = 24;
+    opt.max_combos_on_failure = 3;
+    core::RunContext ctx(opt);
+    const core::ExperimentRow row = core::run_first_complete(wb, ctx);
     table.add_row({reseed ? "per-test (paper literal)" : "per-test-set",
                    std::to_string(row.result.num_applications()),
                    std::to_string(row.result.total_detected),
@@ -104,9 +106,11 @@ void ablation_seeding(const char* name) {
 void ablation_baseline(const char* name) {
   std::printf("--- C. RLS vs [5]/[6]-style budgeted random (%s) ---\n", name);
   core::Workbench wb(name);
-  core::Procedure2Options opt;
-  opt.max_iterations = 24;
-  const core::ExperimentRow row = core::run_first_complete(wb, opt, 3);
+  core::CampaignOptions opt;
+  opt.p2.max_iterations = 24;
+  opt.max_combos_on_failure = 3;
+  core::RunContext ctx(opt);
+  const core::ExperimentRow row = core::run_first_complete(wb, ctx);
   const std::uint64_t budget = row.result.total_cycles();
 
   report::Table table({"method", "cycles", "det", "target"});

@@ -31,9 +31,11 @@ void compare_on(const char* name) {
   const std::size_t target = wb.target_faults().size();
 
   // Reference: the RLS flow at its first complete combination.
-  core::Procedure2Options p2;
-  p2.max_iterations = 24;
-  const core::ExperimentRow rls_row = core::run_first_complete(wb, p2, 3);
+  core::CampaignOptions rls_opt;
+  rls_opt.p2.max_iterations = 24;
+  rls_opt.max_combos_on_failure = 3;
+  core::RunContext rls_ctx(rls_opt);
+  const core::ExperimentRow rls_row = core::run_first_complete(wb, rls_ctx);
   const std::uint64_t budget = rls_row.result.total_cycles();
   const core::Combo combo = rls_row.combo;
 

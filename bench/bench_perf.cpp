@@ -8,6 +8,8 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/campaign.hpp"
 #include "core/param_select.hpp"
@@ -25,6 +27,8 @@
 #include "store/artifact_store.hpp"
 #include "store/checkpoint.hpp"
 #include "store/serde.hpp"
+#include "svc/request.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -342,6 +346,101 @@ BENCHMARK_CAPTURE(BM_CampaignCached, s298_cold, "s298", false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_CampaignCached, s298_warm, "s298", true)
     ->Unit(benchmark::kMillisecond);
+
+// Campaign-service throughput: one submit_batch of pinned-combo requests
+// driven through svc::CampaignService against a shared sharded store.
+// Modes: "cold" (store wiped before each batch — every leader runs a full
+// bounded campaign), "warm" (store pre-populated — executions are pure
+// artifact reads), "coalesced" (warm + every distinct request duplicated
+// 4x — single-flight dedup serves 3 of every 4 responses from the
+// leader's run without re-executing). requests/s is the headline; the
+// svc.coalesced_per_batch counter proves the dedup (BENCH_PR7.json).
+void BM_ServeThroughput(benchmark::State& state, const char* name,
+                        const char* mode_str, unsigned workers) {
+  const std::string_view mode(mode_str);
+  const bool cold = mode == "cold";
+  const unsigned dups = mode == "coalesced" ? 4 : 1;
+  // Four distinct pinned (L_A, L_B, N) combos; bounded Procedure 2 and
+  // classification so an execution measures the service + store
+  // machinery, not open-ended ATPG.
+  static constexpr std::uint64_t kPins[4][3] = {
+      {8, 16, 16}, {8, 16, 64}, {8, 32, 16}, {8, 32, 64}};
+  const auto make_request = [&](std::size_t combo, unsigned dup) {
+    svc::CampaignRequest req;
+    req.id = "b" + std::to_string(combo) + "d" + std::to_string(dup);
+    req.circuit = name;
+    req.la = kPins[combo][0];
+    req.lb = kPins[combo][1];
+    req.n = kPins[combo][2];
+    req.options.p2.sim_threads = 1;
+    req.options.p2.max_iterations = 4;
+    req.options.p2.n_same_fc = 1;
+    req.options.detect.random_rounds = 8;
+    req.options.detect.backtrack_limit = 100;
+    return req;
+  };
+  const auto make_batch = [&] {
+    std::vector<svc::CampaignRequest> batch;
+    for (std::size_t combo = 0; combo < 4; ++combo) {
+      for (unsigned dup = 0; dup < dups; ++dup) {
+        batch.push_back(make_request(combo, dup));
+      }
+    }
+    return batch;
+  };
+  const BenchScratch scratch("serve");
+  svc::ServiceConfig cfg;
+  cfg.store_dir = scratch.path;
+  cfg.workers = workers;
+  cfg.queue_capacity = 64;
+  if (!cold) {  // pre-populate the store so timed executions are reads
+    svc::CampaignService warmup(cfg);
+    for (auto& fu : warmup.submit_batch(make_batch())) fu.get();
+  }
+  std::uint64_t requests = 0;
+  double coalesced_per_batch = 0.0;
+  for (auto _ : state) {
+    if (cold) {
+      state.PauseTiming();
+      std::error_code ec;
+      std::filesystem::remove_all(scratch.path, ec);
+      state.ResumeTiming();
+    }
+    svc::CampaignService service(cfg);
+    auto futures = service.submit_batch(make_batch());
+    std::size_t ok = 0;
+    for (auto& fu : futures) ok += fu.get().ok ? 1 : 0;
+    service.shutdown();
+    requests += futures.size();
+    coalesced_per_batch =
+        static_cast<double>(service.counters().value("svc.coalesced"));
+    if (ok != futures.size()) {
+      state.SkipWithError("campaign request failed");
+      break;
+    }
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["batch_requests"] = static_cast<double>(4 * dups);
+  state.counters["svc.coalesced_per_batch"] = coalesced_per_batch;
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+// MeasureProcessCPUTime so the rate counters see the scheduler/worker
+// threads' work, not just the submitting thread's.
+BENCHMARK_CAPTURE(BM_ServeThroughput, s298_cold_w1, "s298", "cold", 1)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeThroughput, s298_warm_w1, "s298", "warm", 1)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeThroughput, s298_warm_w4, "s298", "warm", 4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeThroughput, s298_coalesced_w4, "s298", "coalesced",
+                  4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeThroughput, s5378_warm_w1, "s5378", "warm", 1)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeThroughput, s5378_coalesced_w4, "s5378",
+                  "coalesced", 4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_CombFaultSimRound(benchmark::State& state, const char* name) {
   Fixture& f = fixture(name);

@@ -28,13 +28,14 @@ int main(int argc, char** argv) {
     if (!only.empty() && only != name) continue;
     const Stopwatch clock;
     core::Workbench wb(name);
-    core::Procedure2Options opt;
+    core::CampaignOptions opt;
     // Big circuits get a bounded search so the default sweep stays
     // tractable on one core; pass --circuit=<name> for a focused deep run.
     const bool big = wb.nl().num_gates() > 2200;
-    const std::size_t attempts = quick ? 4 : (big ? 6 : 12);
-    opt.max_iterations = quick ? 10 : (big ? 20 : 32);
-    const core::ExperimentRow row = run_first_complete(wb, opt, 6, attempts);
+    opt.max_attempts = quick ? 4 : (big ? 6 : 12);
+    opt.p2.max_iterations = quick ? 10 : (big ? 20 : 32);
+    core::RunContext ctx(opt);
+    const core::ExperimentRow row = run_first_complete(wb, ctx);
     table.add_row(format_row(row, /*with_initial=*/true));
     std::fprintf(stderr, "[%s done in %.1fs]\n", name.c_str(), clock.seconds());
   }

@@ -39,11 +39,12 @@ int main(int argc, char** argv) {
   for (const Entry& e : entries) {
     const Stopwatch clock;
     core::Workbench wb(e.circuit);
-    core::Procedure2Options opt;
-    opt.max_iterations = quick ? 12 : 24;
+    core::CampaignOptions opt;
+    opt.p2.max_iterations = quick ? 12 : 24;
     for (const auto& [la, lb, n] : e.combos) {
+      core::RunContext ctx(opt);
       const core::ExperimentRow row =
-          run_single_combo(wb, core::Combo{la, lb, n, 0}, opt);
+          run_single_combo(wb, core::Combo{la, lb, n, 0}, ctx);
       table.add_row(format_row(row, /*with_initial=*/true));
     }
     table.add_separator();

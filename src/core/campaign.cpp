@@ -10,16 +10,15 @@
 namespace rls::core {
 
 Workbench::Workbench(std::string_view circuit_name,
-                     const atpg::DetectabilityOptions& det_opt)
-    : Workbench(gen::make_circuit(circuit_name), det_opt) {}
+                     const CampaignOptions& opts)
+    : Workbench(gen::make_circuit(circuit_name), opts) {}
 
-Workbench::Workbench(netlist::Netlist nl,
-                     const atpg::DetectabilityOptions& det_opt)
+Workbench::Workbench(netlist::Netlist nl, const CampaignOptions& opts)
     : nl_(std::make_unique<netlist::Netlist>(std::move(nl))) {
   cc_ = std::make_unique<sim::CompiledCircuit>(*nl_);
   universe_ = fault::collapsed_universe(*nl_);
   ts0_seed_ = rls::rand::hash_name(nl_->name()) ^ 0x7507507507ull;
-  classify(det_opt);
+  classify(opts.detect);
 }
 
 void Workbench::classify(const atpg::DetectabilityOptions& det_opt) {
@@ -106,26 +105,6 @@ ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
                   row.result.total_cycles(), ctx.elapsed_ms());
   ctx.flush();
   return row;
-}
-
-ExperimentRow run_first_complete(const Workbench& wb,
-                                 const Procedure2Options& p2_opt,
-                                 std::size_t max_combos_on_failure,
-                                 std::size_t max_attempts) {
-  CampaignOptions opts;
-  opts.p2 = p2_opt;
-  opts.max_combos_on_failure = max_combos_on_failure;
-  opts.max_attempts = max_attempts;
-  RunContext ctx(std::move(opts));
-  return run_first_complete(wb, ctx);
-}
-
-ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
-                               const Procedure2Options& p2_opt) {
-  CampaignOptions opts;
-  opts.p2 = p2_opt;
-  RunContext ctx(std::move(opts));
-  return run_single_combo(wb, combo, ctx);
 }
 
 }  // namespace rls::core

@@ -24,19 +24,14 @@ namespace rls::core {
 
 class Workbench {
  public:
-  /// Builds the named circuit (registry lookup) and classifies its faults.
+  /// Builds the named circuit (registry lookup) and classifies its faults
+  /// with opts.detect. CampaignOptions is the one options front door —
+  /// the pre-PR 7 DetectabilityOptions overloads are gone.
   explicit Workbench(std::string_view circuit_name,
-                     const atpg::DetectabilityOptions& det_opt = {});
+                     const CampaignOptions& opts = {});
 
   /// Wraps an existing netlist (takes ownership).
-  explicit Workbench(netlist::Netlist nl,
-                     const atpg::DetectabilityOptions& det_opt = {});
-
-  /// CampaignOptions-driven construction (uses opts.detect).
-  Workbench(std::string_view circuit_name, const CampaignOptions& opts)
-      : Workbench(circuit_name, opts.detect) {}
-  Workbench(netlist::Netlist nl, const CampaignOptions& opts)
-      : Workbench(std::move(nl), opts.detect) {}
+  explicit Workbench(netlist::Netlist nl, const CampaignOptions& opts = {});
 
   [[nodiscard]] const netlist::Netlist& nl() const noexcept { return *nl_; }
   [[nodiscard]] const sim::CompiledCircuit& cc() const noexcept { return *cc_; }
@@ -98,17 +93,5 @@ ExperimentRow run_first_complete(const Workbench& wb, RunContext& ctx);
 /// Table 8 policy: run one given combination through the front door.
 ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
                                RunContext& ctx);
-
-/// Forwarding overload for the pre-RunContext signature (positional
-/// max_combos_on_failure / max_attempts); behavior is identical to the
-/// RunContext form with no observers attached.
-ExperimentRow run_first_complete(const Workbench& wb,
-                                 const Procedure2Options& p2_opt,
-                                 std::size_t max_combos_on_failure = 6,
-                                 std::size_t max_attempts = 0);
-
-/// Forwarding overload for the pre-RunContext signature.
-ExperimentRow run_single_combo(const Workbench& wb, const Combo& combo,
-                               const Procedure2Options& p2_opt);
 
 }  // namespace rls::core

@@ -98,6 +98,15 @@ class RunContext {
   void set_attempt(std::uint64_t a) noexcept { attempt_ = a; }
   [[nodiscard]] std::uint64_t attempt() const noexcept { return attempt_; }
 
+  /// Request scope: the campaign service stamps the id of the request
+  /// this context executes for (empty outside the service). It is
+  /// identification only and is never serialized into the event stream —
+  /// coalesced subscribers must be able to share one byte-exact stream.
+  void set_request_id(std::string id) { request_id_ = std::move(id); }
+  [[nodiscard]] const std::string& request_id() const noexcept {
+    return request_id_;
+  }
+
   void emit(const obs::TraceEvent& ev) {
     if (sink_) sink_->write(ev);
   }
@@ -147,6 +156,7 @@ class RunContext {
   obs::CounterRegistry counters_;
   bool timing_ = true;
   std::uint64_t attempt_ = 0;
+  std::string request_id_;
   std::chrono::steady_clock::time_point start_;
 };
 

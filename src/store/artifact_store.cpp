@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -42,6 +43,42 @@ std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
   return out;
 }
 
+/// Parses the 16-hex-digit digest out of a "<kind>-<16 hex>.rlsa"
+/// filename. nullopt when the name is not a well-formed artifact name.
+std::optional<std::uint64_t> digest_from_filename(const std::string& name) {
+  constexpr std::size_t kSuffix = 5;  // ".rlsa"
+  constexpr std::size_t kHex = 16;
+  if (name.size() < kSuffix + kHex + 2) return std::nullopt;  // "x-" prefix
+  if (name.compare(name.size() - kSuffix, kSuffix, ".rlsa") != 0) {
+    return std::nullopt;
+  }
+  const std::size_t hex_begin = name.size() - kSuffix - kHex;
+  if (name[hex_begin - 1] != '-') return std::nullopt;
+  std::uint64_t digest = 0;
+  for (std::size_t i = hex_begin; i < hex_begin + kHex; ++i) {
+    const char c = name[i];
+    digest <<= 4;
+    if (c >= '0' && c <= '9') {
+      digest |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digest |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return digest;
+}
+
+void fsync_dir(const std::string& dir) {
+  // Best effort — the data is safe either way, the entry merely might
+  // need the journal replay.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
 }  // namespace
 
 std::uint64_t ArtifactKey::digest() const {
@@ -71,20 +108,62 @@ ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
   if (!fs::is_directory(dir_)) {
     throw StoreError(dir_ + ": store path is not a directory");
   }
+  // Migrate a flat (pre-shard) store: every well-formed artifact at the
+  // root moves into its shard via same-filesystem rename(2). Orphans and
+  // unrecognized files stay at the root (gc still sweeps root orphans).
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) continue;
+    const std::optional<std::uint64_t> digest = digest_from_filename(name);
+    if (!digest) continue;
+    const std::string sdir =
+        shard_dir(static_cast<unsigned>(*digest >> 56));
+    fs::create_directories(sdir, ec);
+    if (ec) {
+      throw StoreError(sdir + ": cannot create shard directory: " +
+                       ec.message());
+    }
+    fs::rename(entry.path(), sdir + "/" + name, ec);
+    if (ec) {
+      throw StoreError(entry.path().string() +
+                       ": flat-store migration failed: " + ec.message());
+    }
+    ++migrated_;
+  }
+  if (migrated_ > 0) fsync_dir(dir_);
 }
 
-std::string ArtifactStore::path_for(const ArtifactKey& key) const {
-  return dir_ + "/" + key.filename();
+unsigned ArtifactStore::shard_of(const ArtifactKey& key) {
+  return static_cast<unsigned>(key.digest() >> 56);
+}
+
+std::string ArtifactStore::shard_dir(unsigned shard) const {
+  char hh[3];
+  std::snprintf(hh, sizeof hh, "%02x", shard & 0xffu);
+  return dir_ + "/shards/" + hh;
+}
+
+std::string ArtifactStore::path(const ArtifactKey& key) const {
+  return shard_dir(shard_of(key)) + "/" + key.filename();
 }
 
 std::uint64_t ArtifactStore::put(const ArtifactKey& key,
                                  std::span<const std::uint8_t> body) {
   const std::vector<std::uint8_t> framed = frame(key.digest(), body);
-  const std::string path = path_for(key);
+  const std::string sdir = shard_dir(shard_of(key));
+  std::error_code ec;
+  fs::create_directories(sdir, ec);  // lazily create the shard
+  if (ec) {
+    throw StoreError(sdir + ": cannot create shard directory: " +
+                     ec.message());
+  }
+  const std::string final_path = path(key);
   // Unique temp name per (process, call): concurrent speculative writers
   // never collide, and a crash leaves only an invisible orphan.
   const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      final_path + ".tmp." +
+      std::to_string(static_cast<long>(::getpid())) + "." +
       std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd < 0) {
@@ -110,45 +189,53 @@ std::uint64_t ArtifactStore::put(const ArtifactKey& key,
     throw StoreError(tmp + ": fsync failed: " + msg);
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
     const std::string msg = errno_text();
     ::unlink(tmp.c_str());
-    throw StoreError(path + ": atomic rename failed: " + msg);
+    throw StoreError(final_path + ": atomic rename failed: " + msg);
   }
-  // Persist the directory entry too (best effort — the data is safe either
-  // way, the entry merely might need the journal replay).
-  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
+  fsync_dir(sdir);
   return framed.size();
 }
 
 std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
     const ArtifactKey& key) const {
-  const std::string path = path_for(key);
-  std::optional<std::vector<std::uint8_t>> framed = read_file(path);
+  const std::string p = path(key);
+  std::optional<std::vector<std::uint8_t>> framed = read_file(p);
   if (!framed) return std::nullopt;
-  std::vector<std::uint8_t> body = unframe(*framed, key.digest(), path);
+  std::vector<std::uint8_t> body = unframe(*framed, key.digest(), p);
   // LRU signal for gc(): touch on successful load.
   std::error_code ec;
-  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
   return body;
 }
 
 bool ArtifactStore::contains(const ArtifactKey& key) const {
   std::error_code ec;
-  return fs::exists(path_for(key), ec);
+  return fs::exists(path(key), ec);
+}
+
+std::vector<std::string> ArtifactStore::artifact_dirs() const {
+  std::vector<std::string> dirs;
+  dirs.push_back(dir_);  // legacy root (orphans of pre-shard stores)
+  std::error_code ec;
+  const std::string shards_root = dir_ + "/shards";
+  for (const auto& entry : fs::directory_iterator(shards_root, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path().string());
+  }
+  std::sort(dirs.begin() + 1, dirs.end());
+  return dirs;
 }
 
 std::uint64_t ArtifactStore::total_bytes() const {
   std::uint64_t total = 0;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() == ".rlsa") {
-      total += entry.file_size();
+  for (const std::string& d : artifact_dirs()) {
+    for (const auto& entry : fs::directory_iterator(d, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() == ".rlsa") {
+        total += entry.file_size();
+      }
     }
   }
   return total;
@@ -157,13 +244,18 @@ std::uint64_t ArtifactStore::total_bytes() const {
 std::size_t ArtifactStore::size() const {
   std::size_t n = 0;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".rlsa") ++n;
+  for (const std::string& d : artifact_dirs()) {
+    for (const auto& entry : fs::directory_iterator(d, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".rlsa") {
+        ++n;
+      }
+    }
   }
   return n;
 }
 
-ArtifactStore::GcStats ArtifactStore::gc(std::uint64_t max_bytes) {
+ArtifactStore::GcStats ArtifactStore::gc_dirs(
+    const std::vector<std::string>& dirs, std::uint64_t max_bytes) {
   struct Item {
     fs::path path;
     std::uint64_t size;
@@ -172,19 +264,39 @@ ArtifactStore::GcStats ArtifactStore::gc(std::uint64_t max_bytes) {
   GcStats stats;
   std::vector<Item> items;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
-    if (name.find(".tmp.") != std::string::npos) {
-      // Crash orphan from an interrupted put(): always collectable.
-      stats.removed_bytes += entry.file_size(ec);
-      ++stats.removed_files;
-      fs::remove(entry.path(), ec);
-      continue;
+  const fs::file_time_type orphan_cutoff =
+      fs::file_time_type::clock::now() -
+      std::chrono::seconds(kOrphanGraceSeconds);
+  for (const std::string& d : dirs) {
+    // Every filesystem probe goes through the error_code overloads: a
+    // concurrent put/gc may remove an entry mid-iteration, and a vanished
+    // entry is simply not a candidate — never an exception.
+    fs::directory_iterator it(d, ec);
+    const fs::directory_iterator end;
+    for (; !ec && it != end; it.increment(ec)) {
+      const fs::directory_entry& entry = *it;
+      std::error_code item_ec;
+      if (!entry.is_regular_file(item_ec) || item_ec) continue;
+      const std::string name = entry.path().filename().string();
+      const std::uint64_t size = entry.file_size(item_ec);
+      const fs::file_time_type mtime = entry.last_write_time(item_ec);
+      if (item_ec) continue;
+      if (name.find(".tmp.") != std::string::npos) {
+        // A temp file past the grace window is a crash orphan from an
+        // interrupted put(); a fresh one may be an in-flight writer.
+        if (mtime < orphan_cutoff) {
+          fs::remove(entry.path(), item_ec);
+          if (!item_ec) {
+            stats.removed_bytes += size;
+            ++stats.removed_files;
+          }
+        }
+        continue;
+      }
+      if (entry.path().extension() != ".rlsa") continue;
+      items.push_back({entry.path(), size, mtime});
     }
-    if (entry.path().extension() != ".rlsa") continue;
-    items.push_back({entry.path(), entry.file_size(ec),
-                     entry.last_write_time(ec)});
+    ec.clear();
   }
   std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
     if (a.mtime != b.mtime) return a.mtime < b.mtime;
@@ -203,6 +315,15 @@ ArtifactStore::GcStats ArtifactStore::gc(std::uint64_t max_bytes) {
   }
   stats.kept_bytes = total;
   return stats;
+}
+
+ArtifactStore::GcStats ArtifactStore::gc(std::uint64_t max_bytes) {
+  return gc_dirs(artifact_dirs(), max_bytes);
+}
+
+ArtifactStore::GcStats ArtifactStore::gc_shard(unsigned shard,
+                                               std::uint64_t max_bytes) {
+  return gc_dirs({shard_dir(shard)}, max_bytes);
 }
 
 }  // namespace rls::store

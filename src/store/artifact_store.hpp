@@ -7,15 +7,29 @@
 // embedded in the frame header, so a renamed or cross-copied file is
 // rejected on load exactly like a corrupt one.
 //
+// Directory layout (since PR 7): artifacts live under
+// "<dir>/shards/<hh>/" where <hh> is the top byte of the key digest in
+// hex — the same two characters that follow "<kind>-" in the filename.
+// 256 shards bound per-directory entry counts at scale and give gc a
+// unit it can sweep incrementally (gc_shard) while writers land puts in
+// sibling shards. A store written by the flat PR 5/6 layout is migrated
+// on open: every well-formed "<kind>-<16 hex>.rlsa" at the root is
+// renamed into its shard (rename(2), same filesystem, crash-safe).
+//
 // Write protocol (crash safety): the framed artifact is written to a
-// uniquely named temp file in the same directory, flushed and fsync'd,
-// then atomically rename(2)'d over the final path. A crash at any point
-// leaves either the old artifact, the new artifact, or an invisible
-// "*.tmp.*" orphan — never a partially written artifact under the final
-// name. Orphans are swept by gc().
+// uniquely named temp file in the same shard directory, flushed and
+// fsync'd, then atomically rename(2)'d over the final path. A crash at
+// any point leaves either the old artifact, the new artifact, or an
+// invisible "*.tmp.*" orphan — never a partially written artifact under
+// the final name. Orphans are swept by gc()/gc_shard(), but only once
+// they are older than kOrphanGraceSeconds: a fresh "*.tmp.*" file may be
+// an in-flight put() racing the collector, and deleting it would make
+// that put's rename fail.
 //
 // gc(max_bytes) is LRU-ish: loads bump the artifact's mtime, and the
 // collector deletes oldest-first until the store fits the budget.
+// gc(max_bytes) applies the budget store-wide; gc_shard(shard,
+// max_bytes) applies it to one shard and never touches siblings.
 #pragma once
 
 #include <atomic>
@@ -48,11 +62,36 @@ struct ArtifactKey {
 
 class ArtifactStore {
  public:
-  /// Opens (creating if needed) the store directory. Throws StoreError if
-  /// the directory cannot be created or is not writable.
+  /// Shard fan-out. The shard index is the top byte of the key digest,
+  /// so a key's shard is also the first two hex characters of the digest
+  /// part of its filename.
+  static constexpr unsigned kNumShards = 256;
+  /// Minimum age before a "*.tmp.*" file counts as a crash orphan. Puts
+  /// complete in milliseconds; anything this old is dead.
+  static constexpr unsigned kOrphanGraceSeconds = 600;
+
+  /// Opens (creating if needed) the store directory and migrates any
+  /// flat-layout artifacts at the root into their shards. Throws
+  /// StoreError if the directory cannot be created or is not writable.
   explicit ArtifactStore(std::string dir);
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Shard index (0..255) an artifact with this key lives in.
+  [[nodiscard]] static unsigned shard_of(const ArtifactKey& key);
+  /// "<dir>/shards/<hh>" for a shard index (the directory may not exist
+  /// yet — shards are created lazily on first put).
+  [[nodiscard]] std::string shard_dir(unsigned shard) const;
+  /// Full on-disk path of the artifact for `key` (whether or not it
+  /// exists). Tests and tooling should use this instead of assuming the
+  /// layout.
+  [[nodiscard]] std::string path(const ArtifactKey& key) const;
+
+  /// Number of flat-layout artifacts moved into shards when this store
+  /// was opened.
+  [[nodiscard]] std::uint64_t migrated_files() const noexcept {
+    return migrated_;
+  }
 
   /// Frames and atomically persists `body` under `key` (overwrites).
   /// Returns the framed size in bytes. Thread-safe: concurrent writers
@@ -81,14 +120,26 @@ class ArtifactStore {
     std::uint64_t removed_bytes = 0;
     std::uint64_t kept_bytes = 0;
   };
-  /// Deletes temp orphans unconditionally, then oldest artifacts
-  /// (by mtime) until the store holds at most `max_bytes`.
+  /// Deletes temp orphans past the grace window (root and every shard),
+  /// then oldest artifacts (by mtime, store-wide) until the store holds
+  /// at most `max_bytes`.
   GcStats gc(std::uint64_t max_bytes);
+  /// Same contract restricted to one shard: orphans of that shard are
+  /// collected, then its oldest artifacts until the *shard* holds at
+  /// most `max_bytes`. Sibling shards are never read or modified, so
+  /// gc_shard can run concurrently with puts landing elsewhere.
+  GcStats gc_shard(unsigned shard, std::uint64_t max_bytes);
 
  private:
-  [[nodiscard]] std::string path_for(const ArtifactKey& key) const;
+  /// Sweep orphans + apply an LRU byte budget over the given directories.
+  GcStats gc_dirs(const std::vector<std::string>& dirs,
+                  std::uint64_t max_bytes);
+  /// Root + every existing shard directory (directories only; the root
+  /// is kept for legacy orphan sweep).
+  [[nodiscard]] std::vector<std::string> artifact_dirs() const;
 
   std::string dir_;
+  std::uint64_t migrated_ = 0;
   std::atomic<std::uint64_t> tmp_seq_{0};
 };
 

@@ -1,0 +1,46 @@
+// Minimal strict JSON for the campaign service wire format.
+//
+// The request/response schema is one flat object per line (numbers,
+// strings, booleans, and arrays of unsigned integers — no nested
+// objects), so this parser supports exactly that subset and rejects
+// everything else with a typed JsonError naming the offset. The emitter
+// side lives in request.cpp; append_json_string here is the shared
+// escaping primitive, matching obs::to_jsonl's rendering.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rls::svc {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed scalar-or-array value.
+struct JsonValue {
+  enum class Kind { kBool, kUint, kDouble, kString, kArray };
+  Kind kind = Kind::kUint;
+  bool b = false;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<std::uint64_t> arr;  ///< arrays carry unsigned ints only
+};
+
+/// Parsed object: fields in source order (duplicates rejected).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Parses one JSON object, rejecting trailing garbage. `origin` names the
+/// input (file, "stdin line 3", ...) in error messages.
+JsonObject parse_json_object(std::string_view text, const std::string& origin);
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace rls::svc

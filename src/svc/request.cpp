@@ -1,0 +1,252 @@
+#include "svc/request.hpp"
+
+#include "fault/seq_fsim.hpp"
+#include "store/serde.hpp"
+#include "svc/json.hpp"
+
+namespace rls::svc {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_field_name(std::string& out, std::string_view name) {
+  append_json_string(out, name);
+  out.push_back(':');
+}
+
+std::uint64_t get_uint(const JsonValue& v, const std::string& name,
+                       const std::string& origin) {
+  if (v.kind != JsonValue::Kind::kUint) {
+    throw RequestError(origin + ": field \"" + name +
+                       "\" must be an unsigned integer");
+  }
+  return v.u;
+}
+
+bool get_bool(const JsonValue& v, const std::string& name,
+              const std::string& origin) {
+  if (v.kind != JsonValue::Kind::kBool) {
+    throw RequestError(origin + ": field \"" + name + "\" must be a boolean");
+  }
+  return v.b;
+}
+
+const std::string& get_string(const JsonValue& v, const std::string& name,
+                              const std::string& origin) {
+  if (v.kind != JsonValue::Kind::kString) {
+    throw RequestError(origin + ": field \"" + name + "\" must be a string");
+  }
+  return v.s;
+}
+
+}  // namespace
+
+std::string CampaignRequest::canonical_json() const {
+  std::string out = "{";
+  append_field_name(out, "schema");
+  append_u64(out, kSchemaVersion);
+  out += ',';
+  append_field_name(out, "id");
+  append_json_string(out, id);
+  out += ',';
+  append_field_name(out, "circuit");
+  append_json_string(out, circuit);
+  const auto uint_field = [&out](std::string_view name, std::uint64_t v) {
+    out += ',';
+    append_field_name(out, name);
+    append_u64(out, v);
+  };
+  const auto bool_field = [&out](std::string_view name, bool v) {
+    out += ',';
+    append_field_name(out, name);
+    out += v ? "true" : "false";
+  };
+  uint_field("la", la);
+  uint_field("lb", lb);
+  uint_field("n", n);
+  out += ',';
+  append_field_name(out, "engine");
+  append_json_string(out, fault::engine_name(options.p2.engine));
+  uint_field("threads", options.p2.sim_threads);
+  uint_field("combo_jobs", options.combo_jobs);
+  out += ',';
+  append_field_name(out, "d1_order");
+  out += '[';
+  for (std::size_t i = 0; i < options.p2.d1_order.size(); ++i) {
+    if (i > 0) out += ',';
+    append_u64(out, options.p2.d1_order[i]);
+  }
+  out += ']';
+  uint_field("n_same_fc", options.p2.n_same_fc);
+  uint_field("max_iterations", options.p2.max_iterations);
+  uint_field("base_seed", options.p2.base_seed);
+  bool_field("reseed_per_test", options.p2.reseed_per_test);
+  uint_field("detect_rounds", options.detect.random_rounds);
+  uint_field("detect_seed", options.detect.seed);
+  uint_field("backtrack_limit",
+             static_cast<std::uint64_t>(options.detect.backtrack_limit));
+  uint_field("max_combos_on_failure", options.max_combos_on_failure);
+  uint_field("max_attempts", options.max_attempts);
+  bool_field("timing", timing);
+  out += '}';
+  return out;
+}
+
+CampaignRequest parse_request(std::string_view text,
+                              const std::string& origin) {
+  const JsonObject obj = parse_json_object(text, origin);
+  CampaignRequest req;
+  std::optional<std::uint32_t> schema;
+  for (const auto& [name, value] : obj) {
+    if (name == "schema") {
+      schema = static_cast<std::uint32_t>(get_uint(value, name, origin));
+    } else if (name == "id") {
+      req.id = get_string(value, name, origin);
+    } else if (name == "circuit") {
+      req.circuit = get_string(value, name, origin);
+    } else if (name == "la") {
+      req.la = get_uint(value, name, origin);
+    } else if (name == "lb") {
+      req.lb = get_uint(value, name, origin);
+    } else if (name == "n") {
+      req.n = get_uint(value, name, origin);
+    } else if (name == "engine") {
+      const std::string& engine = get_string(value, name, origin);
+      const std::optional<fault::Engine> e = fault::parse_engine(engine);
+      if (!e) {
+        throw RequestError(origin + ": \"engine\" expects one of " +
+                           fault::engine_choices() + ", got \"" + engine +
+                           "\"");
+      }
+      req.options.p2.engine = *e;
+    } else if (name == "threads") {
+      req.options.p2.sim_threads =
+          static_cast<unsigned>(get_uint(value, name, origin));
+    } else if (name == "combo_jobs") {
+      req.options.combo_jobs =
+          static_cast<unsigned>(get_uint(value, name, origin));
+    } else if (name == "d1_order") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        throw RequestError(origin +
+                           ": field \"d1_order\" must be an array of "
+                           "unsigned integers");
+      }
+      if (value.arr.empty()) {
+        throw RequestError(origin + ": \"d1_order\" must not be empty");
+      }
+      req.options.p2.d1_order.clear();
+      for (const std::uint64_t d : value.arr) {
+        req.options.p2.d1_order.push_back(static_cast<std::uint32_t>(d));
+      }
+    } else if (name == "n_same_fc") {
+      req.options.p2.n_same_fc =
+          static_cast<std::uint32_t>(get_uint(value, name, origin));
+    } else if (name == "max_iterations") {
+      req.options.p2.max_iterations =
+          static_cast<std::uint32_t>(get_uint(value, name, origin));
+    } else if (name == "base_seed") {
+      req.options.p2.base_seed = get_uint(value, name, origin);
+    } else if (name == "reseed_per_test") {
+      req.options.p2.reseed_per_test = get_bool(value, name, origin);
+    } else if (name == "detect_rounds") {
+      req.options.detect.random_rounds =
+          static_cast<std::size_t>(get_uint(value, name, origin));
+    } else if (name == "detect_seed") {
+      req.options.detect.seed = get_uint(value, name, origin);
+    } else if (name == "backtrack_limit") {
+      req.options.detect.backtrack_limit =
+          static_cast<int>(get_uint(value, name, origin));
+    } else if (name == "max_combos_on_failure") {
+      req.options.max_combos_on_failure =
+          static_cast<std::size_t>(get_uint(value, name, origin));
+    } else if (name == "max_attempts") {
+      req.options.max_attempts =
+          static_cast<std::size_t>(get_uint(value, name, origin));
+    } else if (name == "timing") {
+      req.timing = get_bool(value, name, origin);
+    } else {
+      throw RequestError(origin + ": unknown field \"" + name +
+                         "\" (schema v" + std::to_string(
+                             CampaignRequest::kSchemaVersion) +
+                         " rejects unrecognized fields)");
+    }
+  }
+  if (!schema) {
+    throw RequestError(origin + ": missing required field \"schema\"");
+  }
+  if (*schema > CampaignRequest::kSchemaVersion) {
+    throw RequestError(origin + ": schema v" + std::to_string(*schema) +
+                       " is newer than this binary (supports <= v" +
+                       std::to_string(CampaignRequest::kSchemaVersion) + ")");
+  }
+  if (req.circuit.empty()) {
+    throw RequestError(origin + ": missing required field \"circuit\"");
+  }
+  const bool any = (req.la != 0) || (req.lb != 0) || (req.n != 0);
+  const bool all = (req.la != 0) && (req.lb != 0) && (req.n != 0);
+  if (any && !all) {
+    throw RequestError(origin +
+                       ": la/lb/n pin a single combination and must be "
+                       "given together (or all omitted for the "
+                       "first-complete sweep)");
+  }
+  return req;
+}
+
+std::uint64_t coalesce_key(const CampaignRequest& req) {
+  CampaignRequest identity = req;
+  identity.id.clear();
+  identity.options.p2.sim_threads = 0;
+  identity.options.combo_jobs = 1;
+  const std::string canon = identity.canonical_json();
+  return store::fnv1a64(canon.data(), canon.size());
+}
+
+std::string CampaignResponse::to_json() const {
+  std::string out = "{";
+  append_field_name(out, "schema");
+  append_u64(out, kSchemaVersion);
+  out += ',';
+  append_field_name(out, "id");
+  append_json_string(out, id);
+  out += ',';
+  append_field_name(out, "ok");
+  out += ok ? "true" : "false";
+  if (!ok) {
+    out += ',';
+    append_field_name(out, "error");
+    append_json_string(out, error);
+  }
+  out += ',';
+  append_field_name(out, "coalesced");
+  out += coalesced ? "true" : "false";
+  if (ok) {
+    out += ',';
+    append_field_name(out, "circuit");
+    append_json_string(out, circuit);
+    const auto uint_field = [&out](std::string_view name, std::uint64_t v) {
+      out += ',';
+      append_field_name(out, name);
+      append_u64(out, v);
+    };
+    uint_field("la", la);
+    uint_field("lb", lb);
+    uint_field("n", n);
+    uint_field("ncyc0", ncyc0);
+    out += ',';
+    append_field_name(out, "complete");
+    out += complete ? "true" : "false";
+    uint_field("detected", detected);
+    uint_field("targets", targets);
+    uint_field("attempts", attempts);
+    uint_field("applications", applications);
+    uint_field("total_cycles", total_cycles);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace rls::svc

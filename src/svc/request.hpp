@@ -1,0 +1,113 @@
+// CampaignRequest / CampaignResponse — the typed wire contract of the
+// campaign service (DESIGN.md §12).
+//
+// A CampaignRequest is the one options front door: it carries everything
+// `rls run` can express — the circuit, an optional pinned (L_A, L_B, N)
+// combination, and the full core::CampaignOptions surface — as a flat,
+// versioned JSON object. `rls run`, `rls batch` and `rls serve` all build
+// one and hand it to the CampaignService, so the CLI surfaces cannot
+// drift from the API.
+//
+// Schema versioning rules:
+//   * "schema" is required on the wire and must be <= kSchemaVersion;
+//     unknown (future) versions are rejected, older ones parse with
+//     defaults for fields introduced since.
+//   * Within a version, every field is optional (absent = default) and
+//     unknown field names are a hard error — a typo'd knob must not
+//     silently fall back to defaults.
+//   * Renaming or re-typing a field requires a version bump.
+//
+// canonical_json() renders every field explicitly, in schema order — two
+// requests mean the same campaign iff their canonical forms are equal,
+// modulo the identity fields excluded by coalesce_key() below.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/run_context.hpp"
+#include "obs/trace.hpp"
+
+namespace rls::svc {
+
+class RequestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Client-visible request identity. Assigned by the submitter ("r0",
+/// "r1", ... when absent); echoed on the response and used to name the
+/// per-request stream file. Never part of the execution identity.
+using RequestId = std::string;
+
+struct CampaignRequest {
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  RequestId id;          ///< echoed on the response (assigned if empty)
+  std::string circuit;   ///< registry name or .bench path
+  /// Pinned combination: all three nonzero = run_single_combo; all three
+  /// zero = the first-complete sweep. Mixed is a parse error.
+  std::uint64_t la = 0, lb = 0, n = 0;
+  core::CampaignOptions options;
+  /// Wall-clock stamping in the stream (default off: deterministic,
+  /// coalescible streams; a timing=true request never coalesces with a
+  /// timing=false one).
+  bool timing = false;
+
+  /// All fields, explicit, in schema order, one line, no trailing \n.
+  [[nodiscard]] std::string canonical_json() const;
+};
+
+/// Parses one request object (strict: see versioning rules above).
+/// `origin` names the input in errors.
+CampaignRequest parse_request(std::string_view text,
+                              const std::string& origin);
+
+/// Execution identity for single-flight coalescing: the FNV-1a digest of
+/// the canonical form with the schedule-only fields (id, threads,
+/// combo_jobs) neutralized — those change how fast a campaign runs, never
+/// its results or stream bytes, so requests differing only there share
+/// one execution.
+[[nodiscard]] std::uint64_t coalesce_key(const CampaignRequest& req);
+
+struct CampaignResponse {
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  /// One applied TS(I, D_1) set (mirrors core::AppliedSet; lets `rls run`
+  /// print its per-application report without re-parsing the stream).
+  struct AppliedRow {
+    std::uint32_t iteration = 0, d1 = 0;
+    std::uint64_t detected = 0, cycles = 0;
+  };
+
+  RequestId id;
+  bool ok = false;
+  std::string error;      ///< set when !ok ("queue_full", parse/run errors)
+  bool coalesced = false; ///< this response shared another request's run
+
+  // Result row (valid when ok).
+  std::string circuit;
+  std::uint64_t la = 0, lb = 0, n = 0, ncyc0 = 0;
+  bool complete = false;
+  std::uint64_t detected = 0, targets = 0, attempts = 0, applications = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t ts0_detected = 0;
+  double ls = 0.0;        ///< average limited-scan units per vector
+  std::vector<AppliedRow> applied;
+
+  /// The request's deterministic JSONL event stream — byte-identical to a
+  /// solo `rls run` of the same options against the same store state.
+  std::string stream;
+  /// Snapshot of the execution's counters (fsim.*, store.*, sweep.*).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  /// One-line JSON envelope (without the stream; that travels to its own
+  /// sink/file).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace rls::svc

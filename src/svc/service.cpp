@@ -1,0 +1,300 @@
+#include "svc/service.hpp"
+
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "core/campaign.hpp"
+#include "core/run_context.hpp"
+#include "gen/registry.hpp"
+#include "netlist/bench_io.hpp"
+#include "store/checkpoint.hpp"
+
+namespace rls::svc {
+
+namespace {
+
+/// Accumulates the deterministic JSONL stream in memory, byte-identical
+/// to what obs::JsonlSink writes to a file for the same events.
+class StringSink final : public obs::TraceSink {
+ public:
+  void write(const obs::TraceEvent& ev) override {
+    out_ += obs::to_jsonl(ev);
+    out_.push_back('\n');
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+netlist::Netlist load_circuit(const std::string& which) {
+  if (gen::is_known_circuit(which)) return gen::make_circuit(which);
+  if (!std::ifstream(which).good()) {
+    throw RequestError(
+        "'" + which +
+        "' is neither a known circuit (see `rls list`) nor a readable "
+        ".bench file");
+  }
+  return netlist::load_bench_file(which);
+}
+
+CampaignResponse error_response(RequestId id, std::string what) {
+  CampaignResponse resp;
+  resp.id = std::move(id);
+  resp.ok = false;
+  resp.error = std::move(what);
+  return resp;
+}
+
+}  // namespace
+
+CampaignService::CampaignService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    cfg_.workers = hw > 0 ? hw : 1;
+  }
+  if (!cfg_.store_dir.empty()) {
+    astore_ = std::make_unique<store::ArtifactStore>(cfg_.store_dir);
+  }
+  if (cfg_.autostart) start();
+}
+
+CampaignService::~CampaignService() { shutdown(); }
+
+void CampaignService::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  scheduler_ = std::thread([this] {
+    // step() never throws (every execution is fenced), but the pool's
+    // first-exception rethrow must not escape a detached-context thread.
+    try {
+      pool_.run_tasks(cfg_.workers, [this](unsigned w) { return step(w); });
+    } catch (...) {
+    }
+  });
+}
+
+std::shared_future<CampaignResponse> CampaignService::submit_locked(
+    CampaignRequest&& req, obs::ProgressObserver* progress) {
+  if (stopping_) throw ServiceStoppedError();
+  if (req.id.empty()) req.id = "r" + std::to_string(next_id_++);
+
+  Subscriber sub;
+  sub.id = req.id;
+  sub.promise = std::make_shared<std::promise<CampaignResponse>>();
+  sub.future = sub.promise->get_future().share();
+
+  const std::uint64_t key = coalesce_key(req);
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    sub.coalesced = true;
+    it->second->subscribers.push_back(sub);
+    counters_.add("svc.coalesced", 1);
+    return sub.future;
+  }
+  if (queue_.size() >= cfg_.queue_capacity) {
+    counters_.add("svc.rejected", 1);
+    throw QueueFullError(sub.id);
+  }
+  std::shared_future<CampaignResponse> future = sub.future;
+  auto ex = std::make_shared<Execution>();
+  ex->key = key;
+  ex->leader_id = req.id;
+  ex->progress = progress;
+  ex->req = std::move(req);
+  ex->subscribers.push_back(std::move(sub));
+  inflight_.emplace(key, ex);
+  queue_.push_back(std::move(ex));
+  counters_.add("svc.queued", 1);
+  cv_.notify_one();
+  return future;
+}
+
+std::shared_future<CampaignResponse> CampaignService::submit(
+    CampaignRequest req, obs::ProgressObserver* progress) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return submit_locked(std::move(req), progress);
+}
+
+std::vector<std::shared_future<CampaignResponse>>
+CampaignService::submit_batch(std::vector<CampaignRequest> reqs) {
+  std::vector<std::shared_future<CampaignResponse>> futures;
+  futures.reserve(reqs.size());
+  std::lock_guard<std::mutex> lk(mu_);
+  for (CampaignRequest& req : reqs) {
+    try {
+      futures.push_back(submit_locked(std::move(req), nullptr));
+    } catch (const std::exception& e) {
+      auto p = std::make_shared<std::promise<CampaignResponse>>();
+      auto f = p->get_future().share();
+      p->set_value(error_response(req.id, e.what()));
+      futures.push_back(std::move(f));
+    }
+  }
+  cv_.notify_all();
+  return futures;
+}
+
+CampaignResponse CampaignService::run(CampaignRequest req,
+                                      obs::ProgressObserver* progress) {
+  start();
+  return submit(std::move(req), progress).get();
+}
+
+bool CampaignService::step(unsigned /*worker*/) {
+  std::shared_ptr<Execution> ex;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // stopping and drained: park
+    ex = queue_.front();
+    queue_.pop_front();
+    counters_.add("svc.admitted", 1);
+  }
+  CampaignResponse base;
+  try {
+    base = execute(*ex);
+  } catch (const std::exception& e) {
+    base = error_response(ex->leader_id, e.what());
+  } catch (...) {
+    base = error_response(ex->leader_id, "unknown execution error");
+  }
+  finish(ex, std::move(base));
+  return true;
+}
+
+CampaignResponse CampaignService::execute(const Execution& ex) {
+  CampaignResponse resp;
+  try {
+    core::RunContext ctx(ex.req.options);
+    // Service workers multiply: without an explicit thread count, keep
+    // each execution's inner fault simulation serial so workers x
+    // sim_threads does not oversubscribe the machine. (Thread counts
+    // never change results or stream bytes.)
+    if (ctx.options.p2.sim_threads == 0 &&
+        (cfg_.workers > 1 || ctx.options.combo_jobs != 1)) {
+      ctx.options.p2.sim_threads = 1;
+    }
+    ctx.set_timing(ex.req.timing);
+    ctx.set_request_id(ex.leader_id);
+    if (ex.progress != nullptr) ctx.set_progress(ex.progress);
+    StringSink sink;
+    ctx.set_sink(&sink);
+
+    core::Workbench wb(load_circuit(ex.req.circuit), ctx.options);
+    std::unique_ptr<store::CampaignStore> cstore;
+    if (astore_) {
+      cstore = std::make_unique<store::CampaignStore>(
+          *astore_, wb.nl(), wb.target_faults(), cfg_.resume);
+      ctx.set_store(cstore.get());
+    }
+    const core::ExperimentRow row =
+        (ex.req.la != 0 && ex.req.lb != 0 && ex.req.n != 0)
+            ? core::run_single_combo(
+                  wb,
+                  core::Combo{static_cast<std::size_t>(ex.req.la),
+                              static_cast<std::size_t>(ex.req.lb),
+                              static_cast<std::size_t>(ex.req.n), 0},
+                  ctx)
+            : core::run_first_complete(wb, ctx);
+    ctx.emit_counters();
+
+    resp.ok = true;
+    resp.circuit = row.circuit;
+    resp.la = row.combo.l_a;
+    resp.lb = row.combo.l_b;
+    resp.n = row.combo.n;
+    resp.ncyc0 = row.combo.ncyc0;
+    resp.complete = row.found_complete;
+    resp.detected = row.result.total_detected;
+    resp.targets = row.target_faults;
+    resp.attempts = row.attempts;
+    resp.applications = row.result.num_applications();
+    resp.total_cycles = row.result.total_cycles();
+    resp.ts0_detected = row.result.ts0_detected;
+    resp.ls = row.result.average_limited_scan_units();
+    resp.applied.reserve(row.result.applied.size());
+    for (const core::AppliedSet& a : row.result.applied) {
+      resp.applied.push_back({a.iteration, a.d1, a.detected, a.cycles});
+    }
+    resp.stream = sink.take();
+    resp.counters = ctx.counters().snapshot();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      counters_.merge(ctx.counters());
+    }
+  } catch (const std::exception& e) {
+    resp = error_response(ex.leader_id, e.what());
+  }
+  return resp;
+}
+
+void CampaignService::finish(const std::shared_ptr<Execution>& ex,
+                             CampaignResponse base) {
+  std::vector<Subscriber> subs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.erase(ex->key);
+    subs = std::move(ex->subscribers);
+  }
+  for (Subscriber& sub : subs) {
+    CampaignResponse resp = base;
+    resp.id = sub.id;
+    resp.coalesced = sub.coalesced;
+    try {
+      sub.promise->set_value(std::move(resp));
+    } catch (const std::future_error&) {
+      // Already satisfied (double shutdown): nothing to deliver.
+    }
+  }
+  if (astore_ && cfg_.gc_shard_bytes > 0) collect_one_shard();
+}
+
+void CampaignService::collect_one_shard() {
+  unsigned shard = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shard = gc_cursor_++ % store::ArtifactStore::kNumShards;
+  }
+  const store::ArtifactStore::GcStats stats =
+      astore_->gc_shard(shard, cfg_.gc_shard_bytes);
+  if (stats.removed_files > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_.add("svc.gc_evictions", stats.removed_files);
+  }
+}
+
+void CampaignService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // Anything still queued never ran (the scheduler drains the queue
+  // before parking, so this is the start()-never-called path).
+  std::deque<std::shared_ptr<Execution>> leftovers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    leftovers.swap(queue_);
+    inflight_.clear();
+  }
+  for (const std::shared_ptr<Execution>& ex : leftovers) {
+    for (Subscriber& sub : ex->subscribers) {
+      try {
+        sub.promise->set_value(
+            error_response(sub.id, "campaign service stopped before "
+                                   "execution"));
+      } catch (const std::future_error&) {
+      }
+    }
+  }
+}
+
+obs::CounterRegistry CampaignService::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace rls::svc

@@ -1,0 +1,167 @@
+// CampaignService — queued concurrent campaign execution over a shared
+// sharded artifact store (DESIGN.md §12).
+//
+// The service owns three pieces:
+//   * a bounded admission queue — submit() returns a future, or throws
+//     the typed QueueFullError when the queue is at capacity (callers
+//     never hang on admission);
+//   * an execution scheduler — a dedicated thread drives
+//     sim::WorkerPool::run_tasks(workers, step), each worker claiming
+//     queued executions until shutdown;
+//   * a shared store::ArtifactStore (sharded layout) + per-execution
+//     store::CampaignStore bindings, with an optional round-robin
+//     per-shard gc byte budget applied after each execution.
+//
+// Single-flight dedup: requests whose coalesce_key() matches an
+// execution that is queued or in flight attach as subscribers instead of
+// occupying a queue slot — one campaign runs, every subscriber receives
+// the same result row and the same byte-exact JSONL stream. Counters
+// (svc.queued / svc.admitted / svc.coalesced / svc.rejected /
+// svc.gc_evictions, plus the merged per-execution fsim.*/store.*
+// registries) make the dedup observable and testable.
+//
+// Determinism: executions run with wall-clock stamping off unless the
+// request opts in, so a response stream is byte-identical to a solo
+// `rls run` of the same options against the same store state.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
+#include "sim/worker_pool.hpp"
+#include "store/artifact_store.hpp"
+#include "svc/request.hpp"
+
+namespace rls::svc {
+
+struct ServiceConfig {
+  /// Artifact store directory; empty disables persistence entirely.
+  std::string store_dir;
+  /// Concurrent campaign executions (0 = hardware concurrency).
+  unsigned workers = 1;
+  /// Admission queue capacity (leaders only; coalesced subscribers do
+  /// not occupy slots).
+  std::size_t queue_capacity = 64;
+  /// Adopt partial checkpoints from the store (killed-serve recovery).
+  bool resume = false;
+  /// Per-shard gc byte budget, applied round-robin one shard after each
+  /// execution (0 = never collect).
+  std::uint64_t gc_shard_bytes = 0;
+  /// Spawn the scheduler in the constructor. Tests set false, enqueue a
+  /// deterministic backlog, then call start().
+  bool autostart = true;
+};
+
+/// Typed admission rejection: the queue was full at submit() time.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(RequestId request_id)
+      : std::runtime_error("campaign service queue is full (request \"" +
+                           request_id + "\" rejected)"),
+        id(std::move(request_id)) {}
+  const RequestId id;
+};
+
+/// Submitting to a service that is shutting down.
+class ServiceStoppedError : public std::runtime_error {
+ public:
+  ServiceStoppedError()
+      : std::runtime_error("campaign service is shutting down") {}
+};
+
+class CampaignService {
+ public:
+  explicit CampaignService(ServiceConfig cfg);
+  ~CampaignService();
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Spawns the scheduler (idempotent; no-op after shutdown()).
+  void start();
+
+  /// Admits one request (assigning an id if empty) and returns the future
+  /// response. Coalesces with a queued/in-flight execution of the same
+  /// coalesce_key() when possible. Throws QueueFullError /
+  /// ServiceStoppedError; never blocks on admission. The optional
+  /// progress observer is leader-only and best-effort (it must outlive
+  /// the execution).
+  std::shared_future<CampaignResponse> submit(
+      CampaignRequest req, obs::ProgressObserver* progress = nullptr);
+
+  /// Admits a whole batch under one admission lock — duplicate keys
+  /// inside the batch coalesce deterministically regardless of worker
+  /// timing. A rejected request yields an immediate error response
+  /// future instead of throwing.
+  std::vector<std::shared_future<CampaignResponse>> submit_batch(
+      std::vector<CampaignRequest> reqs);
+
+  /// submit() + wait: the synchronous path `rls run` uses.
+  CampaignResponse run(CampaignRequest req,
+                       obs::ProgressObserver* progress = nullptr);
+
+  /// Drains the queue, parks the workers and joins the scheduler.
+  /// Queued-but-never-started executions (start() never called) resolve
+  /// with a "service stopped" error response.
+  void shutdown();
+
+  /// Snapshot of the service counters (svc.* + merged execution
+  /// registries).
+  [[nodiscard]] obs::CounterRegistry counters() const;
+
+  /// The shared store (null when store_dir is empty).
+  [[nodiscard]] store::ArtifactStore* artifact_store() noexcept {
+    return astore_.get();
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Subscriber {
+    RequestId id;
+    bool coalesced = false;
+    obs::ProgressObserver* progress = nullptr;
+    std::shared_ptr<std::promise<CampaignResponse>> promise;
+    std::shared_future<CampaignResponse> future;
+  };
+  struct Execution {
+    std::uint64_t key = 0;
+    CampaignRequest req;      ///< the leader's request defines the run
+    RequestId leader_id;      ///< fixed at creation (RunContext scope)
+    obs::ProgressObserver* progress = nullptr;  ///< leader-only
+    std::vector<Subscriber> subscribers;        ///< guarded by mu_
+  };
+
+  std::shared_future<CampaignResponse> submit_locked(
+      CampaignRequest&& req, obs::ProgressObserver* progress);
+  bool step(unsigned worker);
+  CampaignResponse execute(const Execution& ex);
+  void finish(const std::shared_ptr<Execution>& ex, CampaignResponse base);
+  void collect_one_shard();
+
+  ServiceConfig cfg_;
+  std::unique_ptr<store::ArtifactStore> astore_;
+  sim::WorkerPool pool_;
+  std::thread scheduler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Execution>> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Execution>> inflight_;
+  obs::CounterRegistry counters_;
+  std::uint64_t next_id_ = 0;
+  unsigned gc_cursor_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace rls::svc

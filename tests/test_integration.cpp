@@ -12,8 +12,8 @@ namespace {
 
 TEST(Integration, S27EndToEnd) {
   const core::Workbench wb("s27");
-  core::Procedure2Options opt;
-  const core::ExperimentRow row = core::run_first_complete(wb, opt);
+  core::RunContext ctx;
+  const core::ExperimentRow row = core::run_first_complete(wb, ctx);
   EXPECT_TRUE(row.found_complete);
   EXPECT_EQ(row.result.total_detected, wb.target_faults().size());
   // Cost sanity: total cycles at least N_cyc0, and N_cyc0 matches formula.
@@ -25,9 +25,10 @@ TEST(Integration, S27EndToEnd) {
 
 TEST(Integration, B01EndToEndCompletes) {
   const core::Workbench wb("b01");
-  core::Procedure2Options opt;
-  opt.max_iterations = 24;
-  const core::ExperimentRow row = core::run_first_complete(wb, opt);
+  core::CampaignOptions o;
+  o.p2.max_iterations = 24;
+  core::RunContext ctx(o);
+  const core::ExperimentRow row = core::run_first_complete(wb, ctx);
   EXPECT_TRUE(row.found_complete);
 }
 
@@ -36,9 +37,11 @@ TEST(Integration, LimitedScanBeatsEqualBudgetPlainRandom) {
   // circuit, spending the same cycle budget on plain random tests detects
   // fewer faults than TS_0 + limited-scan test sets.
   const core::Workbench wb("s208");
-  core::Procedure2Options opt;
-  opt.max_iterations = 16;
-  const core::ExperimentRow row = core::run_first_complete(wb, opt, 3);
+  core::CampaignOptions o;
+  o.p2.max_iterations = 16;
+  o.max_combos_on_failure = 3;
+  core::RunContext ctx(o);
+  const core::ExperimentRow row = core::run_first_complete(wb, ctx);
 
   fault::FaultList plain(wb.target_faults());
   core::BaselineConfig cfg;
@@ -55,8 +58,8 @@ TEST(Integration, DetectableTargetsAreActuallyDetectedBySim) {
   // simulator: every fault PODEM calls detectable must eventually be
   // detected by Procedure 2 on a small circuit.
   const core::Workbench wb("s27");
-  core::Procedure2Options opt;
-  const core::ExperimentRow row = core::run_first_complete(wb, opt);
+  core::RunContext ctx;
+  const core::ExperimentRow row = core::run_first_complete(wb, ctx);
   EXPECT_EQ(row.result.total_detected, wb.target_faults().size());
 }
 

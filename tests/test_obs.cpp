@@ -1,5 +1,5 @@
 // Observability tests: JSONL rendering, the canonical event schema, trace
-// determinism, counter cross-checks, and old-API forwarding equivalence.
+// determinism, counter cross-checks, and request-id neutrality.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -167,21 +167,30 @@ TEST(ObsCounters, RunContextAccumulatesFsimCountersAcrossSweeps) {
   EXPECT_EQ(ctx.counters().value("fsim.detected"), row.result.total_detected);
 }
 
-TEST(ObsApi, ForwardingOverloadsMatchRunContextApi) {
+TEST(ObsApi, RequestIdIsIdentificationOnlyNeverSerialized) {
+  // The campaign service stamps a request id on its RunContext; that id
+  // must never leak into the event stream (streams are byte-identical
+  // across ids, which is what makes single-flight coalescing legal).
   const core::Workbench wb("s27");
-  // Old positional surface.
-  core::Procedure2Options p2;
-  const core::ExperimentRow old_row = core::run_first_complete(wb, p2, 6, 0);
-  // New named-field front door.
-  core::RunContext ctx;
-  const core::ExperimentRow new_row = core::run_first_complete(wb, ctx);
-
-  EXPECT_EQ(old_row.found_complete, new_row.found_complete);
-  EXPECT_EQ(old_row.combo.l_a, new_row.combo.l_a);
-  EXPECT_EQ(old_row.combo.l_b, new_row.combo.l_b);
-  EXPECT_EQ(old_row.combo.n, new_row.combo.n);
-  EXPECT_EQ(old_row.result.total_detected, new_row.result.total_detected);
-  EXPECT_EQ(old_row.result.total_cycles(), new_row.result.total_cycles());
+  const auto streamed = [&wb](const std::string& rid) {
+    core::RunContext ctx;
+    ctx.set_timing(false);
+    ctx.set_request_id(rid);
+    obs::VectorSink sink;
+    ctx.set_sink(&sink);
+    core::run_first_complete(wb, ctx);
+    std::string bytes;
+    for (const obs::TraceEvent& ev : sink.events()) {
+      bytes += to_jsonl(ev);
+      bytes.push_back('\n');
+    }
+    return bytes;
+  };
+  const std::string a = streamed("r1");
+  const std::string b = streamed("totally-different-id");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("totally-different-id"), std::string::npos);
 }
 
 TEST(ObsApi, DisabledContextLeavesResultsUntouched) {

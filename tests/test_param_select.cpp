@@ -55,8 +55,8 @@ TEST(ParamSelect, WorkbenchExposesConsistentState) {
 
 TEST(ParamSelect, RunFirstCompleteProducesRow) {
   const Workbench wb("s27");
-  Procedure2Options opt;
-  const ExperimentRow row = run_first_complete(wb, opt);
+  RunContext ctx;
+  const ExperimentRow row = run_first_complete(wb, ctx);
   EXPECT_TRUE(row.found_complete);
   EXPECT_EQ(row.circuit, "s27");
   EXPECT_EQ(row.result.total_detected, row.target_faults);
@@ -65,8 +65,8 @@ TEST(ParamSelect, RunFirstCompleteProducesRow) {
 
 TEST(ParamSelect, RunSingleComboFillsNcyc0) {
   const Workbench wb("s27");
-  Procedure2Options opt;
-  const ExperimentRow row = run_single_combo(wb, Combo{8, 32, 16, 0}, opt);
+  RunContext ctx;
+  const ExperimentRow row = run_single_combo(wb, Combo{8, 32, 16, 0}, ctx);
   EXPECT_EQ(row.combo.ncyc0, scan::n_cyc0(3, 8, 32, 16));
 }
 

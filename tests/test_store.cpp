@@ -4,12 +4,14 @@
 // checkpoint snapshot layer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/run_context.hpp"
@@ -47,16 +49,25 @@ class ScratchDir {
 };
 
 /// Path of the single committed artifact in `dir` (fails the test if the
-/// store holds anything other than exactly one).
+/// store holds anything other than exactly one). Walks the sharded tree.
 std::string only_artifact(const std::string& dir) {
   std::string found;
-  for (const auto& entry : fs::directory_iterator(dir)) {
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
     if (entry.path().extension() != ".rlsa") continue;
     EXPECT_TRUE(found.empty()) << "more than one artifact in " << dir;
     found = entry.path().string();
   }
   EXPECT_FALSE(found.empty()) << "no artifact in " << dir;
   return found;
+}
+
+/// A key guaranteed to land in shard `shard`, distinct per `salt_start`.
+ArtifactKey key_in_shard(unsigned shard, std::uint64_t salt_start = 0) {
+  for (std::uint64_t salt = salt_start;; ++salt) {
+    ArtifactKey key{"sh", 1, {}};
+    key.with("salt", salt);
+    if (ArtifactStore::shard_of(key) == shard) return key;
+  }
 }
 
 std::vector<std::uint8_t> read_all(const std::string& path) {
@@ -307,6 +318,14 @@ TEST(StoreArtifact, TempOrphansAreInvisibleAndCollected) {
   const std::string orphan = dir.path() + "/demo-0000.rlsa.tmp.99.0";
   write_all(orphan, {1, 2, 3});
   EXPECT_EQ(store.size(), 1u);  // orphan not visible as an artifact
+
+  // A fresh temp file may be an in-flight put() racing the collector:
+  // gc must leave it alone until the grace window has passed.
+  EXPECT_EQ(store.gc(1 << 20).removed_files, 0u);
+  EXPECT_TRUE(fs::exists(orphan));
+
+  fs::last_write_time(orphan,
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
   const auto stats = store.gc(1 << 20);
   EXPECT_EQ(stats.removed_files, 1u);  // the orphan, never the artifact
   EXPECT_FALSE(fs::exists(orphan));
@@ -319,7 +338,7 @@ TEST(StoreArtifact, GcEvictsOldestFirst) {
   ArtifactKey old_key{"old", 1, {}};
   ArtifactKey new_key{"new", 1, {}};
   store.put(old_key, demo_body());
-  const std::string old_path = dir.path() + "/" + old_key.filename();
+  const std::string old_path = store.path(old_key);
   // Backdate the first artifact so mtime ordering is unambiguous.
   fs::last_write_time(old_path,
                       fs::file_time_type::clock::now() - std::chrono::hours(1));
@@ -422,10 +441,173 @@ TEST(StoreNegative, RenamedArtifactRejectedByKeyDigest) {
   ArtifactKey b{"k", 1, {}};
   b.with("seed", 8);
   store.put(a, demo_body());
-  const std::string pa = dir.path() + "/" + a.filename();
-  const std::string pb = dir.path() + "/" + b.filename();
+  const std::string pa = store.path(a);
+  const std::string pb = store.path(b);
+  fs::create_directories(fs::path(pb).parent_path());
   fs::rename(pa, pb);  // a valid frame, but for a different key
   expect_store_error(store, b, pb, "renamed artifact");
+}
+
+// ---- StoreShard: sharded directory layout --------------------------------
+
+TEST(StoreShard, LayoutPlacesArtifactsByDigestPrefix) {
+  const ScratchDir dir("shard-layout");
+  ArtifactStore store(dir.path());
+  const ArtifactKey key = demo_key();
+  store.put(key, demo_body());
+
+  const std::string p = store.path(key);
+  EXPECT_TRUE(fs::exists(p));
+  // The shard directory name is the first two hex characters of the
+  // digest part of the filename — the layout is derivable from the name.
+  const std::string fname = fs::path(p).filename().string();
+  const std::string shard = fs::path(p).parent_path().filename().string();
+  const std::size_t dash = fname.rfind('-');
+  ASSERT_NE(dash, std::string::npos);
+  EXPECT_EQ(shard, fname.substr(dash + 1, 2));
+  EXPECT_EQ(fs::path(p).parent_path().parent_path().filename().string(),
+            "shards");
+  EXPECT_EQ(store.shard_dir(ArtifactStore::shard_of(key)),
+            fs::path(p).parent_path().string());
+}
+
+TEST(StoreShard, FlatStoreMigratesOnOpen) {
+  const ScratchDir dir("migrate");
+  // Fabricate a PR 5-era flat store: framed artifacts at the root.
+  std::vector<ArtifactKey> keys;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ArtifactKey key{"flat", 7, {}};
+    key.with("i", i);
+    write_all(dir.path() + "/" + key.filename(),
+              frame(key.digest(), demo_body()));
+    keys.push_back(key);
+  }
+  // An orphan and an unrelated file must stay at the root, unmigrated.
+  write_all(dir.path() + "/flat-0000.rlsa.tmp.99.0", {1, 2, 3});
+  write_all(dir.path() + "/README.txt", {'h', 'i'});
+
+  ArtifactStore store(dir.path());
+  EXPECT_EQ(store.migrated_files(), 8u);
+  EXPECT_EQ(store.size(), 8u);
+  for (const ArtifactKey& key : keys) {
+    EXPECT_TRUE(store.contains(key));
+    ASSERT_TRUE(store.get(key).has_value());
+    EXPECT_EQ(*store.get(key), demo_body());
+    EXPECT_NE(store.path(key).find("/shards/"), std::string::npos);
+  }
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_NE(entry.path().extension(), ".rlsa")
+        << "artifact left at the root: " << entry.path();
+  }
+  EXPECT_TRUE(fs::exists(dir.path() + "/README.txt"));
+
+  // Re-opening an already-sharded store migrates nothing.
+  ArtifactStore again(dir.path());
+  EXPECT_EQ(again.migrated_files(), 0u);
+  EXPECT_EQ(again.size(), 8u);
+}
+
+TEST(StoreShard, GcPerShardHonorsBudgetOrphansAndSiblings) {
+  const ScratchDir dir("gc-shard");
+  ArtifactStore store(dir.path());
+  const ArtifactKey a_old = key_in_shard(0x11);
+  const ArtifactKey a_new = key_in_shard(0x11, a_old.params[0].second + 1);
+  const unsigned sibling_shard = 0x22;
+  const ArtifactKey b = key_in_shard(sibling_shard);
+  const unsigned shard = ArtifactStore::shard_of(a_old);
+  ASSERT_EQ(shard, ArtifactStore::shard_of(a_new));
+  ASSERT_NE(shard, ArtifactStore::shard_of(b));
+
+  store.put(a_old, demo_body());
+  store.put(a_new, demo_body());
+  store.put(b, demo_body());
+  fs::last_write_time(store.path(a_old),
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+  // Backdate the sibling even further: a store-wide LRU would evict it
+  // first, a correct per-shard gc must not even look at it.
+  fs::last_write_time(store.path(b),
+                      fs::file_time_type::clock::now() - std::chrono::hours(2));
+  const std::string orphan = store.path(a_old) + ".tmp.99.0";
+  write_all(orphan, {1, 2, 3});
+  fs::last_write_time(orphan,
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  const std::uint64_t one = demo_body().size() + kFrameOverhead;
+  const auto stats = store.gc_shard(shard, one);
+  EXPECT_EQ(stats.removed_files, 2u);  // the orphan + the old artifact
+  EXPECT_EQ(stats.kept_bytes, one);
+  EXPECT_FALSE(fs::exists(orphan));
+  EXPECT_FALSE(store.contains(a_old));
+  EXPECT_TRUE(store.contains(a_new));
+  EXPECT_TRUE(store.contains(b));
+
+  // The sibling shard is within budget: nothing to collect there.
+  const auto sib = store.gc_shard(sibling_shard, one);
+  EXPECT_EQ(sib.removed_files, 0u);
+  EXPECT_TRUE(store.contains(b));
+}
+
+TEST(StoreShard, GlobalGcStillEvictsOldestAcrossShards) {
+  const ScratchDir dir("gc-global");
+  ArtifactStore store(dir.path());
+  const ArtifactKey a = key_in_shard(0x01);
+  const ArtifactKey b = key_in_shard(0x02);
+  store.put(a, demo_body());
+  store.put(b, demo_body());
+  fs::last_write_time(store.path(a),
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+  const std::uint64_t one = demo_body().size() + kFrameOverhead;
+  const auto stats = store.gc(one);
+  EXPECT_EQ(stats.removed_files, 1u);
+  EXPECT_FALSE(store.contains(a));
+  EXPECT_TRUE(store.contains(b));
+}
+
+// Regression (PR 7): gc of one shard racing puts landing in sibling
+// shards. Runs under TSan via the StoreConcurrency filter.
+TEST(StoreConcurrency, GcShardRacesPutInSiblingShard) {
+  const ScratchDir dir("gc-race");
+  ArtifactStore store(dir.path());
+  std::vector<ArtifactKey> keys;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    keys.push_back(key_in_shard(static_cast<unsigned>(i * 5) % 256, i * 100));
+  }
+  std::atomic<bool> stop{false};
+  std::thread collector([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (unsigned s = 0; s < ArtifactStore::kNumShards; ++s) {
+        store.gc_shard(s, 0);  // zero budget: evict everything it sees
+      }
+    }
+  });
+  // Park the collector even if an assertion below throws — an abandoned
+  // joinable thread would turn a test failure into std::terminate.
+  struct Joiner {
+    std::thread& t;
+    std::atomic<bool>& stop;
+    ~Joiner() {
+      stop.store(true, std::memory_order_relaxed);
+      if (t.joinable()) t.join();
+    }
+  } joiner{collector, stop};
+  for (int round = 0; round < 3; ++round) {
+    for (const ArtifactKey& key : keys) {
+      store.put(key, demo_body());
+      (void)store.contains(key);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  collector.join();
+  // The store must be consistent after the storm: every key re-put with
+  // the collector parked is present and loads intact.
+  // (Joiner above already parked it on this path.)
+  for (const ArtifactKey& key : keys) store.put(key, demo_body());
+  for (const ArtifactKey& key : keys) {
+    const auto back = store.get(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, demo_body());
+  }
+  EXPECT_EQ(store.size(), keys.size());
 }
 
 // ---- StoreCheckpoint -----------------------------------------------------

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Runs the perf microbenchmarks with JSON output and writes the result to
-# BENCH_PR6.json at the repository root (override with -o). The BM_ObsOverhead
+# BENCH_PR7.json at the repository root (override with -o). The BM_ObsOverhead
 # benchmark exports the engine's obs counters (obs.fsim.* per sweep) as
 # benchmark user counters, so they land in the JSON artifact alongside the
 # timings — compare the s5378_off/_on pair to check the <2% overhead contract.
@@ -12,7 +12,11 @@
 # caching headline. BM_PackedFsim and the *_packed rows of
 # BM_SeqFaultSimEngines measure the bit-parallel PPSFP engine: compare
 # s5378_packed gate_evals_per_sweep against s5378_conediff for the PR-6
-# (>=5x) reduction headline.
+# (>=5x) reduction headline. BM_ServeThroughput drives submit_batch
+# through svc::CampaignService (cold / warm store / coalesced duplicates):
+# compare cold vs warm real_time for the store payoff and the coalesced
+# rows' requests/s + svc.coalesced_per_batch for the single-flight dedup
+# headline (PR-7; generate with `-f ServeThroughput -o BENCH_PR7.json`).
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]
@@ -25,7 +29,7 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
-output="$repo_root/BENCH_PR6.json"
+output="$repo_root/BENCH_PR7.json"
 filter=""
 min_time="0.2"
 

@@ -6,19 +6,30 @@
 //   rls faults  <circuit>             fault universe + detectability report
 //   rls cop     <circuit> [n]         the n hardest faults by COP estimate
 //   rls run     <circuit> [options]   Procedure 2 (one Table-6 style row)
+//   rls batch   <requests.json>       run an NDJSON request file (svc API)
+//   rls serve   [options]             NDJSON requests on stdin (svc API)
 //   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
 //   rls lint    <circuit|file.bench>  design-rule + resistance diagnostics
 //
 // `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
-// ISCAS-89 .bench file. Common flags (uniform across subcommands):
+// ISCAS-89 .bench file. Common flags (uniform across circuit-taking
+// subcommands):
 //   --engine=conediff|fullsweep|packed   fault-simulation engine
 //   --threads=N                   simulation worker threads (0 = hardware)
 //   --seed=S                      base seed (Procedure 1 + detectability)
 //   --trace=FILE                  JSONL event stream ("-" = stdout)
 //   --progress                    live status lines on stderr
+//
+// `run`, `batch` and `serve` all route through svc::CampaignService —
+// `rls run` builds a svc::CampaignRequest from its flags (print it with
+// --dump-request) and executes it synchronously.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <deque>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -40,6 +51,8 @@
 #include "scan/cost.hpp"
 #include "store/artifact_store.hpp"
 #include "store/checkpoint.hpp"
+#include "svc/request.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -80,19 +93,24 @@ struct CommonFlags {
     fp.add_bool("progress", &progress, "live status lines on stderr");
   }
 
-  void configure(core::RunContext& ctx) {
+  /// Folds the parsing-only flags into an options struct (no sinks).
+  void apply_options(core::CampaignOptions& opts) {
     if (!seed_text.empty()) {
-      ctx.options.p2.base_seed = std::stoull(seed_text);
-      ctx.options.detect.seed = std::stoull(seed_text);
+      opts.p2.base_seed = std::stoull(seed_text);
+      opts.detect.seed = std::stoull(seed_text);
     }
     if (const std::optional<fault::Engine> e = fault::parse_engine(engine)) {
-      ctx.options.p2.engine = *e;
+      opts.p2.engine = *e;
     } else {
       throw cli::FlagError("--engine expects one of " +
                            std::string(fault::engine_choices()) + ", got '" +
                            engine + "'");
     }
-    ctx.options.p2.sim_threads = static_cast<unsigned>(threads);
+    opts.p2.sim_threads = static_cast<unsigned>(threads);
+  }
+
+  /// Opens the trace/progress sinks and wires them into the context.
+  void attach(core::RunContext& ctx) {
     if (!trace.empty()) {
       sink = trace == "-" ? std::make_unique<obs::JsonlSink>(stdout)
                           : std::make_unique<obs::JsonlSink>(trace);
@@ -102,6 +120,11 @@ struct CommonFlags {
       reporter = std::make_unique<obs::StreamProgress>();
       ctx.set_progress(reporter.get());
     }
+  }
+
+  void configure(core::RunContext& ctx) {
+    apply_options(ctx.options);
+    attach(ctx);
   }
 
  private:
@@ -207,83 +230,120 @@ int cmd_tables(const std::string& which, CommonFlags& common) {
   return 0;
 }
 
-int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
-            std::uint64_t lb, std::uint64_t n, std::uint64_t max_iters,
-            bool d1_desc, std::uint64_t combo_jobs,
-            const std::string& store_dir, bool resume,
-            std::uint64_t gc_max_bytes) {
-  if (resume && store_dir.empty()) {
+/// `rls run` flags beyond the common set (all svc-request fields).
+struct RunFlags {
+  std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, combo_jobs = 1;
+  bool d1_desc = false;
+  std::string store_dir;
+  bool resume = false;
+  std::uint64_t gc_max_bytes = 0;
+  bool dump_request = false;
+  bool timing = false;
+};
+
+/// Value of a response counter (sorted snapshot; linear scan is fine).
+std::uint64_t counter(const svc::CampaignResponse& resp,
+                      std::string_view name) {
+  for (const auto& [key, value] : resp.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+/// Writes a response's JSONL event stream to `path` ("-" = stdout).
+void write_stream(const std::string& path, const std::string& stream) {
+  if (path == "-") {
+    std::fwrite(stream.data(), 1, stream.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("cannot open stream file '" + path + "'");
+  }
+  out.write(stream.data(), static_cast<std::streamsize>(stream.size()));
+}
+
+int cmd_run(const std::string& which, CommonFlags& common,
+            const RunFlags& flags) {
+  if (flags.resume && flags.store_dir.empty()) {
     throw cli::FlagError("--resume requires --store-dir");
   }
-  if (gc_max_bytes > 0 && store_dir.empty()) {
+  if (flags.gc_max_bytes > 0 && flags.store_dir.empty()) {
     throw cli::FlagError("--gc-max-bytes requires --store-dir");
   }
-  core::RunContext ctx;
-  common.configure(ctx);
-  if (max_iters > 0) {
-    ctx.options.p2.max_iterations = static_cast<std::uint32_t>(max_iters);
+
+  svc::CampaignRequest req;
+  req.circuit = which;
+  req.la = flags.la;
+  req.lb = flags.lb;
+  req.n = flags.n;
+  common.apply_options(req.options);
+  if (flags.max_iters > 0) {
+    req.options.p2.max_iterations =
+        static_cast<std::uint32_t>(flags.max_iters);
   }
-  if (d1_desc) ctx.options.p2.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
-  ctx.options.combo_jobs = static_cast<unsigned>(combo_jobs);
-  if (combo_jobs != 1 && ctx.options.p2.sim_threads == 0) {
-    // Speculative attempts parallelize across combos; without an explicit
-    // --threads, keep each attempt's inner fault simulation serial so
-    // combo_jobs x sim_threads doesn't oversubscribe the machine.
-    ctx.options.p2.sim_threads = 1;
-  }
-  core::Workbench wb(load(which), ctx.options);
-  std::unique_ptr<store::ArtifactStore> artifacts;
-  std::unique_ptr<store::CampaignStore> cstore;
-  if (!store_dir.empty()) {
-    artifacts = std::make_unique<store::ArtifactStore>(store_dir);
-    cstore = std::make_unique<store::CampaignStore>(
-        *artifacts, wb.nl(), wb.target_faults(), resume);
-    ctx.set_store(cstore.get());
-  }
-  const core::ExperimentRow row =
-      (la && lb && n)
-          ? core::run_single_combo(
-                wb,
-                core::Combo{static_cast<std::size_t>(la),
-                            static_cast<std::size_t>(lb),
-                            static_cast<std::size_t>(n), 0},
-                ctx)
-          : core::run_first_complete(wb, ctx);
-  if (ctx.sink()) {
-    ctx.emit_counters();
-    ctx.flush();
+  if (flags.d1_desc) req.options.p2.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  req.options.combo_jobs = static_cast<unsigned>(flags.combo_jobs);
+  req.timing = flags.timing;
+  if (flags.dump_request) {
+    std::printf("%s\n", req.canonical_json().c_str());
+    return 0;
   }
 
-  std::printf("circuit %s: LA=%zu LB=%zu N=%zu (Ncyc0=%llu) engine=%s\n",
-              row.circuit.c_str(), row.combo.l_a, row.combo.l_b, row.combo.n,
-              static_cast<unsigned long long>(row.combo.ncyc0),
-              fault::engine_name(ctx.options.p2.engine));
-  std::printf("TS_0: %zu / %zu faults, %s cycles\n", row.result.ts0_detected,
-              row.target_faults,
-              report::format_cycles(row.result.ncyc0).c_str());
-  for (const core::AppliedSet& a : row.result.applied) {
-    std::printf("  TS(I=%u,D1=%u): +%zu, %s cycles\n", a.iteration, a.d1,
-                a.detected, report::format_cycles(a.cycles).c_str());
+  const char* engine_name = fault::engine_name(req.options.p2.engine);
+  svc::ServiceConfig cfg;
+  cfg.store_dir = flags.store_dir;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.resume = flags.resume;
+  svc::CampaignService service(std::move(cfg));
+  if (common.progress) {
+    common.reporter = std::make_unique<obs::StreamProgress>();
   }
-  std::printf("total: %zu / %zu detected (%s), %s cycles, ls=%.2f\n",
-              row.result.total_detected, row.target_faults,
-              row.found_complete ? "complete" : "incomplete",
-              report::format_cycles(row.result.total_cycles()).c_str(),
-              row.result.average_limited_scan_units());
-  if (artifacts) {
-    const auto& c = ctx.counters();
+  const svc::CampaignResponse resp =
+      service.run(std::move(req), common.reporter.get());
+  if (!resp.ok) {
+    std::fprintf(stderr, "error: %s\n", resp.error.c_str());
+    return 1;
+  }
+  if (!common.trace.empty()) write_stream(common.trace, resp.stream);
+
+  std::printf("circuit %s: LA=%llu LB=%llu N=%llu (Ncyc0=%llu) engine=%s\n",
+              resp.circuit.c_str(),
+              static_cast<unsigned long long>(resp.la),
+              static_cast<unsigned long long>(resp.lb),
+              static_cast<unsigned long long>(resp.n),
+              static_cast<unsigned long long>(resp.ncyc0), engine_name);
+  std::printf("TS_0: %llu / %llu faults, %s cycles\n",
+              static_cast<unsigned long long>(resp.ts0_detected),
+              static_cast<unsigned long long>(resp.targets),
+              report::format_cycles(resp.ncyc0).c_str());
+  for (const svc::CampaignResponse::AppliedRow& a : resp.applied) {
+    std::printf("  TS(I=%u,D1=%u): +%llu, %s cycles\n", a.iteration, a.d1,
+                static_cast<unsigned long long>(a.detected),
+                report::format_cycles(a.cycles).c_str());
+  }
+  std::printf("total: %llu / %llu detected (%s), %s cycles, ls=%.2f\n",
+              static_cast<unsigned long long>(resp.detected),
+              static_cast<unsigned long long>(resp.targets),
+              resp.complete ? "complete" : "incomplete",
+              report::format_cycles(resp.total_cycles).c_str(), resp.ls);
+  if (store::ArtifactStore* artifacts = service.artifact_store()) {
     std::printf(
         "store: %zu artifact(s), %llu bytes (%llu written, %llu read; "
         "%llu cache hit(s), %llu checkpoint(s), %llu resume(s))\n",
         artifacts->size(),
         static_cast<unsigned long long>(artifacts->total_bytes()),
-        static_cast<unsigned long long>(c.value("store.bytes_written")),
-        static_cast<unsigned long long>(c.value("store.bytes_read")),
-        static_cast<unsigned long long>(c.value("store.cache_hit")),
-        static_cast<unsigned long long>(c.value("store.checkpoint_saves")),
-        static_cast<unsigned long long>(c.value("store.resumes")));
-    if (gc_max_bytes > 0) {
-      const store::ArtifactStore::GcStats g = artifacts->gc(gc_max_bytes);
+        static_cast<unsigned long long>(counter(resp, "store.bytes_written")),
+        static_cast<unsigned long long>(counter(resp, "store.bytes_read")),
+        static_cast<unsigned long long>(counter(resp, "store.cache_hit")),
+        static_cast<unsigned long long>(
+            counter(resp, "store.checkpoint_saves")),
+        static_cast<unsigned long long>(counter(resp, "store.resumes")));
+    if (flags.gc_max_bytes > 0) {
+      const store::ArtifactStore::GcStats g =
+          artifacts->gc(flags.gc_max_bytes);
       std::printf("store gc: removed %llu file(s) / %llu bytes, kept %llu "
                   "bytes\n",
                   static_cast<unsigned long long>(g.removed_files),
@@ -291,7 +351,169 @@ int cmd_run(const std::string& which, CommonFlags& common, std::uint64_t la,
                   static_cast<unsigned long long>(g.kept_bytes));
     }
   }
-  return row.found_complete ? 0 : 2;
+  return resp.complete ? 0 : 2;
+}
+
+/// Flags shared by `rls batch` and `rls serve`.
+struct SvcFlags {
+  std::string store_dir;
+  std::string stream_dir;
+  std::uint64_t workers = 1;
+  std::uint64_t queue_cap = 64;
+  std::uint64_t gc_shard_bytes = 0;
+  bool resume = false;
+
+  void add_to(cli::FlagParser& fp) {
+    fp.add_string("store-dir", &store_dir,
+                  "shared sharded artifact store (cache + checkpoints)");
+    fp.add_string("stream-dir", &stream_dir,
+                  "write each response's JSONL stream to DIR/<id>.jsonl");
+    fp.add_uint("workers", &workers,
+                "concurrent campaign executions (0 = hardware)");
+    fp.add_uint("queue-cap", &queue_cap,
+                "admission queue capacity (default 64)");
+    fp.add_uint("gc-shard-bytes", &gc_shard_bytes,
+                "per-shard gc byte budget, one shard per finished run");
+    fp.add_bool("resume", &resume,
+                "adopt partial checkpoints from --store-dir");
+  }
+
+  [[nodiscard]] svc::ServiceConfig to_config() const {
+    if (resume && store_dir.empty()) {
+      throw cli::FlagError("--resume requires --store-dir");
+    }
+    if (gc_shard_bytes > 0 && store_dir.empty()) {
+      throw cli::FlagError("--gc-shard-bytes requires --store-dir");
+    }
+    svc::ServiceConfig cfg;
+    cfg.store_dir = store_dir;
+    cfg.workers = static_cast<unsigned>(workers);
+    cfg.queue_capacity = static_cast<std::size_t>(queue_cap);
+    cfg.resume = resume;
+    cfg.gc_shard_bytes = gc_shard_bytes;
+    return cfg;
+  }
+};
+
+/// Emits one response: the envelope on stdout (NDJSON), the stream to
+/// --stream-dir when given. Returns resp.ok.
+bool emit_response(const svc::CampaignResponse& resp,
+                   const std::string& stream_dir) {
+  if (!stream_dir.empty() && resp.ok) {
+    std::error_code ec;
+    std::filesystem::create_directories(stream_dir, ec);  // best effort
+    std::string name;
+    for (const char c : resp.id) {
+      name.push_back(c == '/' ? '_' : c);  // ids may not escape the dir
+    }
+    write_stream(stream_dir + "/" + name + ".jsonl", resp.stream);
+  }
+  std::printf("%s\n", resp.to_json().c_str());
+  std::fflush(stdout);
+  return resp.ok;
+}
+
+svc::CampaignResponse parse_error_response(std::string id, std::string what) {
+  svc::CampaignResponse resp;
+  resp.id = std::move(id);
+  resp.ok = false;
+  resp.error = std::move(what);
+  return resp;
+}
+
+int cmd_batch(const std::string& file, const SvcFlags& flags) {
+  std::ifstream fin;
+  std::istream* in = &std::cin;
+  if (file != "-") {
+    fin.open(file);
+    if (!fin.good()) {
+      throw std::runtime_error("cannot read request file '" + file + "'");
+    }
+    in = &fin;
+  }
+  // One entry per input line: a parsed request or an immediate parse
+  // error. Requests are admitted as one batch (single admission lock) so
+  // duplicate keys coalesce deterministically.
+  struct Entry {
+    std::optional<svc::CampaignRequest> req;
+    std::optional<svc::CampaignResponse> parse_error;
+  };
+  std::vector<Entry> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Entry e;
+    const std::string origin = file + ":" + std::to_string(lineno);
+    try {
+      e.req = svc::parse_request(line, origin);
+    } catch (const std::exception& err) {
+      e.parse_error = parse_error_response("line" + std::to_string(lineno),
+                                           err.what());
+    }
+    entries.push_back(std::move(e));
+  }
+
+  svc::CampaignService service(flags.to_config());
+  std::vector<svc::CampaignRequest> reqs;
+  for (Entry& e : entries) {
+    if (e.req) reqs.push_back(std::move(*e.req));
+  }
+  std::vector<std::shared_future<svc::CampaignResponse>> futures =
+      service.submit_batch(std::move(reqs));
+
+  bool all_ok = true;
+  std::size_t next_future = 0;
+  for (const Entry& e : entries) {
+    const svc::CampaignResponse resp =
+        e.parse_error ? *e.parse_error : futures[next_future++].get();
+    all_ok = emit_response(resp, flags.stream_dir) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_serve(const SvcFlags& flags) {
+  svc::CampaignService service(flags.to_config());
+  std::deque<std::shared_future<svc::CampaignResponse>> pending;
+  bool all_ok = true;
+  // Responses print in admission order; completed leaders are drained
+  // after every accepted line so a long-lived session streams results
+  // instead of buffering them until EOF.
+  const auto drain = [&](bool block) {
+    while (!pending.empty()) {
+      if (!block && pending.front().wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        break;
+      }
+      all_ok = emit_response(pending.front().get(), flags.stream_dir) &&
+               all_ok;
+      pending.pop_front();
+    }
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::string origin = "stdin:" + std::to_string(lineno);
+    try {
+      pending.push_back(service.submit(svc::parse_request(line, origin)));
+    } catch (const svc::QueueFullError& e) {
+      all_ok = emit_response(parse_error_response(e.id, e.what()),
+                             flags.stream_dir) &&
+               all_ok;
+    } catch (const std::exception& e) {
+      all_ok = emit_response(
+                   parse_error_response("line" + std::to_string(lineno),
+                                        e.what()),
+                   flags.stream_dir) &&
+               all_ok;
+    }
+    drain(/*block=*/false);
+  }
+  drain(/*block=*/true);
+  return all_ok ? 0 : 1;
 }
 
 /// Everything `rls lint` accepts beyond the circuit argument.
@@ -374,14 +596,19 @@ int cmd_lint(const std::string& which, CommonFlags& common,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rls <list|stats|bench|faults|cop|tables|run|lint> "
-               "[circuit] [options]\n"
+               "usage: rls <list|stats|bench|faults|cop|tables|run|batch|"
+               "serve|lint> [circuit|file] [options]\n"
                "common options: --engine=conediff|fullsweep|packed "
                "--threads=N "
                "--seed=S --trace=FILE --progress\n"
                "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc "
                "--combo-jobs=W\n"
-               "                --store-dir=DIR --resume --gc-max-bytes=N\n"
+               "                --store-dir=DIR --resume --gc-max-bytes=N "
+               "--timing --dump-request\n"
+               "batch/serve:    --store-dir=DIR --workers=W --queue-cap=N "
+               "--resume\n"
+               "                --gc-shard-bytes=N --stream-dir=DIR "
+               "(requests: NDJSON, see docs/SERVICE.md)\n"
                "lint options:   --json --no-resistance --threshold=P "
                "--la=N --lb=N --n=N --max-resistant=K\n");
   return 64;
@@ -397,32 +624,40 @@ int main(int argc, char** argv) {
 
     cli::FlagParser fp;
     CommonFlags common;
-    common.add_to(fp);
-    std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, top = 10;
-    std::uint64_t combo_jobs = 1;
-    bool d1_desc = false;
-    std::string store_dir;
-    bool resume = false;
-    std::uint64_t gc_max_bytes = 0;
+    std::uint64_t top = 10;
+    RunFlags run_flags;
+    SvcFlags svc_flags;
     LintFlags lint_flags;
+    const bool is_svc = cmd == "batch" || cmd == "serve";
+    if (is_svc) {
+      svc_flags.add_to(fp);
+    } else {
+      common.add_to(fp);
+    }
     if (cmd == "lint") lint_flags.add_to(fp);
     if (cmd == "run") {
-      fp.add_uint("la", &la, "TS_0 short test length");
-      fp.add_uint("lb", &lb, "TS_0 long test length");
-      fp.add_uint("n", &n, "tests per length");
-      fp.add_uint("max-iters", &max_iters, "Procedure 2 iteration cap");
-      fp.add_bool("d1-desc", &d1_desc, "sweep D1 descending 10..1");
-      fp.add_uint("combo-jobs", &combo_jobs,
+      fp.add_uint("la", &run_flags.la, "TS_0 short test length");
+      fp.add_uint("lb", &run_flags.lb, "TS_0 long test length");
+      fp.add_uint("n", &run_flags.n, "tests per length");
+      fp.add_uint("max-iters", &run_flags.max_iters,
+                  "Procedure 2 iteration cap");
+      fp.add_bool("d1-desc", &run_flags.d1_desc, "sweep D1 descending 10..1");
+      fp.add_uint("combo-jobs", &run_flags.combo_jobs,
                   "speculative combo attempts in flight (0 = hardware); "
                   "forces --threads=1 per attempt unless --threads is given");
-      fp.add_string("store-dir", &store_dir,
+      fp.add_string("store-dir", &run_flags.store_dir,
                     "content-addressed artifact store (cache + checkpoints)");
-      fp.add_bool("resume", &resume,
+      fp.add_bool("resume", &run_flags.resume,
                   "continue from the checkpoints in --store-dir");
-      fp.add_uint("gc-max-bytes", &gc_max_bytes,
+      fp.add_uint("gc-max-bytes", &run_flags.gc_max_bytes,
                   "after the run, shrink the store to at most N bytes");
+      fp.add_bool("dump-request", &run_flags.dump_request,
+                  "print the canonical CampaignRequest JSON and exit");
+      fp.add_bool("timing", &run_flags.timing,
+                  "stamp wall-clock ms into the trace (off = deterministic)");
     }
     const std::vector<std::string> pos = fp.parse(argc, argv, 2);
+    if (cmd == "serve") return cmd_serve(svc_flags);
     if (pos.empty()) return usage();
     const std::string& which = pos[0];
 
@@ -435,10 +670,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "tables") return cmd_tables(which, common);
     if (cmd == "lint") return cmd_lint(which, common, lint_flags);
-    if (cmd == "run") {
-      return cmd_run(which, common, la, lb, n, max_iters, d1_desc, combo_jobs,
-                     store_dir, resume, gc_max_bytes);
-    }
+    if (cmd == "run") return cmd_run(which, common, run_flags);
+    if (cmd == "batch") return cmd_batch(which, svc_flags);
   } catch (const cli::FlagError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();

@@ -11,13 +11,14 @@
 #      be clean (exit 0; resistance findings are Info and do not fail);
 #   3. unless --quick: the ASan+UBSan preset build + the rls::store suites
 #      (StoreSerde / StoreArtifact / StoreNegative / StoreCheckpoint /
-#      StoreResume / ...) plus the PackedFsim suites — the adversarial
-#      corruption tests must be clean under AddressSanitizer (typed
-#      errors, never UB), and so must the packed engine's word machinery;
+#      StoreResume / ...) plus the PackedFsim and campaign-service (Svc*)
+#      suites — the adversarial corruption tests must be clean under
+#      AddressSanitizer (typed errors, never UB), and so must the packed
+#      engine's word machinery and the service's admission/coalescing path;
 #   4. unless --quick: the TSan preset build + thread-heavy test suites
 #      (ParallelFsim / PackedFsim / SweepEquiv / SweepAbort /
-#      EngineCrossCheck / WorkerPool / StoreConcurrency) with suppressions
-#      from tools/tsan.supp.
+#      EngineCrossCheck / WorkerPool / StoreConcurrency / Svc*) with
+#      suppressions from tools/tsan.supp.
 #
 # Exit code 0 means every gate that could run passed.
 set -euo pipefail
@@ -66,7 +67,7 @@ if [[ "$quick" == 0 ]]; then
   echo "== ASan+UBSan (rls::store suites) =="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j"$(nproc)" >/dev/null
-  if ! ctest --test-dir build-asan -R "Store|PackedFsim" --output-on-failure; then
+  if ! ctest --test-dir build-asan -R "Store|PackedFsim|Svc" --output-on-failure; then
     echo "asan store suites: FAILED" >&2
     fail=1
   fi
