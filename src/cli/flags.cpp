@@ -1,29 +1,47 @@
 #include "cli/flags.hpp"
 
+#include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 
 namespace rls::cli {
+
+std::uint64_t parse_uint(const std::string& what, const std::string& text) {
+  // strtoull is too permissive here: it skips leading whitespace, accepts a
+  // sign (wrapping "-5" to 2^64-5), and honors locale quirks. Digits only.
+  if (text.empty()) {
+    throw FlagError(what + " expects an unsigned integer, got ''");
+  }
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw FlagError(what + " expects an unsigned integer, got '" + text +
+                      "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      throw FlagError(what + " value out of range: '" + text + "'");
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
 
 namespace {
 
 void assign(const std::string& flag, std::uint64_t* out,
             const std::string& text) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (text.empty() || *end != '\0' || errno == ERANGE) {
-    throw FlagError("--" + flag + " expects an unsigned integer, got '" +
-                    text + "'");
-  }
-  *out = static_cast<std::uint64_t>(v);
+  *out = parse_uint("--" + flag, text);
 }
 
 void assign(const std::string& flag, double* out, const std::string& text) {
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(text.c_str(), &end);
-  if (text.empty() || *end != '\0' || errno == ERANGE) {
+  // strtod skips leading whitespace; a padded value is a quoting mistake.
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front())) ||
+      *end != '\0' || errno == ERANGE) {
     throw FlagError("--" + flag + " expects a number, got '" + text + "'");
   }
   *out = v;

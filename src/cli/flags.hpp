@@ -29,6 +29,13 @@ class FlagError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Strict unsigned-integer parse used for every kUint flag and for bare
+/// positional numbers (seeds, budgets). Accepts only ASCII decimal digits:
+/// no sign (strtoull silently wraps "-5" to 2^64-5), no leading
+/// whitespace, no trailing garbage, and no values above 2^64-1. Throws
+/// FlagError naming `what` on any violation.
+std::uint64_t parse_uint(const std::string& what, const std::string& text);
+
 class FlagParser {
  public:
   /// Boolean switch: present -> true ("--name"); "--name=0/1" also works.

@@ -64,6 +64,38 @@ const std::vector<Profile>& builtin_profiles() {
   return kProfiles;
 }
 
+Profile profile_from_seed(std::uint64_t seed) {
+  rls::rand::Rng rng(seed * 0xF022'5EEDull + 0x5CA9'F022ull);
+  Profile p;
+  p.name = "fz" + std::to_string(seed);
+  // 1 in 10 circuits has no primary inputs at all (state-only logic; the
+  // counter core is skipped since its enables need a PI).
+  const std::uint32_t pi_roll = rng.mod_draw(10);
+  p.num_inputs = pi_roll == 0 ? 0 : 1 + rng.mod_draw(8);
+  p.num_outputs = 1 + rng.mod_draw(6);
+  // 1 in 8 circuits is purely combinational; 1 in 8 has a single flip-flop
+  // (the single-FF-chain edge); the rest carry up to 12 state variables.
+  const std::uint32_t ff_roll = rng.mod_draw(8);
+  p.num_flip_flops = ff_roll == 0 ? 0 : (ff_roll == 1 ? 1 : 2 + rng.mod_draw(11));
+  // Never both zero: synthesize() requires at least one source.
+  if (p.num_inputs == 0 && p.num_flip_flops == 0) p.num_flip_flops = 1;
+  // 1 in 10 circuits has no combinational gates at all (sources wired
+  // straight to observation points).
+  p.num_gates = rng.mod_draw(10) == 0 ? 0 : 1 + rng.mod_draw(110);
+  // counter_fraction hits the exact 0.0 / 1.0 edges often.
+  const std::uint32_t cf_roll = rng.mod_draw(10);
+  if (cf_roll < 3) {
+    p.counter_fraction = 0.0;
+  } else if (cf_roll < 5) {
+    p.counter_fraction = 1.0;
+  } else {
+    p.counter_fraction = static_cast<double>(rng.mod_draw(101)) / 100.0;
+  }
+  p.max_arity = 1 + rng.mod_draw(4);
+  p.seed = rng.next_u64();
+  return p;
+}
+
 std::optional<Profile> profile_by_name(std::string_view name) {
   for (const Profile& p : builtin_profiles()) {
     if (p.name == name) return p;

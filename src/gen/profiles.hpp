@@ -30,6 +30,12 @@ struct Profile {
   double counter_fraction = 0.0;
   /// Per-circuit generator seed (fixed for reproducibility).
   std::uint64_t seed = 0;
+  /// Upper bound on the randomized cone-gate fan-in draw, clamped to
+  /// [1, 4]. 4 (the default) reproduces the historical arity distribution
+  /// bit-for-bit; 1 degrades every randomly-drawn gate to single-input (a
+  /// fuzzing edge). Structural gates — cone reducers, the counter core,
+  /// decode monitors — keep the fan-in their function requires.
+  std::size_t max_arity = 4;
 };
 
 /// All built-in profiles (paper Table 6 circuits, minus s27 which is
@@ -38,5 +44,13 @@ const std::vector<Profile>& builtin_profiles();
 
 /// Profile by circuit name; nullopt if unknown.
 std::optional<Profile> profile_by_name(std::string_view name);
+
+/// A randomized profile for differential fuzzing (rls::fuzz), drawn as a
+/// pure function of `seed`. Sweeps every generator knob — gate count
+/// (including 0), counter_fraction (including exactly 0.0 and 1.0),
+/// flip-flop count (including 0 and 1), max_arity (including the fan-in-1
+/// clamp) — while guaranteeing at least one primary input and one primary
+/// output, so synthesize() always yields a lintable netlist.
+Profile profile_from_seed(std::uint64_t seed);
 
 }  // namespace rls::gen

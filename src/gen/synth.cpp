@@ -34,6 +34,13 @@ class Builder {
 
   Netlist build() {
     make_interface();
+    if (pis_.empty() && ffs_.empty() &&
+        (p_.num_gates > 0 || p_.num_outputs > 0)) {
+      throw netlist::NetlistError(
+          "profile '" + p_.name +
+          "' requests gates or outputs but has no primary inputs or "
+          "flip-flops to drive them");
+    }
     make_counter_core();
     make_cones();
     wire_unused_sources();
@@ -76,8 +83,11 @@ class Builder {
 
   std::size_t random_arity(GateType type) {
     if (type == GateType::kNot || type == GateType::kBuf) return 1;
+    // Draw before clamping so the RNG sequence (and thus every netlist
+    // generated with the default max_arity of 4) is unchanged.
     const std::uint32_t a = rng_.mod_draw(100);
-    return a < 55 ? 2 : (a < 85 ? 3 : 4);
+    const std::size_t arity = a < 55 ? 2 : (a < 85 ? 3 : 4);
+    return std::min(arity, std::clamp<std::size_t>(p_.max_arity, 1, 4));
   }
 
   void make_interface() {
@@ -90,6 +100,9 @@ class Builder {
   }
 
   void make_counter_core() {
+    // Every counter segment needs a primary-input enable; a circuit with
+    // no PIs gets no counter core (its flip-flops become cone roots).
+    if (pis_.empty()) return;
     const std::size_t nc = std::min<std::size_t>(
         p_.num_flip_flops,
         static_cast<std::size_t>(std::lround(
@@ -252,6 +265,21 @@ class Builder {
     constexpr std::size_t kMaxCone = 16;
     const std::size_t n_cones = std::max<std::size_t>(
         roots, (budget + kMaxCone - 1) / kMaxCone);
+
+    if (roots == 0) {
+      // No observation points to hang cones on (no POs, every flip-flop
+      // in the counter core). The gate budget is a target, not a
+      // contract: drop it, and observe any unconsumed decode gates
+      // directly so nothing dangles.
+      for (SignalId id : decode_pending_) {
+        if (!is_used(id)) {
+          nl_.mark_output(id);
+          mark_used(id);
+        }
+      }
+      decode_pending_.clear();
+      return;
+    }
 
     std::vector<std::vector<SignalId>> per_root(roots);
     for (std::size_t c = 0; c < n_cones; ++c) {

@@ -104,6 +104,49 @@ TEST(CliFlags, ErrorsNameTheOffendingArgument) {
   }
 }
 
+TEST(CliFlags, UintRejectsSignsWhitespaceAndOverflow) {
+  // strtoull would happily wrap "-5" to 2^64-5 and skip leading
+  // whitespace; parse_uint (and therefore every kUint flag) must not.
+  FlagParser fp;
+  std::uint64_t n = 7;
+  fp.add_uint("n", &n);
+  EXPECT_THROW(parse(fp, {"--n=-5"}), FlagError);
+  EXPECT_THROW(parse(fp, {"--n=+5"}), FlagError);
+  EXPECT_THROW(parse(fp, {"--n= 5"}), FlagError);
+  EXPECT_THROW(parse(fp, {"--n=5 "}), FlagError);
+  EXPECT_THROW(parse(fp, {"--n=0x10"}), FlagError);
+  EXPECT_THROW(parse(fp, {"--n="}), FlagError);
+  // One past UINT64_MAX (18446744073709551615).
+  EXPECT_THROW(parse(fp, {"--n=18446744073709551616"}), FlagError);
+  EXPECT_EQ(n, 7u);  // untouched by every rejected parse
+  auto pos = parse(fp, {"--n=18446744073709551615"});
+  EXPECT_EQ(n, UINT64_MAX);
+}
+
+TEST(CliFlags, ParseUintNamesTheOffenderAndRoundTrips) {
+  EXPECT_EQ(parse_uint("--seed", "0"), 0u);
+  EXPECT_EQ(parse_uint("--seed", "42"), 42u);
+  EXPECT_EQ(parse_uint("--seed", "18446744073709551615"), UINT64_MAX);
+  for (const char* bad : {"", "-1", "+1", " 1", "1 ", "1e3", "abc",
+                          "18446744073709551616", "99999999999999999999"}) {
+    try {
+      (void)parse_uint("cop <n>", bad);
+      FAIL() << "expected FlagError for '" << bad << "'";
+    } catch (const FlagError& e) {
+      EXPECT_NE(std::string(e.what()).find("cop <n>"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(CliFlags, DoubleFlagRejectsLeadingWhitespace) {
+  FlagParser fp;
+  double t = 0.5;
+  fp.add_double("threshold", &t);
+  EXPECT_THROW(parse(fp, {"--threshold= 0.25"}), FlagError);
+  EXPECT_DOUBLE_EQ(t, 0.5);
+}
+
 TEST(CliFlags, DoubleFlagsParseBothForms) {
   FlagParser fp;
   double threshold = 0.5;

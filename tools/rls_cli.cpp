@@ -10,6 +10,7 @@
 //   rls serve   [options]             NDJSON requests on stdin (svc API)
 //   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
 //   rls lint    <circuit|file.bench>  design-rule + resistance diagnostics
+//   rls fuzz    [options]             differential fuzzing (rls::fuzz)
 //
 // `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
 // ISCAS-89 .bench file. Common flags (uniform across circuit-taking
@@ -41,6 +42,7 @@
 #include "core/campaign.hpp"
 #include "core/run_context.hpp"
 #include "fault/collapse.hpp"
+#include "fuzz/fuzz.hpp"
 #include "gen/registry.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
@@ -96,8 +98,9 @@ struct CommonFlags {
   /// Folds the parsing-only flags into an options struct (no sinks).
   void apply_options(core::CampaignOptions& opts) {
     if (!seed_text.empty()) {
-      opts.p2.base_seed = std::stoull(seed_text);
-      opts.detect.seed = std::stoull(seed_text);
+      const std::uint64_t s = cli::parse_uint("--seed", seed_text);
+      opts.p2.base_seed = s;
+      opts.detect.seed = s;
     }
     if (const std::optional<fault::Engine> e = fault::parse_engine(engine)) {
       opts.p2.engine = *e;
@@ -594,10 +597,77 @@ int cmd_lint(const std::string& which, CommonFlags& common,
   return result.exit_code();
 }
 
+struct FuzzFlags {
+  std::uint64_t seeds = 100;
+  std::uint64_t seed_begin = 0;
+  std::uint64_t jobs = 1;
+  std::uint64_t work_budget = 50'000'000;
+  bool no_shrink = false;
+  std::string corpus_dir;
+  std::string findings;  // JSONL output file ("-" = stdout)
+  std::string replay;    // replay a corpus directory instead of fuzzing
+  std::string scratch_dir;
+
+  void add_to(cli::FlagParser& fp) {
+    fp.add_uint("seeds", &seeds, "number of seeds to run (default 100)");
+    fp.add_uint("seed-begin", &seed_begin, "first seed (default 0)");
+    fp.add_uint("jobs", &jobs, "parallel case workers (0 = hardware)");
+    fp.add_uint("work-budget", &work_budget,
+                "per-case gate-eval budget before timeout triage");
+    fp.add_bool("no-shrink", &no_shrink, "report findings without shrinking");
+    fp.add_string("corpus-dir", &corpus_dir,
+                  "emit shrunken reproducers (.case/.bench) into DIR");
+    fp.add_string("findings", &findings,
+                  "write findings JSONL to FILE ('-' = stdout)");
+    fp.add_string("replay", &replay,
+                  "replay every *.case under DIR as a regression suite");
+    fp.add_string("scratch-dir", &scratch_dir,
+                  "store-oracle scratch root (default: system temp)");
+  }
+};
+
+int cmd_fuzz(const FuzzFlags& flags) {
+  fuzz::FuzzOptions opt;
+  opt.seed_begin = flags.seed_begin;
+  opt.num_seeds = flags.seeds;
+  opt.jobs = static_cast<unsigned>(flags.jobs);
+  opt.shrink = !flags.no_shrink;
+  opt.work_budget = flags.work_budget;
+  opt.scratch_dir = flags.scratch_dir;
+  opt.corpus_dir = flags.corpus_dir;
+
+  const fuzz::FuzzReport rep = flags.replay.empty()
+                                   ? fuzz::run_fuzz(opt)
+                                   : fuzz::replay_corpus(flags.replay, opt);
+  const std::string jsonl = fuzz::findings_to_jsonl(rep.findings);
+  if (!flags.findings.empty()) {
+    if (flags.findings == "-") {
+      std::fputs(jsonl.c_str(), stdout);
+    } else {
+      std::ofstream out(flags.findings, std::ios::binary | std::ios::trunc);
+      if (!out.good()) {
+        throw std::runtime_error("cannot write findings file '" +
+                                 flags.findings + "'");
+      }
+      out << jsonl;
+    }
+  } else {
+    std::fputs(jsonl.c_str(), stderr);
+  }
+  std::fprintf(stderr,
+               "fuzz: %llu case(s), %llu oracle run(s), %llu gate-eval "
+               "units, %zu finding(s)\n",
+               static_cast<unsigned long long>(rep.cases_run),
+               static_cast<unsigned long long>(rep.oracles_run),
+               static_cast<unsigned long long>(rep.work_spent),
+               rep.findings.size());
+  return rep.findings.empty() ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: rls <list|stats|bench|faults|cop|tables|run|batch|"
-               "serve|lint> [circuit|file] [options]\n"
+               "serve|lint|fuzz> [circuit|file] [options]\n"
                "common options: --engine=conediff|fullsweep|packed "
                "--threads=N "
                "--seed=S --trace=FILE --progress\n"
@@ -610,7 +680,11 @@ int usage() {
                "                --gc-shard-bytes=N --stream-dir=DIR "
                "(requests: NDJSON, see docs/SERVICE.md)\n"
                "lint options:   --json --no-resistance --threshold=P "
-               "--la=N --lb=N --n=N --max-resistant=K\n");
+               "--la=N --lb=N --n=N --max-resistant=K\n"
+               "fuzz options:   --seeds=N --seed-begin=S --jobs=J "
+               "--work-budget=N --no-shrink\n"
+               "                --corpus-dir=DIR --findings=FILE|- "
+               "--replay=DIR --scratch-dir=DIR\n");
   return 64;
 }
 
@@ -628,9 +702,12 @@ int main(int argc, char** argv) {
     RunFlags run_flags;
     SvcFlags svc_flags;
     LintFlags lint_flags;
+    FuzzFlags fuzz_flags;
     const bool is_svc = cmd == "batch" || cmd == "serve";
     if (is_svc) {
       svc_flags.add_to(fp);
+    } else if (cmd == "fuzz") {
+      fuzz_flags.add_to(fp);
     } else {
       common.add_to(fp);
     }
@@ -658,6 +735,7 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> pos = fp.parse(argc, argv, 2);
     if (cmd == "serve") return cmd_serve(svc_flags);
+    if (cmd == "fuzz") return cmd_fuzz(fuzz_flags);
     if (pos.empty()) return usage();
     const std::string& which = pos[0];
 
@@ -665,7 +743,7 @@ int main(int argc, char** argv) {
     if (cmd == "bench") return cmd_bench(which);
     if (cmd == "faults") return cmd_faults(which, common);
     if (cmd == "cop") {
-      if (pos.size() > 1) top = std::stoull(pos[1]);
+      if (pos.size() > 1) top = cli::parse_uint("cop <n>", pos[1]);
       return cmd_cop(which, static_cast<std::size_t>(top));
     }
     if (cmd == "tables") return cmd_tables(which, common);

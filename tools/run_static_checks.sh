@@ -9,16 +9,19 @@
 #      installed (the CI container ships only g++);
 #   2. `rls lint` over every registry circuit — structural diagnostics must
 #      be clean (exit 0; resistance findings are Info and do not fail);
-#   3. unless --quick: the ASan+UBSan preset build + the rls::store suites
+#   3. `rls fuzz` — a deterministic 500-seed differential-fuzz smoke (all
+#      oracles) plus a replay of the committed regression corpus under
+#      tests/fuzz_corpus/ — zero findings required for both;
+#   4. unless --quick: the ASan+UBSan preset build + the rls::store suites
 #      (StoreSerde / StoreArtifact / StoreNegative / StoreCheckpoint /
 #      StoreResume / ...) plus the PackedFsim and campaign-service (Svc*)
 #      suites — the adversarial corruption tests must be clean under
 #      AddressSanitizer (typed errors, never UB), and so must the packed
 #      engine's word machinery and the service's admission/coalescing path;
-#   4. unless --quick: the TSan preset build + thread-heavy test suites
+#   5. unless --quick: the TSan preset build + thread-heavy test suites
 #      (ParallelFsim / PackedFsim / SweepEquiv / SweepAbort /
-#      EngineCrossCheck / WorkerPool / StoreConcurrency / Svc*) with
-#      suppressions from tools/tsan.supp.
+#      EngineCrossCheck / WorkerPool / StoreConcurrency / Svc* /
+#      FuzzDeterminism) with suppressions from tools/tsan.supp.
 #
 # Exit code 0 means every gate that could run passed.
 set -euo pipefail
@@ -62,12 +65,26 @@ while IFS= read -r circuit; do
 done < <(build/tools/rls list)
 echo "lint: registry clean"
 
-# ---- 3. ASan store suites -----------------------------------------------
+# ---- 3. Differential fuzz smoke + corpus replay -------------------------
+# Deterministic and bounded (~15 s of simulation): 500 seeds through every
+# oracle, then the committed regression corpus. Any finding is a failure.
+echo "== rls fuzz (500-seed smoke + corpus replay) =="
+if ! build/tools/rls fuzz --seeds 500 --findings - 2>/dev/null; then
+  echo "rls fuzz smoke: FINDINGS (see above)" >&2
+  fail=1
+fi
+if ! build/tools/rls fuzz --replay tests/fuzz_corpus --findings - 2>/dev/null; then
+  echo "rls fuzz corpus replay: REGRESSION (see above)" >&2
+  fail=1
+fi
+echo "fuzz: clean"
+
+# ---- 4. ASan store suites -----------------------------------------------
 if [[ "$quick" == 0 ]]; then
   echo "== ASan+UBSan (rls::store suites) =="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j"$(nproc)" >/dev/null
-  if ! ctest --test-dir build-asan -R "Store|PackedFsim|Svc" --output-on-failure; then
+  if ! ctest --test-dir build-asan -R "Store|PackedFsim|Svc|Fuzz" --output-on-failure; then
     echo "asan store suites: FAILED" >&2
     fail=1
   fi
@@ -75,7 +92,7 @@ else
   echo "== ASan store suites: skipped (--quick) =="
 fi
 
-# ---- 4. TSan suites -----------------------------------------------------
+# ---- 5. TSan suites -----------------------------------------------------
 if [[ "$quick" == 0 ]]; then
   echo "== TSan (thread-heavy suites) =="
   cmake --preset tsan >/dev/null
