@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/sta.hpp"
 #include "core/campaign.hpp"
 #include "core/param_select.hpp"
 #include "core/procedure1.hpp"
@@ -186,6 +187,53 @@ void BM_PackedFsim(benchmark::State& state, const char* name) {
 }
 BENCHMARK_CAPTURE(BM_PackedFsim, s953, "s953");
 BENCHMARK_CAPTURE(BM_PackedFsim, s5378, "s5378");
+
+// Static-prune payoff: one bounded Procedure 2 pass over the FULL collapsed
+// fault universe of the tied-input s420t profile, with and without the sta
+// prune mask (rls::analysis::sta proves 39 of its 832 collapsed faults
+// untestable). Pruning only skips simulation of provably-undetectable
+// faults, so `detected` is identical across the pair; the
+// gate_evals_per_run drop at equal detections is the PR-9 headline
+// (BENCH_PR9.json).
+void BM_StaPrune(benchmark::State& state, const char* name, bool prune) {
+  Fixture& f = fixture(name);
+  core::Ts0Config cfg;
+  cfg.n = 16;
+  const scan::TestSet ts0 = core::make_ts0(f.nl, cfg);
+  const auto faults = fault::collapsed_universe(f.nl);
+  core::Procedure2Options p2;
+  p2.sim_threads = 1;
+  p2.d1_order = {1, 2};
+  p2.max_iterations = 2;
+  p2.n_same_fc = 1;
+  std::size_t num_pruned = 0;
+  if (prune) {
+    const analysis::StaReport r = analysis::analyze(f.cc);
+    const analysis::StaFaultClasses cls =
+        analysis::classify_faults(r, f.cc, faults);
+    num_pruned = cls.num_untestable;
+    p2.prune_mask = std::make_shared<const std::vector<std::uint8_t>>(
+        cls.untestable_mask());
+  }
+  std::uint64_t evals_per_run = 0;
+  std::size_t detected = 0;
+  for (auto _ : state) {
+    core::RunContext ctx;
+    ctx.set_timing(false);
+    fault::FaultList fl(faults);
+    const core::Procedure2Result res =
+        core::run_procedure2(f.cc, ts0, fl, p2, &ctx);
+    evals_per_run = ctx.counters().value("fsim.gate_evals");
+    detected = res.total_detected;
+    benchmark::DoNotOptimize(detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["pruned"] = static_cast<double>(num_pruned);
+  state.counters["gate_evals_per_run"] = static_cast<double>(evals_per_run);
+  state.counters["detected"] = static_cast<double>(detected);
+}
+BENCHMARK_CAPTURE(BM_StaPrune, s420t_unpruned, "s420t", false);
+BENCHMARK_CAPTURE(BM_StaPrune, s420t_pruned, "s420t", true);
 
 // Observability overhead contract: with no sink and no counter registry
 // attached, instrumentation must cost <2% versus the PR-1 engine. Run the

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "analysis/sta.hpp"
 #include "fault/collapse.hpp"
 #include "netlist/bench_io.hpp"
 #include "report/format.hpp"
@@ -411,6 +412,41 @@ void run_resistance_pass(const Netlist& nl, const LintOptions& opts,
   }
 }
 
+/// Static-testability pass (rls::analysis::sta): W107 for every derived
+/// constant net (logic that no input assignment can toggle) and an I302
+/// summary when any collapsed fault is provably untestable. Like the
+/// resistance pass, this needs a CompiledCircuit, so it only runs on
+/// acyclic netlists.
+void run_sta_pass(const Netlist& nl, const LintOptions&, LintResult& res) {
+  const sim::CompiledCircuit cc(nl);
+  const StaReport r = analyze(cc);
+  for (SignalId id = 0; id < nl.num_gates(); ++id) {
+    if (r.value[id] == kX) continue;
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    res.diagnostics.push_back(make(
+        "RLS-W107", Severity::kWarning, id, nl.signal_name(id),
+        "net '" + nl.signal_name(id) + "' is constant " +
+            std::to_string(static_cast<int>(r.value[id])) +
+            " for every input assignment but is not driven by a constant "
+            "gate (dead logic)"));
+  }
+  const std::vector<fault::Fault> universe = fault::collapsed_universe(nl);
+  const StaFaultClasses cls = classify_faults(r, cc, universe);
+  if (cls.num_untestable > 0) {
+    res.diagnostics.push_back(make(
+        "RLS-I302", Severity::kInfo, netlist::kNoSignal, "",
+        std::to_string(cls.num_untestable) + " of " +
+            std::to_string(universe.size()) +
+            " collapsed faults statically untestable (" +
+            std::to_string(cls.num_unexcitable) + " unexcitable, " +
+            std::to_string(cls.num_unobservable) +
+            " unobservable); `rls analyze --untestable` lists them"));
+  }
+  res.counters.add("lint.sta_const_nets", r.num_const_nets);
+  res.counters.add("lint.sta_untestable", cls.num_untestable);
+}
+
 }  // namespace
 
 std::span<const Check> structural_checks() { return kChecks; }
@@ -429,8 +465,9 @@ LintResult run_lint(const Netlist& nl, const LintOptions& opts) {
   const bool cyclic = std::any_of(
       res.diagnostics.begin(), res.diagnostics.end(),
       [](const Diagnostic& d) { return d.code == "RLS-E001"; });
-  if (opts.resistance && !cyclic) {
-    run_resistance_pass(nl, opts, res);
+  if (!cyclic) {
+    run_sta_pass(nl, opts, res);
+    if (opts.resistance) run_resistance_pass(nl, opts, res);
     std::sort(res.diagnostics.begin(), res.diagnostics.end());
   }
   count_severities(res);

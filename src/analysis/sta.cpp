@@ -1,0 +1,621 @@
+#include "analysis/sta.hpp"
+
+#include <algorithm>
+
+#include "netlist/types.hpp"
+
+namespace rls::analysis {
+
+using netlist::GateType;
+using netlist::SignalId;
+
+namespace {
+
+/// Ternary evaluation of one combinational gate.
+std::int8_t ternary_eval(const sim::CompiledCircuit& cc, SignalId id,
+                         const std::vector<std::int8_t>& v) {
+  const auto fi = cc.fanin(id);
+  switch (cc.type(id)) {
+    case GateType::kBuf:
+      return v[fi[0]];
+    case GateType::kNot:
+      return v[fi[0]] == kX ? kX : static_cast<std::int8_t>(1 - v[fi[0]]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::int8_t out = 1;
+      for (SignalId in : fi) {
+        if (v[in] == 0) {
+          out = 0;
+          break;
+        }
+        if (v[in] == kX) out = kX;
+      }
+      if (cc.type(id) == GateType::kAnd || out == kX) return out;
+      return static_cast<std::int8_t>(1 - out);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::int8_t out = 0;
+      for (SignalId in : fi) {
+        if (v[in] == 1) {
+          out = 1;
+          break;
+        }
+        if (v[in] == kX) out = kX;
+      }
+      if (cc.type(id) == GateType::kOr || out == kX) return out;
+      return static_cast<std::int8_t>(1 - out);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::int8_t out = 0;
+      for (SignalId in : fi) {
+        if (v[in] == kX) return kX;
+        out = static_cast<std::int8_t>(out ^ v[in]);
+      }
+      if (cc.type(id) == GateType::kXnor) {
+        out = static_cast<std::int8_t>(1 - out);
+      }
+      return out;
+    }
+    default:
+      return kX;
+  }
+}
+
+/// SCOAP controllability of one combinational gate from fanin measures.
+void scoap_cc(const sim::CompiledCircuit& cc, SignalId id,
+              const std::vector<std::uint32_t>& cc0,
+              const std::vector<std::uint32_t>& cc1, std::uint32_t* out0,
+              std::uint32_t* out1) {
+  const auto fi = cc.fanin(id);
+  const auto sum_all = [&](const std::vector<std::uint32_t>& m) {
+    std::uint32_t s = 0;
+    for (SignalId in : fi) s = scoap_add(s, m[in]);
+    return s;
+  };
+  const auto min_all = [&](const std::vector<std::uint32_t>& m) {
+    std::uint32_t s = kScoapInf;
+    for (SignalId in : fi) s = std::min(s, m[in]);
+    return s;
+  };
+  std::uint32_t v0 = kScoapInf;
+  std::uint32_t v1 = kScoapInf;
+  switch (cc.type(id)) {
+    case GateType::kBuf:
+      v0 = cc0[fi[0]];
+      v1 = cc1[fi[0]];
+      break;
+    case GateType::kNot:
+      v0 = cc1[fi[0]];
+      v1 = cc0[fi[0]];
+      break;
+    case GateType::kAnd:
+      v0 = min_all(cc0);
+      v1 = sum_all(cc1);
+      break;
+    case GateType::kNand:
+      v0 = sum_all(cc1);
+      v1 = min_all(cc0);
+      break;
+    case GateType::kOr:
+      v0 = sum_all(cc0);
+      v1 = min_all(cc1);
+      break;
+    case GateType::kNor:
+      v0 = min_all(cc1);
+      v1 = sum_all(cc0);
+      break;
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Pairwise fold: cost of producing parity 0 / 1 over the prefix.
+      std::uint32_t p0 = cc0[fi[0]];
+      std::uint32_t p1 = cc1[fi[0]];
+      for (std::size_t k = 1; k < fi.size(); ++k) {
+        const std::uint32_t a0 = cc0[fi[k]];
+        const std::uint32_t a1 = cc1[fi[k]];
+        const std::uint32_t n0 =
+            std::min(scoap_add(p0, a0), scoap_add(p1, a1));
+        const std::uint32_t n1 =
+            std::min(scoap_add(p0, a1), scoap_add(p1, a0));
+        p0 = n0;
+        p1 = n1;
+      }
+      v0 = p0;
+      v1 = p1;
+      if (cc.type(id) == GateType::kXnor) std::swap(v0, v1);
+      break;
+    }
+    default:
+      break;
+  }
+  *out0 = scoap_add(v0, 1);
+  *out1 = scoap_add(v1, 1);
+}
+
+/// SCOAP cost of holding every side input of `id` (all pins != pin) at a
+/// non-controlling value, kScoapInf when impossible.
+std::uint32_t side_hold_cost(const sim::CompiledCircuit& cc, SignalId id,
+                             std::size_t pin,
+                             const std::vector<std::uint32_t>& cc0,
+                             const std::vector<std::uint32_t>& cc1) {
+  const auto fi = cc.fanin(id);
+  std::uint32_t s = 0;
+  switch (cc.type(id)) {
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 0;
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (k != pin) s = scoap_add(s, cc1[fi[k]]);
+      }
+      return s;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (k != pin) s = scoap_add(s, cc0[fi[k]]);
+      }
+      return s;
+    case GateType::kXor:
+    case GateType::kXnor:
+      // Parity propagates any single change once the side inputs hold any
+      // definite value: cheapest of 0/1 per side pin.
+      for (std::size_t k = 0; k < fi.size(); ++k) {
+        if (k != pin) s = scoap_add(s, std::min(cc0[fi[k]], cc1[fi[k]]));
+      }
+      return s;
+    default:
+      return kScoapInf;
+  }
+}
+
+/// Per-fault propagation scratch, reused across classify calls through
+/// thread-local storage (analysis is single-threaded per circuit, but
+/// distinct circuits on distinct threads must not share buffers).
+struct Scratch {
+  std::vector<std::uint32_t> stamp;   // BFS visited marks
+  std::vector<std::uint32_t> cone;    // cone membership marks
+  std::vector<SignalId> queue;
+  std::uint32_t epoch = 0;
+};
+
+Scratch& scratch_for(std::size_t n) {
+  thread_local Scratch s;
+  if (s.stamp.size() < n) {
+    s.stamp.assign(n, 0);
+    s.cone.assign(n, 0);
+    s.epoch = 0;
+  }
+  ++s.epoch;
+  return s;
+}
+
+/// Marks the combinational fanout cone of `entry` (entry itself plus every
+/// comb gate reachable through fanout edges; stops at flip-flops) in
+/// sc.cone with the current epoch.
+void mark_cone(const sim::CompiledCircuit& cc, SignalId entry, Scratch& sc) {
+  if (cc.has_cones()) {
+    for (SignalId s : cc.cone(entry)) sc.cone[s] = sc.epoch;
+    return;
+  }
+  sc.queue.clear();
+  sc.queue.push_back(entry);
+  sc.cone[entry] = sc.epoch;
+  for (std::size_t head = 0; head < sc.queue.size(); ++head) {
+    const SignalId s = sc.queue[head];
+    if (s != entry && cc.type(s) == GateType::kDff) continue;
+    for (SignalId g : cc.fanout(s)) {
+      if (sc.cone[g] != sc.epoch) {
+        sc.cone[g] = sc.epoch;
+        sc.queue.push_back(g);
+      }
+    }
+  }
+}
+
+/// True when gate `g` cannot pass any difference of fault `f`: some fanin
+/// pin (excluding `skip_pin` when g is the fault's own gate) is ternary-
+/// constant at g's controlling value and lies outside the fault's cone.
+bool gate_dead(const StaReport& r, SignalId g, int skip_pin,
+               const Scratch& sc) {
+  for (std::uint32_t k = r.blocking_off[g]; k < r.blocking_off[g + 1]; ++k) {
+    if (skip_pin >= 0 &&
+        r.blocking_pin[k] == static_cast<std::uint32_t>(skip_pin)) {
+      continue;
+    }
+    if (sc.cone[r.blocking_net[k]] != sc.epoch) return true;
+  }
+  return false;
+}
+
+/// Per-fault propagation BFS from `entry` (a signal whose value differs
+/// between the fault-free and faulty machine). Returns true when a
+/// difference can reach a PO or a flip-flop (whose captured state is
+/// scanned out). `entry_skip_pin` suppresses the blocking candidate at
+/// the faulty pin itself when the entry is the fault's gate output.
+bool difference_reaches_observation(const StaReport& r,
+                                    const sim::CompiledCircuit& cc,
+                                    SignalId entry, Scratch& sc) {
+  const netlist::Netlist& nl = cc.nl();
+  if (nl.is_primary_output(entry)) return true;
+  if (cc.type(entry) == GateType::kDff) return true;
+  sc.queue.clear();
+  sc.queue.push_back(entry);
+  sc.stamp[entry] = sc.epoch;
+  for (std::size_t head = 0; head < sc.queue.size(); ++head) {
+    const SignalId s = sc.queue[head];
+    for (SignalId g : cc.fanout(s)) {
+      if (sc.stamp[g] == sc.epoch) continue;
+      if (cc.type(g) == GateType::kDff) return true;  // captured + scanned out
+      if (gate_dead(r, g, /*skip_pin=*/-1, sc)) continue;
+      sc.stamp[g] = sc.epoch;
+      if (nl.is_primary_output(g)) return true;
+      sc.queue.push_back(g);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* untestable_reason_name(UntestableReason r) noexcept {
+  switch (r) {
+    case UntestableReason::kTestable:
+      return "testable";
+    case UntestableReason::kUnexcitable:
+      return "unexcitable";
+    case UntestableReason::kUnobservable:
+      return "unobservable";
+  }
+  return "?";
+}
+
+StaReport analyze(const sim::CompiledCircuit& cc) {
+  const std::size_t n = cc.num_signals();
+  const netlist::Netlist& nl = cc.nl();
+  StaReport r;
+  r.value.assign(n, kX);
+  for (SignalId id = 0; id < n; ++id) {
+    if (cc.type(id) == GateType::kConst0) r.value[id] = 0;
+    if (cc.type(id) == GateType::kConst1) r.value[id] = 1;
+  }
+
+  // ---- pass 1: ternary fixpoint over the sequential loop --------------
+  // Under full scan a flip-flop's next value stays X (any state can be
+  // scanned in), so the loop stabilizes after one sweep; the fixpoint
+  // structure is kept for a future non-scan state model.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++r.fixpoint_iters;
+    for (SignalId id : cc.order()) {
+      const std::int8_t v = ternary_eval(cc, id, r.value);
+      if (v != r.value[id]) {
+        r.value[id] = v;
+        changed = true;
+      }
+    }
+    // Full-scan state update: Q stays X. Nothing to do, so the sweep
+    // above can only change values once.
+  }
+  for (SignalId id = 0; id < n; ++id) {
+    if (r.value[id] == kX) continue;
+    ++r.num_const_nets;
+    if (cc.type(id) != GateType::kConst0 && cc.type(id) != GateType::kConst1) {
+      ++r.num_derived_const;
+    }
+  }
+
+  // ---- pass 2: SCOAP ---------------------------------------------------
+  r.cc0.assign(n, kScoapInf);
+  r.cc1.assign(n, kScoapInf);
+  r.co.assign(n, kScoapInf);
+  for (SignalId pi : cc.inputs()) r.cc0[pi] = r.cc1[pi] = 1;
+  for (SignalId ff : cc.flip_flops()) r.cc0[ff] = r.cc1[ff] = 1;  // scan load
+  for (SignalId id = 0; id < n; ++id) {
+    if (cc.type(id) == GateType::kConst0) {
+      r.cc0[id] = 0;
+      r.cc1[id] = kScoapInf;
+    } else if (cc.type(id) == GateType::kConst1) {
+      r.cc0[id] = kScoapInf;
+      r.cc1[id] = 0;
+    }
+  }
+  for (SignalId id : cc.order()) {
+    scoap_cc(cc, id, r.cc0, r.cc1, &r.cc0[id], &r.cc1[id]);
+  }
+
+  // CO: observation points first, then reverse levelized order. A scan
+  // cell observes both its D net (capture + shift out) and its Q net (the
+  // state itself shifts out) at unit cost.
+  for (SignalId po : nl.primary_outputs()) r.co[po] = 0;
+  for (SignalId ff : cc.flip_flops()) {
+    r.co[cc.fanin(ff)[0]] = std::min(r.co[cc.fanin(ff)[0]], 1u);
+    r.co[ff] = std::min(r.co[ff], 1u);
+  }
+  const auto relax_through_consumers = [&](SignalId id) {
+    std::uint32_t best = r.co[id];
+    for (SignalId g : cc.fanout(id)) {
+      if (!netlist::is_combinational(cc.type(g))) continue;  // DFF seeded above
+      const auto fi = cc.fanin(g);
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        if (fi[pin] != id) continue;
+        const std::uint32_t through = scoap_add(
+            scoap_add(r.co[g], side_hold_cost(cc, g, pin, r.cc0, r.cc1)), 1);
+        best = std::min(best, through);
+      }
+    }
+    r.co[id] = best;
+  };
+  const auto order = cc.order();
+  for (std::size_t k = order.size(); k-- > 0;) {
+    relax_through_consumers(order[k]);
+  }
+  for (SignalId id = 0; id < n; ++id) {
+    if (!netlist::is_combinational(cc.type(id))) relax_through_consumers(id);
+  }
+  for (SignalId id = 0; id < n; ++id) {
+    if (r.co[id] == kScoapInf) ++r.num_co_inf;
+  }
+
+  // ---- pass 3 precomputation: blocking candidates + optimistic closure --
+  r.blocking_off.assign(n + 1, 0);
+  for (SignalId id : cc.order()) {
+    const int ctl = netlist::controlling_value(cc.type(id));
+    if (ctl < 0) continue;
+    const auto fi = cc.fanin(id);
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      if (r.value[fi[pin]] == static_cast<std::int8_t>(ctl)) {
+        ++r.blocking_off[id + 1];
+      }
+    }
+  }
+  for (SignalId id = 0; id < n; ++id) {
+    r.blocking_off[id + 1] += r.blocking_off[id];
+  }
+  r.blocking_pin.assign(r.blocking_off[n], 0);
+  r.blocking_net.assign(r.blocking_off[n], 0);
+  {
+    std::vector<std::uint32_t> cursor(r.blocking_off.begin(),
+                                      r.blocking_off.end() - 1);
+    for (SignalId id : cc.order()) {
+      const int ctl = netlist::controlling_value(cc.type(id));
+      if (ctl < 0) continue;
+      const auto fi = cc.fanin(id);
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        if (r.value[fi[pin]] == static_cast<std::int8_t>(ctl)) {
+          r.blocking_pin[cursor[id]] = static_cast<std::uint32_t>(pin);
+          r.blocking_net[cursor[id]] = fi[pin];
+          ++cursor[id];
+        }
+      }
+    }
+  }
+  r.no_blocking = r.blocking_pin.empty();
+
+  // Optimistic backward closure: observable[s] = a PO or flip-flop D pin
+  // is structurally reachable from s (ignoring dead gates). When no
+  // blocking candidates exist this closure is exact.
+  r.observable.assign(n, 0);
+  std::vector<SignalId> queue;
+  for (SignalId po : nl.primary_outputs()) {
+    if (!r.observable[po]) {
+      r.observable[po] = 1;
+      queue.push_back(po);
+    }
+  }
+  for (SignalId ff : cc.flip_flops()) {
+    // Q is observed (state shifts out); D's net is seeded below through
+    // the reverse edge from the DFF consumer.
+    if (!r.observable[ff]) {
+      r.observable[ff] = 1;
+      queue.push_back(ff);
+    }
+  }
+  // Reverse edges: a signal is observable if any consumer gate is
+  // observable (or is a DFF, whose capture is observed).
+  // Build once: for each net, walk consumers directly per pop.
+  std::vector<std::uint8_t> seen = r.observable;
+  // A consumer-driven backward pass needs reverse adjacency; fanin() of an
+  // observable gate gives exactly that.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const SignalId g = queue[head];
+    for (SignalId in : cc.fanin(g)) {
+      if (!seen[in]) {
+        seen[in] = 1;
+        queue.push_back(in);
+      }
+    }
+  }
+  r.observable = std::move(seen);
+  return r;
+}
+
+UntestableReason classify_fault(const StaReport& r,
+                                const sim::CompiledCircuit& cc,
+                                const fault::Fault& f) {
+  const GateType t = cc.type(f.gate);
+  // Flip-flop Q-line faults corrupt the scan chain itself, which is read
+  // out every test: always excitable (Q is X) and always observed.
+  if (f.pin < 0 && t == GateType::kDff) return UntestableReason::kTestable;
+
+  // Excitation: the faulted line must be able to carry the opposite value.
+  const SignalId line =
+      f.pin < 0 ? f.gate : cc.fanin(f.gate)[static_cast<std::size_t>(f.pin)];
+  if (r.value[line] == static_cast<std::int8_t>(f.stuck)) {
+    return UntestableReason::kUnexcitable;
+  }
+
+  // A flip-flop D-pin fault that is excitable is captured and scanned out.
+  if (t == GateType::kDff) return UntestableReason::kTestable;
+
+  // Observation: the difference first appears at the fault's gate output
+  // (for a pin fault the gate must also pass it: its blocking candidates
+  // at other pins apply; the faulty pin itself never blocks its own
+  // fault).
+  Scratch& sc = scratch_for(cc.num_signals());
+  if (f.pin < 0) {
+    if (!r.observable[f.gate]) return UntestableReason::kUnobservable;
+    if (r.no_blocking) return UntestableReason::kTestable;
+    mark_cone(cc, f.gate, sc);
+    return difference_reaches_observation(r, cc, f.gate, sc)
+               ? UntestableReason::kTestable
+               : UntestableReason::kUnobservable;
+  }
+
+  if (!r.observable[f.gate]) return UntestableReason::kUnobservable;
+  if (r.no_blocking) return UntestableReason::kTestable;
+  // Pin fault: the divergence is confined to gate g's reading of pin p.
+  // Its cone is g's output cone; g itself passes the difference only when
+  // no *other* pin holds a fault-independent controlling constant.
+  mark_cone(cc, f.gate, sc);
+  if (gate_dead(r, f.gate, /*skip_pin=*/f.pin, sc)) {
+    return UntestableReason::kUnobservable;
+  }
+  return difference_reaches_observation(r, cc, f.gate, sc)
+             ? UntestableReason::kTestable
+             : UntestableReason::kUnobservable;
+}
+
+std::vector<std::uint8_t> StaFaultClasses::untestable_mask() const {
+  std::vector<std::uint8_t> mask(reason.size(), 0);
+  for (std::size_t i = 0; i < reason.size(); ++i) {
+    mask[i] = reason[i] != UntestableReason::kTestable ? 1 : 0;
+  }
+  return mask;
+}
+
+StaFaultClasses classify_faults(const StaReport& r,
+                                const sim::CompiledCircuit& cc,
+                                const std::vector<fault::Fault>& faults) {
+  StaFaultClasses out;
+  out.reason.resize(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const UntestableReason why = classify_fault(r, cc, faults[i]);
+    out.reason[i] = why;
+    if (why == UntestableReason::kUnexcitable) {
+      ++out.num_unexcitable;
+      ++out.num_untestable;
+    } else if (why == UntestableReason::kUnobservable) {
+      ++out.num_unobservable;
+      ++out.num_untestable;
+    }
+  }
+  return out;
+}
+
+obs::TraceEvent sta_trace_event(const StaReport& r,
+                                const StaFaultClasses& cls,
+                                std::size_t num_faults) {
+  obs::TraceEvent ev("sta");
+  ev.u64("nets", r.value.size())
+      .u64("const_nets", r.num_const_nets)
+      .u64("derived_const", r.num_derived_const)
+      .u64("co_inf", r.num_co_inf)
+      .u64("fixpoint_iters", r.fixpoint_iters)
+      .u64("faults", num_faults)
+      .u64("untestable", cls.num_untestable)
+      .u64("unexcitable", cls.num_unexcitable)
+      .u64("unobservable", cls.num_unobservable);
+  return ev;
+}
+
+void add_sta_counters(obs::CounterRegistry& counters, const StaReport& r,
+                      const StaFaultClasses& cls) {
+  counters.add("analysis.sta.const_nets", r.num_const_nets);
+  counters.add("analysis.sta.derived_const", r.num_derived_const);
+  counters.add("analysis.sta.co_inf", r.num_co_inf);
+  counters.add("analysis.sta.fixpoint_iters", r.fixpoint_iters);
+  counters.add("analysis.sta.untestable", cls.num_untestable);
+  counters.add("analysis.sta.unexcitable", cls.num_unexcitable);
+  counters.add("analysis.sta.unobservable", cls.num_unobservable);
+}
+
+bool sta_self_check(const StaReport& r, const sim::CompiledCircuit& cc,
+                    const std::vector<fault::Fault>& faults,
+                    std::string* why) {
+  const auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  for (SignalId id = 0; id < cc.num_signals(); ++id) {
+    if (r.value[id] == 0 && r.cc1[id] != kScoapInf) {
+      return fail("net " + cc.nl().signal_name(id) +
+                  ": ternary-constant 0 but cc1 is finite");
+    }
+    if (r.value[id] == 1 && r.cc0[id] != kScoapInf) {
+      return fail("net " + cc.nl().signal_name(id) +
+                  ": ternary-constant 1 but cc0 is finite");
+    }
+  }
+  for (const fault::Fault& f : faults) {
+    const UntestableReason why_f = classify_fault(r, cc, f);
+    const SignalId line =
+        f.pin < 0 ? f.gate : cc.fanin(f.gate)[static_cast<std::size_t>(f.pin)];
+    if (f.pin < 0 && cc.type(f.gate) == GateType::kDff &&
+        why_f != UntestableReason::kTestable) {
+      return fail("flip-flop Q fault " + fault::fault_name(cc.nl(), f) +
+                  " classified untestable");
+    }
+    if (why_f == UntestableReason::kUnexcitable &&
+        r.value[line] != static_cast<std::int8_t>(f.stuck)) {
+      return fail("fault " + fault::fault_name(cc.nl(), f) +
+                  " unexcitable but line is not constant at the stuck value");
+    }
+    if (why_f == UntestableReason::kUnobservable && f.pin < 0 &&
+        r.co[f.gate] != kScoapInf) {
+      return fail("fault " + fault::fault_name(cc.nl(), f) +
+                  " unobservable but co is finite");
+    }
+  }
+  return true;
+}
+
+std::string analyze_jsonl(const sim::CompiledCircuit& cc,
+                          const std::vector<fault::Fault>& faults,
+                          const AnalyzeJsonOptions& opt) {
+  const StaReport r = analyze(cc);
+  const StaFaultClasses cls = classify_faults(r, cc, faults);
+  std::string out;
+  {
+    obs::TraceEvent ev = sta_trace_event(r, cls, faults.size());
+    // Circuit name first so each stream is self-identifying.
+    ev.fields.insert(ev.fields.begin(),
+                     std::make_pair(std::string("circuit"),
+                                    obs::Value{cc.nl().name()}));
+    out += obs::to_jsonl(ev);
+    out.push_back('\n');
+  }
+  if (opt.scoap) {
+    for (SignalId id = 0; id < cc.num_signals(); ++id) {
+      obs::TraceEvent ev("sta_net");
+      ev.str("net", cc.nl().signal_name(id));
+      const std::int8_t v = r.value[id];
+      ev.i64("value", v);
+      // kScoapInf renders as -1: JSONL consumers get a typed sentinel
+      // instead of a 32-bit magic number.
+      const auto scoap_field = [&](const char* key, std::uint32_t m) {
+        ev.i64(key, m == kScoapInf ? -1 : static_cast<std::int64_t>(m));
+      };
+      scoap_field("cc0", r.cc0[id]);
+      scoap_field("cc1", r.cc1[id]);
+      scoap_field("co", r.co[id]);
+      out += obs::to_jsonl(ev);
+      out.push_back('\n');
+    }
+  }
+  if (opt.untestable) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (cls.reason[i] == UntestableReason::kTestable) continue;
+      obs::TraceEvent ev("sta_fault");
+      ev.str("fault", fault::fault_name(cc.nl(), faults[i]))
+          .str("reason", untestable_reason_name(cls.reason[i]));
+      out += obs::to_jsonl(ev);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace rls::analysis

@@ -1,0 +1,171 @@
+// rls::analysis::sta — static testability analysis.
+//
+// Three cooperating passes over a CompiledCircuit, all exact with respect
+// to the repo's dynamic scan model (full scan: every test scan-loads an
+// arbitrary state and scans the captured state out; see DESIGN.md §15):
+//
+//   1. Ternary constant propagation. Every net gets a value in {0, 1, X}
+//      by abstract interpretation of the gate functions over the ternary
+//      lattice: constants seed 0/1, primary inputs and flip-flop outputs
+//      are X (a scan load can force either value), and combinational
+//      gates evaluate in levelized order. The sequential loop is iterated
+//      to a fixpoint; under full scan the state stays X, so the loop
+//      converges in one sweep, but the iteration is kept so the pass
+//      stays correct if a non-scan state model is ever plugged in.
+//
+//   2. SCOAP controllability / observability (Goldstein's integer
+//      measures, the Snippet-3 classic). CC0/CC1 forward in levelized
+//      order, CO backward, with kScoapInf as the saturating "impossible"
+//      sentinel. Scan-aware boundary: primary inputs and scan cells cost
+//      one unit to control, a scan cell's D net and Q net cost one unit
+//      to observe (capture + shift out — the limited-scan shift semantics
+//      of the paper make every state bit observable at unit cost).
+//
+//   3. Per-fault untestability classification. A collapsed stuck-at fault
+//      is kUnexcitable when its line is ternary-constant at the stuck
+//      value, and kUnobservable when no fault difference can ever reach a
+//      primary output or a flip-flop D pin. Propagation is blocked by a
+//      "dead" gate: one with a side input that is ternary-constant at the
+//      gate's controlling value AND lies outside the fault's own
+//      combinational fanout cone. The cone exclusion is the soundness
+//      linchpin — a constant net inside the fault's cone need not stay
+//      constant in the faulty machine, so it must not be used to block.
+//      Flip-flop Q-line faults are never untestable (they corrupt the
+//      scan path itself, which is read every test), and a D-pin fault is
+//      untestable only when unexcitable (a captured difference is always
+//      scanned out). Both rules mirror atpg::classify.
+//
+// Soundness contract (enforced by fuzz oracle #6 and the registry sweep
+// in tools/run_static_checks.sh): a fault this pass calls untestable is
+// never detected by any exact fault-simulation engine. The reverse is not
+// claimed — reconvergence can make a statically-"observable" fault
+// actually undetectable; those are PODEM's to prove.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "sim/compiled.hpp"
+
+namespace rls::analysis {
+
+/// SCOAP "impossible" sentinel; all arithmetic saturates at it.
+inline constexpr std::uint32_t kScoapInf = 0xFFFF'FFFFu;
+
+/// Saturating SCOAP addition.
+[[nodiscard]] constexpr std::uint32_t scoap_add(std::uint32_t a,
+                                                std::uint32_t b) noexcept {
+  if (a == kScoapInf || b == kScoapInf) return kScoapInf;
+  const std::uint64_t s = std::uint64_t{a} + b;
+  return s >= kScoapInf ? kScoapInf - 1 : static_cast<std::uint32_t>(s);
+}
+
+/// Ternary net value: 0, 1, or kX (unknown / free).
+inline constexpr std::int8_t kX = -1;
+
+/// Why a fault is statically untestable (kTestable = it is not).
+enum class UntestableReason : std::uint8_t {
+  kTestable = 0,
+  kUnexcitable,    ///< line is ternary-constant at the stuck value
+  kUnobservable,   ///< no difference can reach a PO or a flip-flop D pin
+};
+
+/// Canonical reason name: "testable", "unexcitable", "unobservable".
+[[nodiscard]] const char* untestable_reason_name(UntestableReason r) noexcept;
+
+/// The full static-analysis result for one circuit.
+struct StaReport {
+  /// Per-signal ternary value (0, 1, or kX).
+  std::vector<std::int8_t> value;
+  /// SCOAP measures per signal, kScoapInf = impossible.
+  std::vector<std::uint32_t> cc0, cc1, co;
+  std::uint32_t fixpoint_iters = 0;     ///< sequential sweeps to converge
+  std::size_t num_const_nets = 0;       ///< nets with value != kX
+  std::size_t num_derived_const = 0;    ///< const nets not driven by Const
+  std::size_t num_co_inf = 0;           ///< nets with co == kScoapInf
+
+  // ---- propagation machinery (consumed by classify_faults) ----
+  /// Signals from which some observation point (PO or flip-flop D pin) is
+  /// structurally reachable, ignoring dead gates (the optimistic closure).
+  std::vector<std::uint8_t> observable;
+  /// Per-gate list of (pin, fanin) pairs whose net is ternary-constant at
+  /// the gate's controlling value — the dead-gate candidates. CSR layout.
+  std::vector<std::uint32_t> blocking_off;
+  std::vector<std::uint32_t> blocking_pin;
+  std::vector<netlist::SignalId> blocking_net;
+  /// True when blocking_pin is empty: no gate can be dead, so the global
+  /// `observable` closure alone decides observability (no per-fault BFS).
+  bool no_blocking = true;
+};
+
+/// Runs passes 1 and 2 plus the propagation precomputation. Deterministic
+/// and single-threaded; cost O(signals + edges).
+[[nodiscard]] StaReport analyze(const sim::CompiledCircuit& cc);
+
+/// Classifies one fault (see header comment for the model). Per-fault BFS
+/// scratch is thread-local, so calls are cheap to repeat and safe across
+/// circuits on distinct threads.
+[[nodiscard]] UntestableReason classify_fault(const StaReport& r,
+                                              const sim::CompiledCircuit& cc,
+                                              const fault::Fault& f);
+
+/// Per-fault reasons plus summary counts for a fault list.
+struct StaFaultClasses {
+  std::vector<UntestableReason> reason;  ///< index-aligned with the input
+  std::size_t num_untestable = 0;
+  std::size_t num_unexcitable = 0;
+  std::size_t num_unobservable = 0;
+
+  /// 0/1 mask (1 = untestable), index-aligned — the FaultList::prune and
+  /// Procedure2Options::prune_mask payload.
+  [[nodiscard]] std::vector<std::uint8_t> untestable_mask() const;
+};
+
+/// Classifies every fault in `faults`.
+[[nodiscard]] StaFaultClasses classify_faults(
+    const StaReport& r, const sim::CompiledCircuit& cc,
+    const std::vector<fault::Fault>& faults);
+
+/// The "sta" trace event (canonical schema: nets, const_nets,
+/// derived_const, co_inf, fixpoint_iters, faults, untestable, unexcitable,
+/// unobservable).
+[[nodiscard]] obs::TraceEvent sta_trace_event(const StaReport& r,
+                                              const StaFaultClasses& cls,
+                                              std::size_t num_faults);
+
+/// Adds the analysis.sta.* counters.
+void add_sta_counters(obs::CounterRegistry& counters, const StaReport& r,
+                      const StaFaultClasses& cls);
+
+/// Machine-checks the report's internal invariants over `faults`:
+///   * a ternary-constant net has kScoapInf controllability of the
+///     opposite value;
+///   * a fault classified unobservable on net s has co[s] == kScoapInf;
+///   * flip-flop Q-line faults are never untestable;
+///   * every unexcitable fault's line is ternary-constant at the stuck
+///     value.
+/// Returns true when consistent; otherwise false with a one-line
+/// diagnosis in *why. This is the `rls analyze --untestable` CI gate.
+[[nodiscard]] bool sta_self_check(const StaReport& r,
+                                  const sim::CompiledCircuit& cc,
+                                  const std::vector<fault::Fault>& faults,
+                                  std::string* why);
+
+/// Options for the deterministic JSONL rendering of an analysis.
+struct AnalyzeJsonOptions {
+  bool scoap = false;       ///< emit one "sta_net" event per signal
+  bool untestable = true;   ///< emit one "sta_fault" event per untestable
+};
+
+/// Renders the analysis as deterministic JSONL: one "sta" summary event,
+/// then (optionally) per-net and per-untestable-fault events in ascending
+/// signal/fault order. Byte-identical across runs and thread counts.
+[[nodiscard]] std::string analyze_jsonl(const sim::CompiledCircuit& cc,
+                                        const std::vector<fault::Fault>& faults,
+                                        const AnalyzeJsonOptions& opt);
+
+}  // namespace rls::analysis

@@ -4,15 +4,67 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/sta.hpp"
+
 namespace rls::analysis {
 
 using netlist::GateType;
 using netlist::Netlist;
 using netlist::SignalId;
 
+namespace {
+
+/// One-shot SCOAP ranking: hardest-to-observe signals get observe points,
+/// hardest-to-control signals get control points forcing the expensive
+/// value. kScoapInf (impossible) ranks above every finite cost; ties
+/// break by ascending signal id.
+TestPointPlan select_by_scoap(const sim::CompiledCircuit& cc,
+                              std::size_t n_observe, std::size_t n_control) {
+  TestPointPlan plan;
+  const StaReport r = analyze(cc);
+  std::unordered_set<SignalId> taken;
+
+  std::vector<std::pair<std::uint32_t, SignalId>> by_co;
+  for (SignalId id : cc.order()) {
+    if (r.co[id] > 0) by_co.emplace_back(r.co[id], id);
+  }
+  std::sort(by_co.begin(), by_co.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (std::size_t k = 0; k < n_observe && k < by_co.size(); ++k) {
+    taken.insert(by_co[k].second);
+    plan.points.push_back({TestPoint::Kind::kObserve, by_co[k].second});
+  }
+
+  std::vector<std::pair<std::uint32_t, SignalId>> by_cc;
+  for (SignalId id : cc.order()) {
+    if (taken.count(id)) continue;
+    const std::uint32_t hard = std::max(r.cc0[id], r.cc1[id]);
+    if (hard > 1) by_cc.emplace_back(hard, id);
+  }
+  std::sort(by_cc.begin(), by_cc.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (std::size_t k = 0; k < n_control && k < by_cc.size(); ++k) {
+    const SignalId id = by_cc[k].second;
+    // The costlier value is the one worth forcing: CC1 >= CC0 means 1 is
+    // hard to reach, so splice an OR (force-to-1) point.
+    plan.points.push_back({r.cc1[id] >= r.cc0[id]
+                               ? TestPoint::Kind::kControl1
+                               : TestPoint::Kind::kControl0,
+                           id});
+  }
+  return plan;
+}
+
+}  // namespace
+
 TestPointPlan select_test_points(const sim::CompiledCircuit& cc,
                                  std::size_t n_observe,
-                                 std::size_t n_control) {
+                                 std::size_t n_control, RankBy rank) {
+  if (rank == RankBy::kScoap) {
+    return select_by_scoap(cc, n_observe, n_control);
+  }
   TestPointPlan plan;
   std::unordered_set<SignalId> taken;
 

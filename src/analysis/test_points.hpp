@@ -32,12 +32,26 @@ struct TestPointPlan {
   std::vector<TestPoint> points;
 };
 
+/// Candidate-ranking metric for select_test_points.
+enum class RankBy : std::uint8_t {
+  kCop,    ///< COP probabilities (greedy with recomputation, the default)
+  kScoap,  ///< SCOAP integer measures from rls::analysis::sta (one-shot)
+};
+
 /// Greedy COP-guided selection: `n_observe` observe points at the least
 /// observable signals, `n_control` control points at the most skewed
 /// signals (c1 near 0 gets a Control1, near 1 a Control0).
+///
+/// With RankBy::kScoap the same slots are filled from the static
+/// testability measures instead: observe points at the highest-CO signals
+/// (kScoapInf — provably unobservable — ranks first), control points at
+/// the highest max(CC0, CC1) signals, forcing the expensive value. SCOAP
+/// ranking is one-shot (measures are not recomputed between picks) and
+/// breaks ties by ascending signal id, so the plan is deterministic.
 TestPointPlan select_test_points(const sim::CompiledCircuit& cc,
                                  std::size_t n_observe,
-                                 std::size_t n_control);
+                                 std::size_t n_control,
+                                 RankBy rank = RankBy::kCop);
 
 /// Rebuilds the netlist with the plan applied. Observe points add a buffer
 /// marked as primary output; control points rename the original driver to

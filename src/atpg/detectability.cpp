@@ -24,6 +24,25 @@ DetectabilityReport classify(const sim::CompiledCircuit& cc,
     }
   }
 
+  // Presolved untestability (analysis::sta): settle without simulating.
+  // The scan-chain rule above wins on overlap (it never overlaps with a
+  // sound mask — Q-output faults are always detectable).
+  if (opt.presolved_untestable) {
+    if (opt.presolved_untestable->size() != faults.size()) {
+      throw std::invalid_argument(
+          "classify: presolved_untestable mask size does not match fault "
+          "count");
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if ((*opt.presolved_untestable)[i] && !settled[i]) {
+        rep.cls[i] = FaultClass::kUntestable;
+        settled[i] = 1;
+        ++rep.num_untestable;
+        ++rep.presolved_untestable;
+      }
+    }
+  }
+
   // Random PPSFP campaign.
   fault::CombFaultSim fsim(cc);
   rls::rand::Rng rng(opt.seed);

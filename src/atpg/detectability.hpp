@@ -33,6 +33,13 @@ struct DetectabilityOptions {
   std::size_t random_rounds = 64;
   std::uint64_t seed = 0x5EEDBA5Eull;
   int backtrack_limit = 4000;
+  /// Optional presolved-untestable mask, index-aligned with the fault
+  /// vector (1 = already proven untestable, e.g. by analysis::sta).
+  /// Masked faults skip both the random campaign and PODEM and are
+  /// reported kUntestable directly. The caller owns the vector; it must
+  /// outlive the classify() call. Soundness is the caller's obligation —
+  /// an unsound mask silently shrinks the target set.
+  const std::vector<std::uint8_t>* presolved_untestable = nullptr;
 };
 
 struct DetectabilityReport {
@@ -42,6 +49,8 @@ struct DetectabilityReport {
   std::size_t num_aborted = 0;
   std::size_t detected_by_random = 0;
   std::size_t detected_by_atpg = 0;
+  /// Faults settled kUntestable by the presolved mask (0 when none given).
+  std::size_t presolved_untestable = 0;
 
   [[nodiscard]] std::size_t num_faults() const noexcept { return cls.size(); }
 };

@@ -18,7 +18,28 @@ Workbench::Workbench(netlist::Netlist nl, const CampaignOptions& opts)
   cc_ = std::make_unique<sim::CompiledCircuit>(*nl_);
   universe_ = fault::collapsed_universe(*nl_);
   ts0_seed_ = rls::rand::hash_name(nl_->name()) ^ 0x7507507507ull;
-  classify(opts.detect);
+  if (!opts.prune_untestable) {
+    classify(opts.detect);
+    return;
+  }
+  // Static testability first: provably-untestable faults skip the random
+  // campaign and PODEM inside classify(), and the surviving target set
+  // gets an index-aligned prune mask for Procedure 2.
+  sta_report_ = std::make_unique<analysis::StaReport>(analysis::analyze(*cc_));
+  sta_classes_ = std::make_unique<analysis::StaFaultClasses>(
+      analysis::classify_faults(*sta_report_, *cc_, universe_));
+  universe_untestable_ = sta_classes_->untestable_mask();
+  atpg::DetectabilityOptions det_opt = opts.detect;
+  det_opt.presolved_untestable = &universe_untestable_;
+  classify(det_opt);
+  auto mask = std::make_shared<std::vector<std::uint8_t>>();
+  mask->reserve(target_.size());
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    if (det_.cls[i] == atpg::FaultClass::kDetectable) {
+      mask->push_back(universe_untestable_[i]);
+    }
+  }
+  target_prune_mask_ = std::move(mask);
 }
 
 void Workbench::classify(const atpg::DetectabilityOptions& det_opt) {

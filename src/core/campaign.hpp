@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/sta.hpp"
 #include "atpg/detectability.hpp"
 #include "core/param_select.hpp"
 #include "core/procedure2.hpp"
@@ -52,6 +53,24 @@ class Workbench {
   /// Deterministic per-circuit TS_0 seed.
   [[nodiscard]] std::uint64_t ts0_seed() const noexcept { return ts0_seed_; }
 
+  // ---- static-analysis results (non-null only when the workbench was
+  // built with opts.prune_untestable) ----
+  [[nodiscard]] const analysis::StaReport* sta_report() const noexcept {
+    return sta_report_.get();
+  }
+  /// Per-universe-fault sta classification.
+  [[nodiscard]] const analysis::StaFaultClasses* sta_classes() const noexcept {
+    return sta_classes_.get();
+  }
+  /// Prune mask over target_faults() for Procedure2Options::prune_mask.
+  /// Usually all-zero (sta untestability is a subset of PODEM
+  /// untestability, so untestable faults rarely survive into the target
+  /// set); null when sta was not run.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>>
+  target_prune_mask() const noexcept {
+    return target_prune_mask_;
+  }
+
  private:
   void classify(const atpg::DetectabilityOptions& det_opt);
 
@@ -61,6 +80,10 @@ class Workbench {
   std::vector<fault::Fault> target_;
   atpg::DetectabilityReport det_;
   std::uint64_t ts0_seed_ = 0;
+  std::unique_ptr<analysis::StaReport> sta_report_;
+  std::unique_ptr<analysis::StaFaultClasses> sta_classes_;
+  std::vector<std::uint8_t> universe_untestable_;
+  std::shared_ptr<const std::vector<std::uint8_t>> target_prune_mask_;
 };
 
 /// One row of Table 6 / 7 / 8.

@@ -50,6 +50,11 @@ Procedure2Result run_procedure2(const sim::CompiledCircuit& cc,
     }
   }
 
+  // Static pruning: mark provably-untestable targets so the engines skip
+  // them. Every denominator (fl.size()) and the completion criterion are
+  // untouched, so the emitted FC rows are identical to an unpruned run.
+  if (opt.prune_mask) fl.prune(*opt.prune_mask);
+
   fault::SeqFaultSim fsim(cc);
   fsim.set_engine(opt.engine);
   fsim.set_threads(opt.sim_threads);

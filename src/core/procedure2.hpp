@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/procedure1.hpp"
@@ -39,6 +40,14 @@ struct Procedure2Options {
   /// runtime (and let tests cross-check the engines end to end).
   fault::Engine engine = fault::Engine::kConeDiff;
   unsigned sim_threads = 0;
+  /// Statically-proven-untestable mask over the target faults (1 = prune;
+  /// see analysis::sta). When set, run_procedure2 applies it to `fl`
+  /// before simulating: pruned faults stay in every denominator and in
+  /// the completion criterion (so FC numbers and control flow are
+  /// unchanged), but are never simulated. Shared so the combo sweep's
+  /// speculative children reuse one mask without copies. Must be
+  /// index-aligned with the target fault list (checked at run time).
+  std::shared_ptr<const std::vector<std::uint8_t>> prune_mask;
 };
 
 /// One selected (I, D_1) pair with its bookkeeping.

@@ -50,6 +50,13 @@ struct CampaignOptions {
   /// Results are committed strictly in N_cyc0 order, so the winning combo,
   /// every committed ComboRun and the trace stream are identical at any W.
   unsigned combo_jobs = 1;
+  /// Run analysis::sta before fault classification and prune statically-
+  /// proven-untestable faults from every simulation loop. Pruned faults
+  /// stay in all fault-coverage denominators, so the reported FC rows are
+  /// numerically identical to an unpruned run; only fsim.gate_evals
+  /// drops. Off (the default) skips the analysis entirely — the event
+  /// stream is byte-identical to pre-sta builds.
+  bool prune_untestable = false;
 };
 
 class RunContext {

@@ -149,7 +149,7 @@ Word CombFaultSim::detect_mask(const Fault& f) {
 std::size_t CombFaultSim::run(FaultList& fl) {
   std::size_t newly = 0;
   for (std::size_t i = 0; i < fl.size(); ++i) {
-    if (fl.detected(i)) continue;
+    if (fl.detected(i) || fl.pruned(i)) continue;
     if (detect_mask(fl.fault(i)) != 0) {
       fl.mark_detected(i);
       ++newly;

@@ -41,7 +41,7 @@ std::vector<std::size_t> FaultList::remaining_indices() const {
   std::vector<std::size_t> out;
   out.reserve(num_remaining());
   for (std::size_t i = 0; i < faults_.size(); ++i) {
-    if (!detected_[i]) out.push_back(i);
+    if (!detected_[i] && !pruned(i)) out.push_back(i);
   }
   return out;
 }

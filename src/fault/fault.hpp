@@ -76,8 +76,36 @@ class FaultList {
                      static_cast<double>(faults_.size());
   }
 
-  /// Indices of still-undetected faults (the simulation targets).
+  /// Indices of still-undetected, unpruned faults (the simulation targets).
   [[nodiscard]] std::vector<std::size_t> remaining_indices() const;
+
+  /// Marks faults as pruned (statically proven untestable, see
+  /// analysis::sta). Pruning is observationally transparent to the
+  /// campaign bookkeeping: pruned faults stay in size() and coverage()
+  /// denominators, stay undetected (so all_detected() and the emitted FC
+  /// numbers are unchanged), and stay in the detected_flags() checkpoint
+  /// payload — engines simply stop simulating them via
+  /// remaining_indices(). `mask` is index-aligned (1 = prune); a fault
+  /// already detected is left alone. Throws std::invalid_argument on a
+  /// size mismatch.
+  void prune(const std::vector<std::uint8_t>& mask) {
+    if (mask.size() != faults_.size()) {
+      throw std::invalid_argument(
+          "FaultList::prune: mask size does not match fault count");
+    }
+    if (pruned_.empty()) pruned_.assign(faults_.size(), 0);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i] && !detected_[i] && !pruned_[i]) {
+        pruned_[i] = 1;
+        ++num_pruned_;
+      }
+    }
+  }
+
+  [[nodiscard]] bool pruned(std::size_t i) const {
+    return !pruned_.empty() && pruned_[i] != 0;
+  }
+  [[nodiscard]] std::size_t num_pruned() const noexcept { return num_pruned_; }
 
   /// Raw detection flags, index-aligned with faults() — the checkpoint
   /// payload (rls::store persists these bit-packed).
@@ -101,7 +129,9 @@ class FaultList {
  private:
   std::vector<Fault> faults_;
   std::vector<std::uint8_t> detected_;
+  std::vector<std::uint8_t> pruned_;  ///< empty until prune() is called
   std::size_t num_detected_ = 0;
+  std::size_t num_pruned_ = 0;
 };
 
 }  // namespace rls::fault

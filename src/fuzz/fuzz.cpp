@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "analysis/lint.hpp"
+#include "analysis/sta.hpp"
 #include "core/param_select.hpp"
 #include "core/procedure1.hpp"
 #include "core/procedure2.hpp"
@@ -27,6 +28,7 @@
 #include "store/checkpoint.hpp"
 #include "store/serde.hpp"
 #include "svc/json.hpp"
+#include "svc/request.hpp"
 
 namespace rls::fuzz {
 
@@ -91,6 +93,7 @@ obs::TraceEvent finding_event(const Finding& f) {
       .f64("cf", f.profile.counter_fraction)
       .u64("arity", f.profile.max_arity)
       .u64("pseed", f.profile.seed)
+      .u64("tied", f.profile.tied_inputs)
       .u64("la", f.options.l_a)
       .u64("lb", f.options.l_b)
       .u64("n", f.options.n)
@@ -413,6 +416,109 @@ std::optional<std::string> gen_lint(const FuzzCase& c, std::uint64_t* work) {
   return std::nullopt;
 }
 
+/// Oracle #6: static-testability soundness. Every fault the sta pass
+/// proves untestable must be undetected by the exact reference engine
+/// (kFullSweep, per-cycle observation) on the case's TS_0 + limited-scan
+/// set, and the report must pass its own machine-checkable invariants.
+/// Profiles with tied inputs make this bite: they synthesize derived
+/// constants, so the untestable set is routinely non-empty.
+std::optional<std::string> sta_soundness(const OracleEnv& env,
+                                         std::uint64_t* work) {
+  *work += kOracleBaseWork;
+  const analysis::StaReport r = analysis::analyze(env.cc);
+  const analysis::StaFaultClasses cls =
+      analysis::classify_faults(r, env.cc, env.universe);
+  std::string why;
+  if (!analysis::sta_self_check(r, env.cc, env.universe, &why)) {
+    return "sta self-check failed: " + why;
+  }
+  if (cls.num_untestable == 0) return std::nullopt;
+  const std::vector<std::uint8_t> detected = simulate_flags(
+      env, fault::Engine::kFullSweep, 1, fault::ObservationMode::kPerCycle,
+      env.c.options.misr_degree, work);
+  for (std::size_t i = 0; i < env.universe.size(); ++i) {
+    if (cls.reason[i] == analysis::UntestableReason::kTestable) continue;
+    if (detected[i]) {
+      return "fault " + fault::fault_name(env.nl, env.universe[i]) +
+             " classified " +
+             analysis::untestable_reason_name(cls.reason[i]) +
+             " but detected by fullsweep (sta unsoundness)";
+    }
+  }
+  return std::nullopt;
+}
+
+/// svc request-parser fuzzing: deterministic byte- and field-level
+/// mutations of a canonical CampaignRequest line. Every mutant must either
+/// parse or be rejected with RequestError (anything else escapes as a
+/// crash finding), and every *accepted* mutant must be canonically stable:
+/// parse(canonical(parse(m))) renders the same canonical bytes.
+std::optional<std::string> svc_request_fuzz(const FuzzCase& c,
+                                            std::uint64_t* work) {
+  *work += kOracleBaseWork;
+  svc::CampaignRequest req;
+  req.id = "fz" + std::to_string(c.seed);
+  req.circuit = "s27";
+  req.la = c.options.l_a;
+  req.lb = c.options.l_b;
+  req.n = c.options.n;
+  req.options.p2.engine = kEngines[c.seed % 3];
+  req.options.p2.sim_threads = c.options.threads;
+  req.options.p2.base_seed = c.seed;
+  req.options.combo_jobs = c.options.combo_jobs;
+  req.options.prune_untestable = (c.seed & 1) != 0;
+  const std::string canon = req.canonical_json();
+
+  const auto canonical_of = [](const std::string& text) {
+    return svc::parse_request(text, "fuzz").canonical_json();
+  };
+  if (canonical_of(canon) != canon) {
+    return "canonical request is not a parse fixpoint";
+  }
+
+  rls::rand::Rng rng(c.seed ^ 0x5C0F'FEED'5C0Full);
+  for (int k = 0; k < 24; ++k) {
+    std::string mut = canon;
+    switch (rng.mod_draw(4)) {
+      case 0:  // flip one byte (low bits keep most mutants printable)
+        mut[rng.mod_draw(mut.size())] ^=
+            static_cast<char>(1u << rng.mod_draw(7));
+        break;
+      case 1:  // truncate
+        mut.resize(rng.mod_draw(mut.size()));
+        break;
+      case 2: {  // splice a random slice of the line into itself
+        const std::size_t from = rng.mod_draw(mut.size());
+        const std::size_t len = 1 + rng.mod_draw(8);
+        mut.insert(rng.mod_draw(mut.size()),
+                   mut.substr(from, std::min(len, mut.size() - from)));
+        break;
+      }
+      default: {  // drop one comma-delimited field
+        const std::size_t comma = mut.find(',', rng.mod_draw(mut.size()));
+        if (comma == std::string::npos) break;
+        const std::size_t next = mut.find(',', comma + 1);
+        mut.erase(comma, next == std::string::npos ? mut.size() - comma - 1
+                                                   : next - comma);
+        break;
+      }
+    }
+    try {
+      const std::string canon2 = canonical_of(mut);
+      if (canonical_of(canon2) != canon2) {
+        return "accepted mutant " + std::to_string(k) +
+               " is not canonically stable";
+      }
+    } catch (const svc::RequestError&) {
+      // Clean, typed rejection — the contract for semantically bad input.
+    } catch (const svc::JsonError&) {
+      // Clean, typed rejection at the syntax layer. Any other exception
+      // escapes to the oracle wrapper as a crash.
+    }
+  }
+  return std::nullopt;
+}
+
 struct CaseScratch {
   std::string dir;  ///< per-case store directory (created lazily)
   explicit CaseScratch(const FuzzOptions& opt, std::uint64_t seed) {
@@ -467,8 +573,13 @@ std::vector<Finding> run_case_impl(const FuzzCase& c, const FuzzOptions& opt,
   };
 
   // 1. Generation + lint (always from the profile, even under a pinned
-  //    netlist — this oracle checks the *generator*).
+  //    netlist — this oracle checks the *generator*), then the circuit-free
+  //    svc request-parser fuzz.
   if (!oracle("gen-lint", [&] { return gen_lint(c, &work); })) {
+    if (stats) *stats = {work, oracles};
+    return out;
+  }
+  if (!oracle("svc-request", [&] { return svc_request_fuzz(c, &work); })) {
     if (stats) *stats = {work, oracles};
     return out;
   }
@@ -517,6 +628,9 @@ std::vector<Finding> run_case_impl(const FuzzCase& c, const FuzzOptions& opt,
 
   bool alive =
       oracle("engine-crosscheck", [&] { return engine_crosscheck(env, &work); });
+  if (alive) {
+    alive = oracle("sta-soundness", [&] { return sta_soundness(env, &work); });
+  }
   if (alive && c.options.sweep) {
     alive = oracle("sweep-width", [&] { return sweep_width(env, &work); });
   }
@@ -629,6 +743,7 @@ Finding shrink_finding(const Finding& f, const FuzzOptions& opt) {
     changed |= bisect([](FuzzCase& c) -> std::size_t& { return c.options.l_a; }, 1);
     changed |= bisect([](FuzzCase& c) -> std::size_t& { return c.options.l_b; }, 2);
     changed |= bisect([](FuzzCase& c) -> std::size_t& { return c.options.chain_len; }, 1);
+    changed |= bisect([](FuzzCase& c) -> std::size_t& { return c.profile.tied_inputs; }, 0);
     changed |= try_flag([](FuzzCase& c) { c.profile.counter_fraction = 0.0; });
     changed |= try_flag([](FuzzCase& c) { c.profile.max_arity = 4; });
     changed |= try_flag([](FuzzCase& c) { c.options.threads = 1; });
@@ -789,6 +904,9 @@ FuzzCase parse_case_line(const std::string& line, const std::string& origin) {
   c.profile.counter_fraction = get_f64(obj, "cf", origin);
   c.profile.max_arity = get_u64(obj, "arity", origin);
   c.profile.seed = get_u64(obj, "pseed", origin);
+  // "tied" postdates the first committed corpus files; absent = no tied
+  // inputs, which is what those profiles synthesized with.
+  c.profile.tied_inputs = field(obj, "tied") ? get_u64(obj, "tied", origin) : 0;
   c.options.l_a = get_u64(obj, "la", origin);
   c.options.l_b = get_u64(obj, "lb", origin);
   c.options.n = get_u64(obj, "n", origin);

@@ -10,10 +10,21 @@
 //   gen-lint           run_lint_source over the generated .bench must not
 //                      crash and must report no E-severity diagnostic
 //                      (the generator-hardening contract);
+//   svc-request        deterministic byte/field mutations of a canonical
+//                      CampaignRequest line must parse, or be rejected
+//                      with RequestError/JsonError; accepted mutants must
+//                      be canonically stable (parse -> canonical is a
+//                      fixpoint);
 //   engine-crosscheck  kFullSweep / kConeDiff / kPacked detection flags
 //                      must be identical per test set, in per-cycle AND
 //                      MISR-signature observation, at 1 and at the case's
 //                      randomized thread count;
+//   sta-soundness      every fault rls::analysis::sta proves untestable
+//                      must be undetected by kFullSweep on the case's test
+//                      sets, and the sta report must pass its own
+//                      self-check (profiles with tied inputs synthesize
+//                      derived constants, so the untestable set is
+//                      routinely non-empty);
 //   sweep-width        first_complete_combo at W=1 and at the case's
 //                      randomized W must produce byte-identical traces,
 //                      identical committed runs and identical fsim.*

@@ -12,6 +12,7 @@ std::vector<Profile> make_profiles() {
     const char* name;
     std::size_t pi, po, ff, gates;
     double cf;
+    std::size_t tied = 0;
   };
   // Interface counts follow the published ISCAS-89 / ITC-99 tables; gate
   // counts include inverters. counter_fraction encodes the qualitative
@@ -23,6 +24,11 @@ std::vector<Profile> make_profiles() {
       {"s382", 3, 6, 21, 158, 0.3},
       {"s400", 3, 6, 21, 162, 0.3},
       {"s420", 18, 1, 16, 218, 0.9},    // fractional divider (2x s208)
+      // s420 with two test-mode pins strapped inactive: the strapped pins
+      // freeze part of the divider, so a slice of the collapsed universe
+      // is *statically* untestable — the analysis::sta pruning benchmark
+      // (BENCH_PR9) and the --prune-untestable campaign tests run here.
+      {"s420t", 18, 1, 16, 218, 0.9, 2},
       {"s510", 19, 7, 6, 211, 0.0},     // random-easy control
       {"s641", 35, 24, 19, 379, 0.45},
       {"s820", 18, 19, 5, 289, 0.75},   // dense FSM: resistant
@@ -51,6 +57,7 @@ std::vector<Profile> make_profiles() {
     p.num_flip_flops = r.ff;
     p.num_gates = r.gates;
     p.counter_fraction = r.cf;
+    p.tied_inputs = r.tied;
     p.seed = rls::rand::hash_name(r.name) ^ 0x915C0FFEEull;
     out.push_back(std::move(p));
   }
@@ -93,6 +100,13 @@ Profile profile_from_seed(std::uint64_t seed) {
   }
   p.max_arity = 1 + rng.mod_draw(4);
   p.seed = rng.next_u64();
+  // Drawn after every pre-existing knob so seeds keep deriving the same
+  // interface/gate counts as before the knob existed. About 1 in 4 cases
+  // straps 1..3 pins, giving the sta-soundness oracle circuits whose
+  // untestable set is non-empty.
+  if (p.num_inputs > 0 && rng.mod_draw(4) == 0) {
+    p.tied_inputs = 1 + rng.mod_draw(3);
+  }
   return p;
 }
 

@@ -36,6 +36,15 @@ struct Profile {
   /// fuzzing edge). Structural gates — cone reducers, the counter core,
   /// decode monitors — keep the fan-in their function requires.
   std::size_t max_arity = 4;
+  /// Number of primary inputs gated by an on-chip constant (a test-mode
+  /// pin strapped inactive: pi_k is replaced in the fanin pool by
+  /// AND(pi_k, 0) or OR(pi_k, 1), alternating). Tied pins are how real
+  /// netlists acquire statically-untestable faults — constant cones and
+  /// logic whose only sensitization path runs through a strapped pin —
+  /// so profiles with tied_inputs > 0 exercise rls::analysis::sta
+  /// non-trivially. 0 (the default) leaves the netlist byte-identical to
+  /// pre-knob builds.
+  std::size_t tied_inputs = 0;
 };
 
 /// All built-in profiles (paper Table 6 circuits, minus s27 which is

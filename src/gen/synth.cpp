@@ -41,6 +41,7 @@ class Builder {
           "' requests gates or outputs but has no primary inputs or "
           "flip-flops to drive them");
     }
+    tie_inputs();
     make_counter_core();
     make_cones();
     wire_unused_sources();
@@ -96,6 +97,24 @@ class Builder {
     }
     for (std::size_t k = 0; k < p_.num_flip_flops; ++k) {
       ffs_.push_back(nl_.add_dff("ff" + std::to_string(k)));
+    }
+  }
+
+  /// Straps the first `tied_inputs` primary inputs inactive: pi_k stays a
+  /// real (used, observable-pin) input, but every downstream consumer
+  /// draws the gated net AND(pi_k, 0) / OR(pi_k, 1) instead — the classic
+  /// tied-test-mode-pin structure that makes a slice of the fault universe
+  /// statically untestable. No RNG draws (polarity alternates), so
+  /// profiles with tied_inputs == 0 synthesize bit-identically.
+  void tie_inputs() {
+    const std::size_t k_tied = std::min(p_.tied_inputs, pis_.size());
+    for (std::size_t k = 0; k < k_tied; ++k) {
+      const bool low = (k % 2) == 0;
+      const SignalId c = nl_.add_gate(
+          low ? GateType::kConst0 : GateType::kConst1,
+          "tie" + std::to_string(k), {});
+      mark_used(c);
+      pis_[k] = add_gate(low ? GateType::kAnd : GateType::kOr, {pis_[k], c});
     }
   }
 
@@ -368,7 +387,7 @@ class Builder {
       }
     }
     for (SignalId src : unused) {
-      if (!nary.empty()) {
+      if (!nary.empty() && netlist::is_source(nl_.gate(src).type)) {
         const SignalId g =
             nary[rng_.mod_draw(static_cast<std::uint32_t>(nary.size()))];
         std::vector<SignalId> fanin = nl_.gate(g).fanin;
@@ -376,7 +395,10 @@ class Builder {
         nl_.connect(g, fanin);
         mark_used(src);
       } else {
-        // Degenerate circuit with no n-ary gates: observe directly.
+        // No n-ary gates to absorb the source, or the "source" is a
+        // tied-input blend gate (combinational — appending it to another
+        // gate's fanin could close a cycle with a sibling blend): observe
+        // it directly.
         nl_.mark_output(src);
         mark_used(src);
       }

@@ -328,6 +328,17 @@ std::uint64_t digest_p2_options(const core::Procedure2Options& opt) {
   // kPacked is bit-identical to kConeDiff, so their artifacts are
   // interchangeable and share one digest (see DESIGN.md §10).
   w.u8(static_cast<std::uint8_t>(fault::artifact_engine(opt.engine)));
+  // Prune identity: a sound mask cannot change detection results, but a
+  // run must never resume from an artifact produced under a *different*
+  // mask (an unsound or stale one would smuggle its omissions into the
+  // restored flags), so the mask contents join the identity.
+  if (opt.prune_mask != nullptr) {
+    w.u8(1);
+    w.u64(opt.prune_mask->size());
+    for (const std::uint8_t b : *opt.prune_mask) w.u8(b != 0 ? 1 : 0);
+  } else {
+    w.u8(0);
+  }
   return fnv1a64(w.buffer().data(), w.buffer().size());
 }
 

@@ -90,6 +90,7 @@ std::string CampaignRequest::canonical_json() const {
              static_cast<std::uint64_t>(options.detect.backtrack_limit));
   uint_field("max_combos_on_failure", options.max_combos_on_failure);
   uint_field("max_attempts", options.max_attempts);
+  bool_field("prune_untestable", options.prune_untestable);
   bool_field("timing", timing);
   out += '}';
   return out;
@@ -165,6 +166,8 @@ CampaignRequest parse_request(std::string_view text,
     } else if (name == "max_attempts") {
       req.options.max_attempts =
           static_cast<std::size_t>(get_uint(value, name, origin));
+    } else if (name == "prune_untestable") {
+      req.options.prune_untestable = get_bool(value, name, origin);
     } else if (name == "timing") {
       req.timing = get_bool(value, name, origin);
     } else {

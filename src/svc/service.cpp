@@ -183,6 +183,18 @@ CampaignResponse CampaignService::execute(const Execution& ex) {
     ctx.set_sink(&sink);
 
     core::Workbench wb(load_circuit(ex.req.circuit), ctx.options);
+    if (ctx.options.prune_untestable && wb.sta_report() != nullptr) {
+      // Thread the sta prune mask into every Procedure 2 invocation (the
+      // speculative sweep's children share the same Procedure2Options),
+      // and surface the analysis in the stream and counters. When the
+      // flag is off none of this runs, so the stream stays byte-identical
+      // to pre-sta builds.
+      ctx.options.p2.prune_mask = wb.target_prune_mask();
+      ctx.emit(analysis::sta_trace_event(*wb.sta_report(), *wb.sta_classes(),
+                                         wb.universe().size()));
+      analysis::add_sta_counters(ctx.counters(), *wb.sta_report(),
+                                 *wb.sta_classes());
+    }
     std::unique_ptr<store::CampaignStore> cstore;
     if (astore_) {
       cstore = std::make_unique<store::CampaignStore>(

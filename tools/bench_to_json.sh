@@ -17,6 +17,10 @@
 # compare cold vs warm real_time for the store payoff and the coalesced
 # rows' requests/s + svc.coalesced_per_batch for the single-flight dedup
 # headline (PR-7; generate with `-f ServeThroughput -o BENCH_PR7.json`).
+# BM_StaPrune/s420t_{unpruned,pruned} is one bounded Procedure 2 pass over
+# the full collapsed universe with and without the sta untestable mask:
+# `detected` must match exactly while gate_evals_per_run drops (PR-9;
+# generate with `-f StaPrune -o BENCH_PR9.json`).
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]

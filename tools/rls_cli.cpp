@@ -10,6 +10,7 @@
 //   rls serve   [options]             NDJSON requests on stdin (svc API)
 //   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
 //   rls lint    <circuit|file.bench>  design-rule + resistance diagnostics
+//   rls analyze <circuit|file.bench>  static testability (ternary + SCOAP)
 //   rls fuzz    [options]             differential fuzzing (rls::fuzz)
 //
 // `<circuit>` is a registry name (s27, s208, ..., b11) or a path to an
@@ -38,6 +39,7 @@
 
 #include "analysis/cop.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/sta.hpp"
 #include "cli/flags.hpp"
 #include "core/campaign.hpp"
 #include "core/run_context.hpp"
@@ -237,6 +239,7 @@ int cmd_tables(const std::string& which, CommonFlags& common) {
 struct RunFlags {
   std::uint64_t la = 0, lb = 0, n = 0, max_iters = 0, combo_jobs = 1;
   bool d1_desc = false;
+  bool prune_untestable = false;
   std::string store_dir;
   bool resume = false;
   std::uint64_t gc_max_bytes = 0;
@@ -287,6 +290,7 @@ int cmd_run(const std::string& which, CommonFlags& common,
         static_cast<std::uint32_t>(flags.max_iters);
   }
   if (flags.d1_desc) req.options.p2.d1_order = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  req.options.prune_untestable = flags.prune_untestable;
   req.options.combo_jobs = static_cast<unsigned>(flags.combo_jobs);
   req.timing = flags.timing;
   if (flags.dump_request) {
@@ -597,6 +601,92 @@ int cmd_lint(const std::string& which, CommonFlags& common,
   return result.exit_code();
 }
 
+/// Everything `rls analyze` accepts beyond the circuit argument.
+struct AnalyzeFlags {
+  bool json = false;
+  bool scoap = false;
+  bool untestable = false;
+
+  void add_to(cli::FlagParser& fp) {
+    fp.add_bool("json", &json, "emit the analysis as JSONL on stdout");
+    fp.add_bool("scoap", &scoap,
+                "include per-net SCOAP measures (sta_net events / table)");
+    fp.add_bool("untestable", &untestable,
+                "list every statically-untestable fault with its reason");
+  }
+};
+
+int cmd_analyze(const std::string& which, CommonFlags& common,
+                const AnalyzeFlags& flags) {
+  const netlist::Netlist nl = load(which);
+  const sim::CompiledCircuit cc(nl);
+  const std::vector<fault::Fault> faults = fault::collapsed_universe(nl);
+  const analysis::StaReport rep = analysis::analyze(cc);
+  const analysis::StaFaultClasses cls =
+      analysis::classify_faults(rep, cc, faults);
+  std::string why;
+  const bool consistent = analysis::sta_self_check(rep, cc, faults, &why);
+
+  core::RunContext ctx;
+  common.configure(ctx);
+  if (ctx.sink()) {
+    obs::TraceEvent ev =
+        analysis::sta_trace_event(rep, cls, faults.size());
+    ev.fields.insert(ev.fields.begin(),
+                     std::make_pair(std::string("circuit"),
+                                    obs::Value{nl.name()}));
+    ctx.emit(ev);
+    ctx.flush();
+  }
+
+  if (flags.json) {
+    analysis::AnalyzeJsonOptions jopt;
+    jopt.scoap = flags.scoap;
+    jopt.untestable = flags.untestable;
+    const std::string jsonl = analysis::analyze_jsonl(cc, faults, jopt);
+    std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
+  } else {
+    std::printf("circuit: %s\n", nl.name().c_str());
+    std::printf("nets: %zu (%zu ternary-constant, %zu derived)\n",
+                rep.value.size(), rep.num_const_nets, rep.num_derived_const);
+    std::printf("unobservable nets (CO = inf): %zu\n", rep.num_co_inf);
+    std::printf("sequential fixpoint sweeps: %u\n", rep.fixpoint_iters);
+    std::printf("collapsed stuck-at faults: %zu\n", faults.size());
+    std::printf("  statically untestable: %zu (%zu unexcitable, "
+                "%zu unobservable)\n",
+                cls.num_untestable, cls.num_unexcitable, cls.num_unobservable);
+    if (flags.scoap) {
+      report::Table table({"net", "value", "CC0", "CC1", "CO"});
+      const auto cell = [](std::uint32_t v) {
+        return v == analysis::kScoapInf ? std::string("inf")
+                                        : std::to_string(v);
+      };
+      const auto num_nets = static_cast<netlist::SignalId>(rep.value.size());
+      for (netlist::SignalId s = 0; s < num_nets; ++s) {
+        const std::int8_t v = rep.value[s];
+        table.add_row({nl.signal_name(s),
+                       v == analysis::kX ? "X" : std::to_string(int(v)),
+                       cell(rep.cc0[s]), cell(rep.cc1[s]), cell(rep.co[s])});
+      }
+      std::printf("%s", table.to_string().c_str());
+    }
+    if (flags.untestable && cls.num_untestable > 0) {
+      report::Table table({"fault", "reason"});
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (cls.reason[i] == analysis::UntestableReason::kTestable) continue;
+        table.add_row({fault_name(nl, faults[i]),
+                       analysis::untestable_reason_name(cls.reason[i])});
+      }
+      std::printf("%s", table.to_string().c_str());
+    }
+  }
+  if (!consistent) {
+    std::fprintf(stderr, "error: sta self-check failed: %s\n", why.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 struct FuzzFlags {
   std::uint64_t seeds = 100;
   std::uint64_t seed_begin = 0;
@@ -667,12 +757,12 @@ int cmd_fuzz(const FuzzFlags& flags) {
 int usage() {
   std::fprintf(stderr,
                "usage: rls <list|stats|bench|faults|cop|tables|run|batch|"
-               "serve|lint|fuzz> [circuit|file] [options]\n"
+               "serve|lint|analyze|fuzz> [circuit|file] [options]\n"
                "common options: --engine=conediff|fullsweep|packed "
                "--threads=N "
                "--seed=S --trace=FILE --progress\n"
                "run options:    --la=N --lb=N --n=N --max-iters=N --d1-desc "
-               "--combo-jobs=W\n"
+               "--combo-jobs=W --prune-untestable\n"
                "                --store-dir=DIR --resume --gc-max-bytes=N "
                "--timing --dump-request\n"
                "batch/serve:    --store-dir=DIR --workers=W --queue-cap=N "
@@ -681,6 +771,7 @@ int usage() {
                "(requests: NDJSON, see docs/SERVICE.md)\n"
                "lint options:   --json --no-resistance --threshold=P "
                "--la=N --lb=N --n=N --max-resistant=K\n"
+               "analyze options: --json --scoap --untestable\n"
                "fuzz options:   --seeds=N --seed-begin=S --jobs=J "
                "--work-budget=N --no-shrink\n"
                "                --corpus-dir=DIR --findings=FILE|- "
@@ -702,6 +793,7 @@ int main(int argc, char** argv) {
     RunFlags run_flags;
     SvcFlags svc_flags;
     LintFlags lint_flags;
+    AnalyzeFlags analyze_flags;
     FuzzFlags fuzz_flags;
     const bool is_svc = cmd == "batch" || cmd == "serve";
     if (is_svc) {
@@ -712,6 +804,7 @@ int main(int argc, char** argv) {
       common.add_to(fp);
     }
     if (cmd == "lint") lint_flags.add_to(fp);
+    if (cmd == "analyze") analyze_flags.add_to(fp);
     if (cmd == "run") {
       fp.add_uint("la", &run_flags.la, "TS_0 short test length");
       fp.add_uint("lb", &run_flags.lb, "TS_0 long test length");
@@ -719,6 +812,9 @@ int main(int argc, char** argv) {
       fp.add_uint("max-iters", &run_flags.max_iters,
                   "Procedure 2 iteration cap");
       fp.add_bool("d1-desc", &run_flags.d1_desc, "sweep D1 descending 10..1");
+      fp.add_bool("prune-untestable", &run_flags.prune_untestable,
+                  "statically prove + skip untestable faults (sta pass); "
+                  "FC denominators are unchanged");
       fp.add_uint("combo-jobs", &run_flags.combo_jobs,
                   "speculative combo attempts in flight (0 = hardware); "
                   "forces --threads=1 per attempt unless --threads is given");
@@ -748,6 +844,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "tables") return cmd_tables(which, common);
     if (cmd == "lint") return cmd_lint(which, common, lint_flags);
+    if (cmd == "analyze") return cmd_analyze(which, common, analyze_flags);
     if (cmd == "run") return cmd_run(which, common, run_flags);
     if (cmd == "batch") return cmd_batch(which, svc_flags);
   } catch (const cli::FlagError& e) {
