@@ -20,6 +20,8 @@
 #include "fault/comb_fsim.hpp"
 #include "fault/seq_fsim.hpp"
 #include "gen/registry.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/counters.hpp"
 #include "rand/lfsr.hpp"
 #include "rand/rng.hpp"
@@ -488,6 +490,97 @@ BENCHMARK_CAPTURE(BM_ServeThroughput, s5378_warm_w1, "s5378", "warm", 1)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 BENCHMARK_CAPTURE(BM_ServeThroughput, s5378_coalesced_w4, "s5378",
                   "coalesced", 4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+/// The BM_ServeThroughput workload pushed through the full TCP loopback
+/// path (NetClient -> NetServer -> CampaignService): NDJSON framing,
+/// per-connection reader/writer threads, and envelope serialization on
+/// top of the service. Compare against the matching BM_ServeThroughput
+/// row for the transport tax, and warm_w1 vs warm_w4 for how requests/s
+/// scales with --workers when the wire is the same.
+void BM_NetThroughput(benchmark::State& state, const char* name,
+                      const char* mode_str, unsigned workers) {
+  const std::string_view mode(mode_str);
+  const bool cold = mode == "cold";
+  const unsigned dups = mode == "coalesced" ? 4 : 1;
+  static constexpr std::uint64_t kPins[4][3] = {
+      {8, 16, 16}, {8, 16, 64}, {8, 32, 16}, {8, 32, 64}};
+  const auto make_request = [&](std::size_t combo, unsigned dup) {
+    svc::CampaignRequest req;
+    req.id = "b" + std::to_string(combo) + "d" + std::to_string(dup);
+    req.circuit = name;
+    req.la = kPins[combo][0];
+    req.lb = kPins[combo][1];
+    req.n = kPins[combo][2];
+    req.options.p2.sim_threads = 1;
+    req.options.p2.max_iterations = 4;
+    req.options.p2.n_same_fc = 1;
+    req.options.detect.random_rounds = 8;
+    req.options.detect.backtrack_limit = 100;
+    return req;
+  };
+  const auto make_batch = [&] {
+    std::vector<svc::CampaignRequest> batch;
+    for (std::size_t combo = 0; combo < 4; ++combo) {
+      for (unsigned dup = 0; dup < dups; ++dup) {
+        batch.push_back(make_request(combo, dup));
+      }
+    }
+    return batch;
+  };
+  const BenchScratch scratch("net");
+  svc::ServiceConfig cfg;
+  cfg.store_dir = scratch.path;
+  cfg.workers = workers;
+  cfg.queue_capacity = 64;
+  if (!cold) {
+    svc::CampaignService warmup(cfg);
+    for (auto& fu : warmup.submit_batch(make_batch())) fu.get();
+  }
+  std::uint64_t requests = 0;
+  double coalesced_per_batch = 0.0;
+  for (auto _ : state) {
+    if (cold) {
+      state.PauseTiming();
+      std::error_code ec;
+      std::filesystem::remove_all(scratch.path, ec);
+      state.ResumeTiming();
+    }
+    svc::CampaignService service(cfg);
+    net::NetServer server(service, net::NetConfig{});
+    net::NetClient client("127.0.0.1", server.port());
+    const std::vector<svc::CampaignRequest> batch = make_batch();
+    for (const svc::CampaignRequest& req : batch) {
+      client.send_line(req.canonical_json());
+    }
+    client.shutdown_write();
+    std::size_t ok = 0;
+    while (const auto line = client.recv_line()) {
+      ok += line->find("\"ok\":true") != std::string::npos;
+    }
+    server.shutdown();
+    service.shutdown();
+    requests += batch.size();
+    coalesced_per_batch =
+        static_cast<double>(service.counters().value("svc.coalesced"));
+    if (ok != batch.size()) {
+      state.SkipWithError("campaign request failed over loopback");
+      break;
+    }
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["batch_requests"] = static_cast<double>(4 * dups);
+  state.counters["svc.coalesced_per_batch"] = coalesced_per_batch;
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_NetThroughput, s298_cold_w1, "s298", "cold", 1)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_NetThroughput, s298_warm_w1, "s298", "warm", 1)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_NetThroughput, s298_warm_w4, "s298", "warm", 4)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK_CAPTURE(BM_NetThroughput, s298_coalesced_w4, "s298", "coalesced", 4)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_CombFaultSimRound(benchmark::State& state, const char* name) {

@@ -18,6 +18,7 @@
 #include "fault/collapse.hpp"
 #include "fault/seq_fsim.hpp"
 #include "gen/synth.hpp"
+#include "net/framing.hpp"
 #include "netlist/bench_io.hpp"
 #include "obs/trace.hpp"
 #include "rand/rng.hpp"
@@ -467,18 +468,30 @@ std::optional<std::string> svc_request_fuzz(const FuzzCase& c,
   req.options.p2.base_seed = c.seed;
   req.options.combo_jobs = c.options.combo_jobs;
   req.options.prune_untestable = (c.seed & 1) != 0;
+  req.priority = c.seed % 5;             // schema-2 schedule-only fields
+  req.deadline_ms = (c.seed % 4) * 500;
   const std::string canon = req.canonical_json();
 
+  // parse_line is the real wire entry point: it dispatches requests and
+  // cancel control lines, so both kinds are fuzzed through it.
   const auto canonical_of = [](const std::string& text) {
-    return svc::parse_request(text, "fuzz").canonical_json();
+    const svc::ParsedLine p = svc::parse_line(text, "fuzz");
+    return p.cancel ? p.cancel->canonical_json()
+                    : p.request->canonical_json();
   };
   if (canonical_of(canon) != canon) {
     return "canonical request is not a parse fixpoint";
   }
+  svc::CancelLine cl;
+  cl.target = req.id;
+  const std::string cancel_canon = cl.canonical_json();
+  if (canonical_of(cancel_canon) != cancel_canon) {
+    return "canonical cancel line is not a parse fixpoint";
+  }
 
   rls::rand::Rng rng(c.seed ^ 0x5C0F'FEED'5C0Full);
   for (int k = 0; k < 24; ++k) {
-    std::string mut = canon;
+    std::string mut = (k % 3 == 2) ? cancel_canon : canon;
     switch (rng.mod_draw(4)) {
       case 0:  // flip one byte (low bits keep most mutants printable)
         mut[rng.mod_draw(mut.size())] ^=
@@ -514,6 +527,98 @@ std::optional<std::string> svc_request_fuzz(const FuzzCase& c,
     } catch (const svc::JsonError&) {
       // Clean, typed rejection at the syntax layer. Any other exception
       // escapes to the oracle wrapper as a crash.
+    }
+  }
+  return std::nullopt;
+}
+
+/// One splitter run over `bytes` in `chunk`-sized feeds: the delivered
+/// lines plus the typed frame error (if any) that ended the run.
+struct SplitOutcome {
+  std::vector<std::string> lines;
+  int error = -1;  ///< -1 = clean, else FrameError::Kind
+
+  bool operator==(const SplitOutcome& o) const {
+    return error == o.error && lines == o.lines;
+  }
+};
+
+SplitOutcome run_split(const std::string& bytes, std::size_t chunk,
+                       std::size_t max_line) {
+  SplitOutcome out;
+  net::LineSplitter splitter(max_line);
+  try {
+    for (std::size_t pos = 0; pos < bytes.size(); pos += chunk) {
+      splitter.feed(std::string_view(bytes).substr(pos, chunk),
+                    [&](std::string_view l) { out.lines.emplace_back(l); });
+    }
+    if (const auto last = splitter.finish()) out.lines.push_back(*last);
+  } catch (const net::FrameError& e) {
+    out.error = static_cast<int>(e.kind);
+  }
+  return out;
+}
+
+/// net framing fuzz: a TCP read boundary can land anywhere, so the
+/// LineSplitter must be chunk-invariant — every chunking of the same
+/// byte stream yields the same line sequence, and hostile bytes (an
+/// embedded NUL, an oversize line) fail with the same typed error after
+/// the same delivered prefix. One hostile mode per stream (NUL and
+/// oversize in the *same* line legitimately race on which is seen
+/// first, and that order depends on chunking).
+std::optional<std::string> net_frame_fuzz(const FuzzCase& c,
+                                          std::uint64_t* work) {
+  *work += kOracleBaseWork;
+  constexpr std::size_t kCap = 96;
+  rls::rand::Rng rng(c.seed ^ 0xF8A3'11CE'F8A3ull);
+  const unsigned mode = static_cast<unsigned>(c.seed % 3);
+
+  std::string bytes;
+  const std::size_t nlines = 3 + rng.mod_draw(6);
+  for (std::size_t i = 0; i < nlines; ++i) {
+    switch (rng.mod_draw(4)) {
+      case 0:  // a plausible control line
+        bytes += "{\"schema\":2,\"cancel\":\"fz" +
+                 std::to_string(rng.mod_draw(100)) + "\"}";
+        break;
+      case 1:  // empty keep-alive line
+        break;
+      default: {  // random printable junk, always under the cap
+        const std::size_t len = rng.mod_draw(64);
+        for (std::size_t j = 0; j < len; ++j) {
+          bytes.push_back(static_cast<char>('a' + rng.mod_draw(26)));
+        }
+        break;
+      }
+    }
+    bytes += (rng.mod_draw(4) == 0) ? "\r\n" : "\n";
+  }
+  if (mode == 1) {  // hostile: one NUL at an arbitrary stream position
+    bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.mod_draw(bytes.size())),
+                 '\0');
+  } else if (mode == 2) {  // hostile: one line past the cap
+    std::string big(kCap + 8 + rng.mod_draw(64), 'z');
+    bytes.insert(rng.mod_draw(bytes.size()), big + "\n");
+  }
+  if (rng.mod_draw(3) == 0) bytes += "unterminated tail";
+
+  const SplitOutcome ref = run_split(bytes, bytes.size(), kCap);
+  if (mode == 0 && ref.error != -1) {
+    return "clean stream raised a frame error";
+  }
+  if (mode != 0 && ref.error == -1) {
+    return "hostile stream (mode " + std::to_string(mode) +
+           ") was not rejected";
+  }
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7},
+        std::size_t{13}, std::size_t{1} + rng.mod_draw(40)}) {
+    *work += bytes.size();
+    if (!(run_split(bytes, chunk, kCap) == ref)) {
+      return "chunk=" + std::to_string(chunk) +
+             " changes the line sequence (mode " + std::to_string(mode) +
+             ")";
     }
   }
   return std::nullopt;
@@ -580,6 +685,10 @@ std::vector<Finding> run_case_impl(const FuzzCase& c, const FuzzOptions& opt,
     return out;
   }
   if (!oracle("svc-request", [&] { return svc_request_fuzz(c, &work); })) {
+    if (stats) *stats = {work, oracles};
+    return out;
+  }
+  if (!oracle("net-frame", [&] { return net_frame_fuzz(c, &work); })) {
     if (stats) *stats = {work, oracles};
     return out;
   }

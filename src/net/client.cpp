@@ -1,0 +1,133 @@
+#include "net/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/server.hpp"  // NetError
+
+namespace rls::net {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+NetClient::NetClient(const std::string& host_port, int recv_buffer_bytes) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 == host_port.size()) {
+    throw NetError("expected host:port, got '" + host_port + "'");
+  }
+  const std::string host = host_port.substr(0, colon);
+  unsigned long port = 0;
+  try {
+    port = std::stoul(host_port.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = 65536;  // force the range error below
+  }
+  if (port == 0 || port > 65535) {
+    throw NetError("invalid port in '" + host_port + "'");
+  }
+  connect_to(host, static_cast<std::uint16_t>(port), recv_buffer_bytes);
+}
+
+NetClient::NetClient(const std::string& host, std::uint16_t port,
+                     int recv_buffer_bytes) {
+  connect_to(host, port, recv_buffer_bytes);
+}
+
+void NetClient::connect_to(const std::string& host, std::uint16_t port,
+                           int recv_buffer_bytes) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (gai != 0) {
+    throw NetError("cannot resolve '" + host + "': " + ::gai_strerror(gai));
+  }
+  fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd_ < 0) {
+    ::freeaddrinfo(res);
+    throw NetError("cannot create socket: " + errno_text());
+  }
+  if (recv_buffer_bytes > 0) {
+    // Must be set before connect so the window scale is negotiated with
+    // the small buffer.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes,
+                 sizeof recv_buffer_bytes);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::connect(fd_, res->ai_addr, res->ai_addrlen) != 0) {
+    const std::string msg = errno_text();
+    ::freeaddrinfo(res);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("cannot connect to " + host + ":" + port_str + ": " + msg);
+  }
+  ::freeaddrinfo(res);
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NetClient::send_line(std::string_view line) {
+  std::string framed{line};
+  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("send failed (server disconnected?): " + errno_text());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void NetClient::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+std::optional<std::string> NetClient::recv_line() {
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      return line;
+    }
+    if (eof_) {
+      if (rbuf_.empty()) return std::nullopt;
+      std::string line = std::move(rbuf_);
+      rbuf_.clear();
+      return line;
+    }
+    char buf[1 << 16];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A reset after an overflow disconnect still means "no more
+      // lines" — surface it as EOF so callers can count what arrived.
+      eof_ = true;
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    rbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rls::net

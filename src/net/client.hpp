@@ -1,0 +1,52 @@
+// NetClient — a minimal blocking NDJSON client for NetServer.
+//
+// The transport used by `rls client` and the loopback integration
+// tests: connect, send request lines, half-close the write side, read
+// envelope lines until the server's EOF. One envelope comes back per
+// non-blank request line, in admission order; cancel control lines
+// consume no response slot (the outcome shows up on the *target*
+// request's envelope).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rls::net {
+
+class NetClient {
+ public:
+  /// Connects to "host:port". `recv_buffer_bytes` > 0 shrinks SO_RCVBUF
+  /// before connecting (tests use a tiny window to exercise the
+  /// server's slow-reader disconnect). Throws NetError on failure.
+  explicit NetClient(const std::string& host_port, int recv_buffer_bytes = 0);
+  NetClient(const std::string& host, std::uint16_t port,
+            int recv_buffer_bytes = 0);
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Sends one NDJSON line (a '\n' is appended when missing). Throws
+  /// NetError when the server hung up (e.g. an overflow disconnect).
+  void send_line(std::string_view line);
+
+  /// Half-close: tells the server no more requests are coming, so it
+  /// flushes remaining responses and closes. Reading still works.
+  void shutdown_write();
+
+  /// Next response line, or nullopt at server EOF.
+  std::optional<std::string> recv_line();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  void connect_to(const std::string& host, std::uint16_t port,
+                  int recv_buffer_bytes);
+
+  int fd_ = -1;
+  std::string rbuf_;
+  bool eof_ = false;
+};
+
+}  // namespace rls::net

@@ -1,0 +1,56 @@
+#include "net/framing.hpp"
+
+namespace rls::net {
+
+void LineSplitter::feed(std::string_view chunk,
+                        const std::function<void(std::string_view)>& on_line) {
+  while (!chunk.empty()) {
+    const std::size_t nul = chunk.find('\0');
+    const std::size_t nl = chunk.find('\n');
+    if (nul < nl) {
+      throw FrameError(FrameError::Kind::kNul,
+                       "frame error: embedded NUL byte in NDJSON stream");
+    }
+    if (nl == std::string_view::npos) {
+      partial_.append(chunk);
+      if (partial_.size() > max_line_bytes_) {
+        throw FrameError(
+            FrameError::Kind::kOversize,
+            "frame error: line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes");
+      }
+      return;
+    }
+    const std::string_view head = chunk.substr(0, nl);
+    chunk.remove_prefix(nl + 1);
+    if (partial_.empty()) {
+      if (head.size() > max_line_bytes_) {
+        throw FrameError(
+            FrameError::Kind::kOversize,
+            "frame error: line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes");
+      }
+      on_line(strip_cr(head));
+    } else {
+      partial_.append(head);
+      if (partial_.size() > max_line_bytes_) {
+        throw FrameError(
+            FrameError::Kind::kOversize,
+            "frame error: line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes");
+      }
+      const std::string line = std::move(partial_);
+      partial_.clear();
+      on_line(strip_cr(line));
+    }
+  }
+}
+
+std::optional<std::string> LineSplitter::finish() {
+  if (partial_.empty()) return std::nullopt;
+  std::string line{strip_cr(partial_)};
+  partial_.clear();
+  return line;
+}
+
+}  // namespace rls::net

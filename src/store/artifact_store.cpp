@@ -99,7 +99,8 @@ std::string ArtifactKey::filename() const {
   return kind + "-" + hex + ".rlsa";
 }
 
-ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+ArtifactStore::ArtifactStore(std::string dir)
+    : dir_(std::move(dir)), lock_(dir_) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) {
@@ -111,6 +112,9 @@ ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
   // Migrate a flat (pre-shard) store: every well-formed artifact at the
   // root moves into its shard via same-filesystem rename(2). Orphans and
   // unrecognized files stay at the root (gc still sweeps root orphans).
+  // Exclusive lock: two processes opening the same flat store must not
+  // race each other's renames.
+  const StoreLock::Guard guard = lock_.exclusive();
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
@@ -150,6 +154,9 @@ std::string ArtifactStore::path(const ArtifactKey& key) const {
 
 std::uint64_t ArtifactStore::put(const ArtifactKey& key,
                                  std::span<const std::uint8_t> body) {
+  // Shared lock for the whole temp-write + rename: a concurrent
+  // cross-process gc (exclusive) can never observe our fresh temp file.
+  const StoreLock::Guard guard = lock_.shared();
   const std::vector<std::uint8_t> framed = frame(key.digest(), body);
   const std::string sdir = shard_dir(shard_of(key));
   std::error_code ec;
@@ -200,6 +207,9 @@ std::uint64_t ArtifactStore::put(const ArtifactKey& key,
 
 std::optional<std::vector<std::uint8_t>> ArtifactStore::get(
     const ArtifactKey& key) const {
+  // Shared lock: a cross-process gc cannot evict the artifact between
+  // our read and the mtime bump that would have saved it.
+  const StoreLock::Guard guard = lock_.shared();
   const std::string p = path(key);
   std::optional<std::vector<std::uint8_t>> framed = read_file(p);
   if (!framed) return std::nullopt;
@@ -255,7 +265,8 @@ std::size_t ArtifactStore::size() const {
 }
 
 ArtifactStore::GcStats ArtifactStore::gc_dirs(
-    const std::vector<std::string>& dirs, std::uint64_t max_bytes) {
+    const std::vector<std::string>& dirs, std::uint64_t max_bytes,
+    bool all_orphans) {
   struct Item {
     fs::path path;
     std::uint64_t size;
@@ -282,9 +293,10 @@ ArtifactStore::GcStats ArtifactStore::gc_dirs(
       const fs::file_time_type mtime = entry.last_write_time(item_ec);
       if (item_ec) continue;
       if (name.find(".tmp.") != std::string::npos) {
-        // A temp file past the grace window is a crash orphan from an
-        // interrupted put(); a fresh one may be an in-flight writer.
-        if (mtime < orphan_cutoff) {
+        // Under the exclusive flock no put is in flight in any process,
+        // so every temp file is a crash orphan. In degraded (unlocked)
+        // mode only a temp past the grace window is safely dead.
+        if (all_orphans || mtime < orphan_cutoff) {
           fs::remove(entry.path(), item_ec);
           if (!item_ec) {
             stats.removed_bytes += size;
@@ -318,12 +330,14 @@ ArtifactStore::GcStats ArtifactStore::gc_dirs(
 }
 
 ArtifactStore::GcStats ArtifactStore::gc(std::uint64_t max_bytes) {
-  return gc_dirs(artifact_dirs(), max_bytes);
+  const StoreLock::Guard guard = lock_.exclusive();
+  return gc_dirs(artifact_dirs(), max_bytes, guard.locked());
 }
 
 ArtifactStore::GcStats ArtifactStore::gc_shard(unsigned shard,
                                                std::uint64_t max_bytes) {
-  return gc_dirs({shard_dir(shard)}, max_bytes);
+  const StoreLock::Guard guard = lock_.exclusive();
+  return gc_dirs({shard_dir(shard)}, max_bytes, guard.locked());
 }
 
 }  // namespace rls::store

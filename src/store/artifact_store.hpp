@@ -30,6 +30,15 @@
 // collector deletes oldest-first until the store fits the budget.
 // gc(max_bytes) applies the budget store-wide; gc_shard(shard,
 // max_bytes) applies it to one shard and never touches siblings.
+//
+// Cross-process sharing (since PR 10): every put/get holds the store's
+// shared flock and every gc / flat-store migration holds the exclusive
+// flock (store/lock.hpp), so multiple processes — e.g. two `rls serve
+// --listen` instances — can point at one store root. Under the
+// exclusive lock no put can be in flight in any process, so gc collects
+// *every* "*.tmp.*" orphan immediately instead of waiting out the
+// kOrphanGraceSeconds heuristic (which remains the fallback on
+// filesystems where flock degrades, see StoreLock).
 #pragma once
 
 #include <atomic>
@@ -39,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "store/lock.hpp"
 #include "store/serde.hpp"
 
 namespace rls::store {
@@ -130,15 +140,22 @@ class ArtifactStore {
   /// gc_shard can run concurrently with puts landing elsewhere.
   GcStats gc_shard(unsigned shard, std::uint64_t max_bytes);
 
+  /// The cross-process lock guarding this store root (see lock.hpp).
+  /// Exposed so tests and tooling can observe or pre-acquire it.
+  [[nodiscard]] const StoreLock& lock() const noexcept { return lock_; }
+
  private:
   /// Sweep orphans + apply an LRU byte budget over the given directories.
+  /// `all_orphans` (true under the exclusive flock) collects every
+  /// "*.tmp.*" file; false keeps the kOrphanGraceSeconds heuristic.
   GcStats gc_dirs(const std::vector<std::string>& dirs,
-                  std::uint64_t max_bytes);
+                  std::uint64_t max_bytes, bool all_orphans);
   /// Root + every existing shard directory (directories only; the root
   /// is kept for legacy orphan sweep).
   [[nodiscard]] std::vector<std::string> artifact_dirs() const;
 
   std::string dir_;
+  StoreLock lock_;
   std::uint64_t migrated_ = 0;
   std::atomic<std::uint64_t> tmp_seq_{0};
 };

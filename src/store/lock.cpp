@@ -1,0 +1,56 @@
+#include "store/lock.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "store/serde.hpp"
+
+namespace rls::store {
+
+StoreLock::Guard& StoreLock::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void StoreLock::Guard::release() noexcept {
+  if (fd_ >= 0) {
+    // close(2) drops the flock held by this open file description.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StoreLock::Guard StoreLock::acquire(int operation) const {
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw StoreError(path_ + ": cannot open store lock file: " +
+                     std::strerror(errno));
+  }
+  while (::flock(fd, operation) != 0) {
+    if (errno == EINTR) continue;
+    if (errno == ENOLCK || errno == ENOSYS || errno == EOPNOTSUPP) {
+      // Filesystem without flock support: degrade to unlocked and let
+      // callers fall back to the grace-window heuristics.
+      ::close(fd);
+      return Guard{};
+    }
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    throw StoreError(path_ + ": flock failed: " + msg);
+  }
+  return Guard{fd};
+}
+
+StoreLock::Guard StoreLock::shared() const { return acquire(LOCK_SH); }
+
+StoreLock::Guard StoreLock::exclusive() const { return acquire(LOCK_EX); }
+
+}  // namespace rls::store

@@ -1,0 +1,74 @@
+// StoreLock — cross-process advisory locking for a store root.
+//
+// Multiple `rls serve --listen` instances (and any number of threads
+// inside each) may share one sharded ArtifactStore directory. The
+// in-process paths are already safe (unique temp names + atomic rename),
+// but two *processes* race in one place: gc. A collector that sweeps
+// "*.tmp.*" orphans cannot tell a crash leftover from another process's
+// in-flight put, and an LRU eviction can delete an artifact another
+// process is mid-read on a filesystem where unlink invalidates nothing —
+// so gc waits for a moment when no peer operation is in flight.
+//
+// The protocol is a single flock(2) file, "<dir>/.lock":
+//   * put() / get() hold a SHARED lock for the duration of the
+//     operation — any number of readers/writers proceed concurrently;
+//   * gc() / gc_shard() / flat-store migration hold an EXCLUSIVE lock —
+//     the collector runs only while no put/get is in flight in *any*
+//     process, which also means every "*.tmp.*" file it sees is a true
+//     orphan and can be collected immediately (lock-aware gc; no grace
+//     window needed under the exclusive lock).
+//
+// Every Guard opens its own file descriptor: flock locks belong to the
+// open file description, so per-operation fds give (a) no shared/
+// exclusive upgrade hazards and (b) contention between two ArtifactStore
+// instances inside one process — which is exactly what the in-process
+// two-service tests rely on to exercise the cross-process code path.
+//
+// The lock is advisory and best-effort: on filesystems that reject
+// flock (ENOLCK/ENOTSUP), the guard degrades to unlocked and callers
+// fall back to the PR 5 grace-window heuristics. locked() reports which
+// mode a guard actually got.
+#pragma once
+
+#include <string>
+
+namespace rls::store {
+
+class StoreLock {
+ public:
+  /// RAII lock holder. Movable, not copyable; releases on destruction.
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(int fd) noexcept : fd_(fd) {}
+    Guard(Guard&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Guard& operator=(Guard&& other) noexcept;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+    /// True when the flock was actually acquired (false = degraded mode).
+    [[nodiscard]] bool locked() const noexcept { return fd_ >= 0; }
+    void release() noexcept;
+
+   private:
+    int fd_ = -1;
+  };
+
+  /// `dir` must already exist; the lock file is created on first use.
+  explicit StoreLock(const std::string& dir) : path_(dir + "/.lock") {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Blocks until the lock is granted (or degrades, see above). Throws
+  /// StoreError only on unexpected failures (lock file not creatable).
+  [[nodiscard]] Guard shared() const;
+  [[nodiscard]] Guard exclusive() const;
+
+ private:
+  [[nodiscard]] Guard acquire(int operation) const;
+
+  std::string path_;
+};
+
+}  // namespace rls::store

@@ -1,5 +1,7 @@
 #include "svc/request.hpp"
 
+#include <algorithm>
+
 #include "fault/seq_fsim.hpp"
 #include "store/serde.hpp"
 #include "svc/json.hpp"
@@ -92,6 +94,19 @@ std::string CampaignRequest::canonical_json() const {
   uint_field("max_attempts", options.max_attempts);
   bool_field("prune_untestable", options.prune_untestable);
   bool_field("timing", timing);
+  uint_field("priority", priority);
+  uint_field("deadline_ms", deadline_ms);
+  out += '}';
+  return out;
+}
+
+std::string CancelLine::canonical_json() const {
+  std::string out = "{";
+  append_field_name(out, "schema");
+  append_u64(out, CampaignRequest::kSchemaVersion);
+  out += ',';
+  append_field_name(out, "cancel");
+  append_json_string(out, target);
   out += '}';
   return out;
 }
@@ -170,6 +185,10 @@ CampaignRequest parse_request(std::string_view text,
       req.options.prune_untestable = get_bool(value, name, origin);
     } else if (name == "timing") {
       req.timing = get_bool(value, name, origin);
+    } else if (name == "priority") {
+      req.priority = get_uint(value, name, origin);
+    } else if (name == "deadline_ms") {
+      req.deadline_ms = get_uint(value, name, origin);
     } else {
       throw RequestError(origin + ": unknown field \"" + name +
                          "\" (schema v" + std::to_string(
@@ -199,11 +218,48 @@ CampaignRequest parse_request(std::string_view text,
   return req;
 }
 
+ParsedLine parse_line(std::string_view text, const std::string& origin) {
+  ParsedLine line;
+  const JsonObject obj = parse_json_object(text, origin);
+  const bool is_cancel =
+      std::any_of(obj.begin(), obj.end(),
+                  [](const auto& f) { return f.first == "cancel"; });
+  if (!is_cancel) {
+    line.request = parse_request(text, origin);
+    return line;
+  }
+  CancelLine cancel;
+  std::optional<std::uint32_t> schema;
+  for (const auto& [name, value] : obj) {
+    if (name == "schema") {
+      schema = static_cast<std::uint32_t>(get_uint(value, name, origin));
+    } else if (name == "cancel") {
+      cancel.target = get_string(value, name, origin);
+    } else {
+      throw RequestError(origin + ": unknown field \"" + name +
+                         "\" in cancel line (only \"schema\" and "
+                         "\"cancel\" are allowed)");
+    }
+  }
+  if (schema && *schema > CampaignRequest::kSchemaVersion) {
+    throw RequestError(origin + ": schema v" + std::to_string(*schema) +
+                       " is newer than this binary (supports <= v" +
+                       std::to_string(CampaignRequest::kSchemaVersion) + ")");
+  }
+  if (cancel.target.empty()) {
+    throw RequestError(origin + ": \"cancel\" must name a request id");
+  }
+  line.cancel = std::move(cancel);
+  return line;
+}
+
 std::uint64_t coalesce_key(const CampaignRequest& req) {
   CampaignRequest identity = req;
   identity.id.clear();
   identity.options.p2.sim_threads = 0;
   identity.options.combo_jobs = 1;
+  identity.priority = 0;
+  identity.deadline_ms = 0;
   const std::string canon = identity.canonical_json();
   return store::fnv1a64(canon.data(), canon.size());
 }
@@ -222,6 +278,16 @@ std::string CampaignResponse::to_json() const {
     out += ',';
     append_field_name(out, "error");
     append_json_string(out, error);
+    if (!error_code.empty()) {
+      out += ',';
+      append_field_name(out, "error_code");
+      append_json_string(out, error_code);
+    }
+    if (retry_after_hint > 0) {
+      out += ',';
+      append_field_name(out, "retry_after_hint");
+      append_u64(out, retry_after_hint);
+    }
   }
   out += ',';
   append_field_name(out, "coalesced");

@@ -45,7 +45,10 @@ class RequestError : public std::runtime_error {
 using RequestId = std::string;
 
 struct CampaignRequest {
-  static constexpr std::uint32_t kSchemaVersion = 1;
+  /// v2 (PR 10) added the schedule-only `priority` and `deadline_ms`
+  /// fields; schema-1 lines still parse (absent = default) and remain
+  /// byte-compatible on the wire.
+  static constexpr std::uint32_t kSchemaVersion = 2;
 
   RequestId id;          ///< echoed on the response (assigned if empty)
   std::string circuit;   ///< registry name or .bench path
@@ -57,6 +60,15 @@ struct CampaignRequest {
   /// coalescible streams; a timing=true request never coalesces with a
   /// timing=false one).
   bool timing = false;
+  /// Admission priority: higher runs earlier; equal priorities keep
+  /// admission order (stable). Schedule-only — never part of the
+  /// execution identity.
+  std::uint64_t priority = 0;
+  /// Queue-level deadline in milliseconds from admission (0 = none). A
+  /// request still queued when its deadline passes resolves with a typed
+  /// "deadline_exceeded" error instead of running; once claimed by a
+  /// worker it always runs to completion. Schedule-only.
+  std::uint64_t deadline_ms = 0;
 
   /// All fields, explicit, in schema order, one line, no trailing \n.
   [[nodiscard]] std::string canonical_json() const;
@@ -67,15 +79,53 @@ struct CampaignRequest {
 CampaignRequest parse_request(std::string_view text,
                               const std::string& origin);
 
+/// Control line: `{"cancel":"<id>"}` (optional "schema", no other
+/// fields) — asks the service to abort the still-queued request with
+/// that id. Queue-level: a cancelled request resolves with a typed
+/// "cancelled" envelope; a request already claimed by a worker finishes
+/// normally and the cancel is a no-op.
+struct CancelLine {
+  RequestId target;
+  [[nodiscard]] std::string canonical_json() const;
+};
+
+/// One parsed NDJSON input line: exactly one of the members is set.
+struct ParsedLine {
+  std::optional<CampaignRequest> request;
+  std::optional<CancelLine> cancel;
+};
+
+/// Parses one input line, dispatching on the presence of a "cancel"
+/// field: `{"cancel":...}` objects parse as CancelLine (strict: no other
+/// fields besides the optional "schema"), everything else as a
+/// CampaignRequest via parse_request().
+ParsedLine parse_line(std::string_view text, const std::string& origin);
+
 /// Execution identity for single-flight coalescing: the FNV-1a digest of
 /// the canonical form with the schedule-only fields (id, threads,
-/// combo_jobs) neutralized — those change how fast a campaign runs, never
-/// its results or stream bytes, so requests differing only there share
-/// one execution.
+/// combo_jobs, priority, deadline_ms) neutralized — those change how
+/// fast (or whether) a campaign runs, never its results or stream bytes,
+/// so requests differing only there share one execution.
 [[nodiscard]] std::uint64_t coalesce_key(const CampaignRequest& req);
 
+/// Machine-readable error discriminators for CampaignResponse::error_code.
+/// Stable wire strings — clients dispatch on these, never on the prose
+/// in `error`.
+namespace error_code {
+inline constexpr const char* kRequest = "request";    ///< parse/validation
+inline constexpr const char* kRun = "run";            ///< execution failed
+inline constexpr const char* kQueueFull = "queue_full";
+inline constexpr const char* kCancelled = "cancelled";
+inline constexpr const char* kDeadline = "deadline_exceeded";
+inline constexpr const char* kDrained = "drained";    ///< graceful drain
+inline constexpr const char* kStopped = "stopped";    ///< service stopping
+inline constexpr const char* kFrame = "frame";        ///< transport framing
+}  // namespace error_code
+
 struct CampaignResponse {
-  static constexpr std::uint32_t kSchemaVersion = 1;
+  /// v2 (PR 10) added `error_code` and `retry_after_hint` to error
+  /// envelopes.
+  static constexpr std::uint32_t kSchemaVersion = 2;
 
   /// One applied TS(I, D_1) set (mirrors core::AppliedSet; lets `rls run`
   /// print its per-application report without re-parsing the stream).
@@ -86,7 +136,12 @@ struct CampaignResponse {
 
   RequestId id;
   bool ok = false;
-  std::string error;      ///< set when !ok ("queue_full", parse/run errors)
+  std::string error;      ///< human prose, set when !ok
+  /// Machine-readable discriminator (error_code::k*), rendered when !ok.
+  std::string error_code;
+  /// Suggested client back-off in milliseconds before resubmitting
+  /// (queue_full / drained rejections); rendered when nonzero.
+  std::uint64_t retry_after_hint = 0;
   bool coalesced = false; ///< this response shared another request's run
 
   // Result row (valid when ok).

@@ -1,5 +1,7 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <thread>
 #include <utility>
@@ -39,17 +41,33 @@ netlist::Netlist load_circuit(const std::string& which) {
   return netlist::load_bench_file(which);
 }
 
-CampaignResponse error_response(RequestId id, std::string what) {
+CampaignResponse error_response(RequestId id, std::string what,
+                                const char* code = error_code::kRun,
+                                std::uint64_t retry_hint = 0) {
   CampaignResponse resp;
   resp.id = std::move(id);
   resp.ok = false;
   resp.error = std::move(what);
+  resp.error_code = code;
+  resp.retry_after_hint = retry_hint;
   return resp;
+}
+
+/// Deterministic client back-off suggestion: scales with how deep the
+/// queue was when the request bounced, so herds thin out instead of
+/// hammering a full service in lockstep.
+std::uint64_t retry_hint_ms(std::size_t queue_depth) {
+  return 25 * (static_cast<std::uint64_t>(queue_depth) + 1);
 }
 
 }  // namespace
 
 CampaignService::CampaignService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "campaign service queue capacity must be nonzero (a service that "
+        "can admit nothing rejects every request)");
+  }
   if (cfg_.workers == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     cfg_.workers = hw > 0 ? hw : 1;
@@ -83,32 +101,65 @@ std::shared_future<CampaignResponse> CampaignService::submit_locked(
 
   Subscriber sub;
   sub.id = req.id;
+  if (req.deadline_ms > 0) {
+    sub.has_deadline = true;
+    sub.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(req.deadline_ms);
+  }
   sub.promise = std::make_shared<std::promise<CampaignResponse>>();
   sub.future = sub.promise->get_future().share();
 
   const std::uint64_t key = coalesce_key(req);
   if (const auto it = inflight_.find(key); it != inflight_.end()) {
     sub.coalesced = true;
+    const std::uint64_t priority = req.priority;
     it->second->subscribers.push_back(sub);
+    // A higher-priority subscriber promotes the whole queued execution
+    // (a no-op when it is already running or already higher).
+    if (priority > it->second->priority) promote_locked(it->second, priority);
     counters_.add("svc.coalesced", 1);
     return sub.future;
   }
   if (queue_.size() >= cfg_.queue_capacity) {
     counters_.add("svc.rejected", 1);
-    throw QueueFullError(sub.id);
+    throw QueueFullError(sub.id, retry_hint_ms(queue_.size()));
   }
   std::shared_future<CampaignResponse> future = sub.future;
   auto ex = std::make_shared<Execution>();
   ex->key = key;
   ex->leader_id = req.id;
+  ex->priority = req.priority;
+  ex->seq = next_seq_++;
   ex->progress = progress;
   ex->req = std::move(req);
   ex->subscribers.push_back(std::move(sub));
   inflight_.emplace(key, ex);
-  queue_.push_back(std::move(ex));
+  enqueue_locked(std::move(ex));
   counters_.add("svc.queued", 1);
   cv_.notify_one();
   return future;
+}
+
+void CampaignService::enqueue_locked(std::shared_ptr<Execution> ex) {
+  // Stable priority order: higher priority first, admission sequence
+  // within a priority. upper_bound keeps equal-priority FIFO.
+  const auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), ex,
+      [](const std::shared_ptr<Execution>& a,
+         const std::shared_ptr<Execution>& b) {
+        if (a->priority != b->priority) return a->priority > b->priority;
+        return a->seq < b->seq;
+      });
+  queue_.insert(pos, std::move(ex));
+}
+
+void CampaignService::promote_locked(const std::shared_ptr<Execution>& ex,
+                                     std::uint64_t priority) {
+  const auto it = std::find(queue_.begin(), queue_.end(), ex);
+  ex->priority = priority;
+  if (it == queue_.end()) return;  // already claimed by a worker
+  queue_.erase(it);
+  enqueue_locked(ex);
 }
 
 std::shared_future<CampaignResponse> CampaignService::submit(
@@ -125,10 +176,17 @@ CampaignService::submit_batch(std::vector<CampaignRequest> reqs) {
   for (CampaignRequest& req : reqs) {
     try {
       futures.push_back(submit_locked(std::move(req), nullptr));
+    } catch (const QueueFullError& e) {
+      auto p = std::make_shared<std::promise<CampaignResponse>>();
+      auto f = p->get_future().share();
+      p->set_value(error_response(e.id, e.what(), error_code::kQueueFull,
+                                  e.retry_after_hint));
+      futures.push_back(std::move(f));
     } catch (const std::exception& e) {
       auto p = std::make_shared<std::promise<CampaignResponse>>();
       auto f = p->get_future().share();
-      p->set_value(error_response(req.id, e.what()));
+      p->set_value(
+          error_response(req.id, e.what(), error_code::kStopped));
       futures.push_back(std::move(f));
     }
   }
@@ -150,7 +208,40 @@ bool CampaignService::step(unsigned /*worker*/) {
     if (queue_.empty()) return false;  // stopping and drained: park
     ex = queue_.front();
     queue_.pop_front();
-    counters_.add("svc.admitted", 1);
+    // Claim-time deadline check: subscribers whose queue deadline has
+    // already passed get a typed error instead of a late result. If
+    // nobody is left the campaign is not worth running at all.
+    std::vector<Subscriber> expired;
+    const auto now = std::chrono::steady_clock::now();
+    auto& subs = ex->subscribers;
+    for (auto it = subs.begin(); it != subs.end();) {
+      if (it->has_deadline && it->deadline < now) {
+        expired.push_back(std::move(*it));
+        it = subs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!expired.empty()) {
+      counters_.add("svc.deadline_expired", expired.size());
+    }
+    if (subs.empty()) {
+      inflight_.erase(ex->key);
+      ex.reset();
+    } else {
+      counters_.add("svc.admitted", 1);
+    }
+    lk.unlock();
+    for (Subscriber& sub : expired) {
+      try {
+        sub.promise->set_value(error_response(
+            sub.id, "queue deadline exceeded before a worker claimed the "
+                    "request",
+            error_code::kDeadline));
+      } catch (const std::future_error&) {
+      }
+    }
+    if (!ex) return true;
   }
   CampaignResponse base;
   try {
@@ -236,10 +327,66 @@ CampaignResponse CampaignService::execute(const Execution& ex) {
       std::lock_guard<std::mutex> lk(mu_);
       counters_.merge(ctx.counters());
     }
+  } catch (const RequestError& e) {
+    resp = error_response(ex.leader_id, e.what(), error_code::kRequest);
   } catch (const std::exception& e) {
     resp = error_response(ex.leader_id, e.what());
   }
   return resp;
+}
+
+CampaignService::CancelResult CampaignService::cancel(const RequestId& id) {
+  Subscriber cancelled;
+  bool found_queued = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto qit = queue_.begin(); qit != queue_.end() && !found_queued;
+         ++qit) {
+      auto& subs = (*qit)->subscribers;
+      for (auto sit = subs.begin(); sit != subs.end(); ++sit) {
+        if (sit->id != id) continue;
+        cancelled = std::move(*sit);
+        subs.erase(sit);
+        found_queued = true;
+        if (subs.empty()) {
+          // Last subscriber gone: the campaign has no audience, drop the
+          // execution entirely (frees its queue slot).
+          inflight_.erase((*qit)->key);
+          queue_.erase(qit);
+        }
+        break;
+      }
+    }
+    if (found_queued) {
+      counters_.add("svc.cancelled", 1);
+    } else {
+      // Claimed or finished executions still sit in inflight_ until
+      // finish(); a subscriber there is running, not cancellable.
+      for (const auto& [key, ex] : inflight_) {
+        for (const Subscriber& sub : ex->subscribers) {
+          if (sub.id == id) return CancelResult::kRunning;
+        }
+      }
+      return CancelResult::kNotFound;
+    }
+  }
+  try {
+    cancelled.promise->set_value(error_response(
+        cancelled.id, "request cancelled while queued",
+        error_code::kCancelled));
+  } catch (const std::future_error&) {
+  }
+  return CancelResult::kCancelled;
+}
+
+std::vector<RequestId> CampaignService::queued_order() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<RequestId> ids;
+  ids.reserve(queue_.size());
+  for (const std::shared_ptr<Execution>& ex : queue_) {
+    ids.push_back(ex->leader_id);
+  }
+  return ids;
 }
 
 void CampaignService::finish(const std::shared_ptr<Execution>& ex,
@@ -277,32 +424,46 @@ void CampaignService::collect_one_shard() {
   }
 }
 
-void CampaignService::shutdown() {
+void CampaignService::stop(const char* code) {
+  // Unclaimed executions come off the queue first: a worker that wakes
+  // up sees an empty queue and parks, while the executions it already
+  // claimed run to completion (and reach their terminal checkpoints —
+  // the restart-with-resume contract).
+  std::deque<std::shared_ptr<Execution>> unclaimed;
   {
     std::lock_guard<std::mutex> lk(mu_);
     stopping_ = true;
+    unclaimed.swap(queue_);
+    for (const std::shared_ptr<Execution>& ex : unclaimed) {
+      inflight_.erase(ex->key);
+    }
+    if (!unclaimed.empty()) {
+      counters_.add("svc.drained", unclaimed.size());
+    }
   }
   cv_.notify_all();
-  if (scheduler_.joinable()) scheduler_.join();
-  // Anything still queued never ran (the scheduler drains the queue
-  // before parking, so this is the start()-never-called path).
-  std::deque<std::shared_ptr<Execution>> leftovers;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    leftovers.swap(queue_);
-    inflight_.clear();
-  }
-  for (const std::shared_ptr<Execution>& ex : leftovers) {
+  const bool draining = std::strcmp(code, error_code::kDrained) == 0;
+  const char* what = draining
+                         ? "campaign service drained before execution "
+                           "(server shutting down; resubmit after restart)"
+                         : "campaign service stopped before execution";
+  for (const std::shared_ptr<Execution>& ex : unclaimed) {
     for (Subscriber& sub : ex->subscribers) {
       try {
-        sub.promise->set_value(
-            error_response(sub.id, "campaign service stopped before "
-                                   "execution"));
+        sub.promise->set_value(error_response(
+            sub.id, what, code, draining ? retry_hint_ms(0) : 0));
       } catch (const std::future_error&) {
       }
     }
   }
+  // drain() and the destructor's shutdown() run sequentially on the
+  // owner's thread; join is a no-op the second time.
+  if (scheduler_.joinable()) scheduler_.join();
 }
+
+void CampaignService::drain() { stop(error_code::kDrained); }
+
+void CampaignService::shutdown() { stop(error_code::kStopped); }
 
 obs::CounterRegistry CampaignService::counters() const {
   std::lock_guard<std::mutex> lk(mu_);

@@ -17,14 +17,27 @@
 // occupying a queue slot — one campaign runs, every subscriber receives
 // the same result row and the same byte-exact JSONL stream. Counters
 // (svc.queued / svc.admitted / svc.coalesced / svc.rejected /
-// svc.gc_evictions, plus the merged per-execution fsim.*/store.*
-// registries) make the dedup observable and testable.
+// svc.cancelled / svc.deadline_expired / svc.gc_evictions, plus the
+// merged per-execution fsim.*/store.* registries) make the dedup
+// observable and testable.
+//
+// Scheduling (schema 2, PR 10): the admission queue is a *stable
+// priority queue* — executions sorted by descending priority, admission
+// order within a priority (a coalescing subscriber with a higher
+// priority promotes the queued execution). Cancellation and deadlines
+// are queue-level: cancel(id) aborts a still-queued subscriber with a
+// typed "cancelled" response, and a subscriber whose deadline_ms has
+// passed when a worker claims its execution gets a typed
+// "deadline_exceeded" response; once a worker claims an execution it
+// always runs to completion (coalescing semantics stay intact, and a
+// claimed run always reaches its terminal checkpoint).
 //
 // Determinism: executions run with wall-clock stamping off unless the
 // request opts in, so a response stream is byte-identical to a solo
 // `rls run` of the same options against the same store state.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,7 +64,8 @@ struct ServiceConfig {
   /// Concurrent campaign executions (0 = hardware concurrency).
   unsigned workers = 1;
   /// Admission queue capacity (leaders only; coalesced subscribers do
-  /// not occupy slots).
+  /// not occupy slots). Must be nonzero — a service that can admit
+  /// nothing is a misconfiguration, rejected in the constructor.
   std::size_t queue_capacity = 64;
   /// Adopt partial checkpoints from the store (killed-serve recovery).
   bool resume = false;
@@ -64,13 +78,18 @@ struct ServiceConfig {
 };
 
 /// Typed admission rejection: the queue was full at submit() time.
+/// Carries a deterministic back-off hint (proportional to the queue
+/// depth at rejection) that the service surfaces as the envelope's
+/// `retry_after_hint` field.
 class QueueFullError : public std::runtime_error {
  public:
-  explicit QueueFullError(RequestId request_id)
+  QueueFullError(RequestId request_id, std::uint64_t retry_hint_ms)
       : std::runtime_error("campaign service queue is full (request \"" +
                            request_id + "\" rejected)"),
-        id(std::move(request_id)) {}
+        id(std::move(request_id)),
+        retry_after_hint(retry_hint_ms) {}
   const RequestId id;
+  const std::uint64_t retry_after_hint;  ///< suggested back-off (ms)
 };
 
 /// Submitting to a service that is shutting down.
@@ -110,10 +129,30 @@ class CampaignService {
   CampaignResponse run(CampaignRequest req,
                        obs::ProgressObserver* progress = nullptr);
 
-  /// Drains the queue, parks the workers and joins the scheduler.
-  /// Queued-but-never-started executions (start() never called) resolve
-  /// with a "service stopped" error response.
+  /// Outcome of cancel(): the subscriber was still queued and is now
+  /// resolved with a typed "cancelled" response; already claimed by a
+  /// worker (it will finish normally); or unknown.
+  enum class CancelResult { kCancelled, kRunning, kNotFound };
+
+  /// Queue-level cancellation by request id. Removes the subscriber from
+  /// its queued execution (the execution itself is dequeued when it has
+  /// no subscribers left) and resolves its future with a typed
+  /// "cancelled" error envelope.
+  CancelResult cancel(const RequestId& id);
+
+  /// Graceful drain: stop admitting, resolve every queued-but-unclaimed
+  /// request with a typed "drained" error (retry_after_hint set), let
+  /// claimed executions finish (terminal checkpoints land in the store,
+  /// so a restart with resume=true replays them), then park the workers
+  /// and join the scheduler. Idempotent.
+  void drain();
+
+  /// drain() with the "stopped" error code — the destructor path.
   void shutdown();
+
+  /// Leader ids of the queued (unclaimed) executions, in the order a
+  /// worker would claim them. Introspection for tests and ops tooling.
+  [[nodiscard]] std::vector<RequestId> queued_order() const;
 
   /// Snapshot of the service counters (svc.* + merged execution
   /// registries).
@@ -130,6 +169,10 @@ class CampaignService {
     RequestId id;
     bool coalesced = false;
     obs::ProgressObserver* progress = nullptr;
+    /// Queue-level deadline (admission time + deadline_ms); checked when
+    /// a worker claims the execution. No deadline when !has_deadline.
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
     std::shared_ptr<std::promise<CampaignResponse>> promise;
     std::shared_future<CampaignResponse> future;
   };
@@ -137,16 +180,26 @@ class CampaignService {
     std::uint64_t key = 0;
     CampaignRequest req;      ///< the leader's request defines the run
     RequestId leader_id;      ///< fixed at creation (RunContext scope)
+    std::uint64_t priority = 0;  ///< max over subscribers (promotion)
+    std::uint64_t seq = 0;       ///< admission order (stability tie-break)
     obs::ProgressObserver* progress = nullptr;  ///< leader-only
     std::vector<Subscriber> subscribers;        ///< guarded by mu_
   };
 
   std::shared_future<CampaignResponse> submit_locked(
       CampaignRequest&& req, obs::ProgressObserver* progress);
+  /// Inserts into queue_ keeping (priority desc, seq asc) order.
+  void enqueue_locked(std::shared_ptr<Execution> ex);
+  /// Re-sorts a queued execution after a priority promotion.
+  void promote_locked(const std::shared_ptr<Execution>& ex,
+                      std::uint64_t priority);
   bool step(unsigned worker);
   CampaignResponse execute(const Execution& ex);
   void finish(const std::shared_ptr<Execution>& ex, CampaignResponse base);
   void collect_one_shard();
+  /// Shared drain/shutdown: `code` becomes the error_code of every
+  /// queued-but-unclaimed subscriber's typed response.
+  void stop(const char* code);
 
   ServiceConfig cfg_;
   std::unique_ptr<store::ArtifactStore> astore_;
@@ -155,10 +208,12 @@ class CampaignService {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Stable priority queue: sorted by (priority desc, seq asc).
   std::deque<std::shared_ptr<Execution>> queue_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Execution>> inflight_;
   obs::CounterRegistry counters_;
   std::uint64_t next_id_ = 0;
+  std::uint64_t next_seq_ = 0;
   unsigned gc_cursor_ = 0;
   bool started_ = false;
   bool stopping_ = false;

@@ -319,13 +319,10 @@ TEST(StoreArtifact, TempOrphansAreInvisibleAndCollected) {
   write_all(orphan, {1, 2, 3});
   EXPECT_EQ(store.size(), 1u);  // orphan not visible as an artifact
 
-  // A fresh temp file may be an in-flight put() racing the collector:
-  // gc must leave it alone until the grace window has passed.
-  EXPECT_EQ(store.gc(1 << 20).removed_files, 0u);
-  EXPECT_TRUE(fs::exists(orphan));
-
-  fs::last_write_time(orphan,
-                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+  // gc holds the exclusive store flock, so no put() can be in flight in
+  // any process while it runs: every temp file it sees is a true crash
+  // orphan and is collected immediately, fresh or not (lock-aware gc;
+  // the PR 5 grace window only applies when flock is unsupported).
   const auto stats = store.gc(1 << 20);
   EXPECT_EQ(stats.removed_files, 1u);  // the orphan, never the artifact
   EXPECT_FALSE(fs::exists(orphan));

@@ -172,7 +172,7 @@ TEST(SvcRequest, StrictParsingRejectsBadInput) {
   // schema is required and version-gated.
   EXPECT_THROW(svc::parse_request(R"({"circuit":"s27"})", "t"),
                svc::RequestError);
-  EXPECT_THROW(svc::parse_request(R"({"schema":2,"circuit":"s27"})", "t"),
+  EXPECT_THROW(svc::parse_request(R"({"schema":3,"circuit":"s27"})", "t"),
                svc::RequestError);
   // Unknown fields are a hard error (typo'd knobs must not default).
   EXPECT_THROW(
@@ -188,6 +188,49 @@ TEST(SvcRequest, StrictParsingRejectsBadInput) {
                svc::RequestError);
   EXPECT_THROW(svc::parse_request(
                    R"({"schema":1,"circuit":"s27","d1_order":[]})", "t"),
+               svc::RequestError);
+}
+
+TEST(SvcRequest, ScheduleFieldsAreScheduleOnly) {
+  // priority / deadline_ms (schema 2) round-trip through the canonical
+  // form but never change the execution identity: a high-priority
+  // deadline-bearing request coalesces with its plain twin.
+  svc::CampaignRequest req;
+  req.circuit = "s298";
+  req.priority = 9;
+  req.deadline_ms = 1500;
+  const svc::CampaignRequest back =
+      svc::parse_request(req.canonical_json(), "test");
+  EXPECT_EQ(back.priority, 9u);
+  EXPECT_EQ(back.deadline_ms, 1500u);
+  EXPECT_EQ(back.canonical_json(), req.canonical_json());
+
+  svc::CampaignRequest plain;
+  plain.circuit = "s298";
+  EXPECT_EQ(svc::coalesce_key(req), svc::coalesce_key(plain));
+}
+
+TEST(SvcRequest, ParseLineDispatchesCancelStrictly) {
+  const svc::ParsedLine req =
+      svc::parse_line(R"({"schema":1,"circuit":"s27"})", "t");
+  ASSERT_TRUE(req.request.has_value());
+  EXPECT_FALSE(req.cancel.has_value());
+
+  const svc::ParsedLine cancel =
+      svc::parse_line(R"({"cancel":"q7"})", "t");
+  ASSERT_TRUE(cancel.cancel.has_value());
+  EXPECT_EQ(cancel.cancel->target, "q7");
+  // The canonical form round-trips (the fuzz fixpoint contract).
+  const svc::ParsedLine canon =
+      svc::parse_line(cancel.cancel->canonical_json(), "t");
+  ASSERT_TRUE(canon.cancel.has_value());
+  EXPECT_EQ(canon.cancel->target, "q7");
+
+  // Strict: no extra fields, a named target, version-gated schema.
+  EXPECT_THROW(svc::parse_line(R"({"cancel":"q7","circuit":"s27"})", "t"),
+               svc::RequestError);
+  EXPECT_THROW(svc::parse_line(R"({"cancel":""})", "t"), svc::RequestError);
+  EXPECT_THROW(svc::parse_line(R"({"schema":3,"cancel":"q7"})", "t"),
                svc::RequestError);
 }
 

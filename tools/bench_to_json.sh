@@ -21,6 +21,12 @@
 # the full collapsed universe with and without the sta untestable mask:
 # `detected` must match exactly while gate_evals_per_run drops (PR-9;
 # generate with `-f StaPrune -o BENCH_PR9.json`).
+# BM_NetThroughput is the BM_ServeThroughput workload pushed through the
+# TCP loopback (NetClient -> NetServer -> CampaignService): compare
+# against the matching ServeThroughput row for the transport tax, cold
+# vs warm for the store payoff over the wire, and the coalesced row's
+# requests/s for cross-connection single-flight dedup (PR-10; generate
+# with `-f NetThroughput -o BENCH_PR10.json`).
 #
 # Usage:
 #   tools/bench_to_json.sh [-b BUILD_DIR] [-o OUTPUT] [-f FILTER] [-m MIN_TIME]

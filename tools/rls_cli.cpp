@@ -7,7 +7,9 @@
 //   rls cop     <circuit> [n]         the n hardest faults by COP estimate
 //   rls run     <circuit> [options]   Procedure 2 (one Table-6 style row)
 //   rls batch   <requests.json>       run an NDJSON request file (svc API)
-//   rls serve   [options]             NDJSON requests on stdin (svc API)
+//   rls serve   [options]             NDJSON requests on stdin (svc API);
+//                                     --listen=PORT serves them over TCP
+//   rls client  <host:port> [file]    send NDJSON requests to `rls serve`
 //   rls tables  <circuit>             Table-5 style (L_A,L_B,N) ranking
 //   rls lint    <circuit|file.bench>  design-rule + resistance diagnostics
 //   rls analyze <circuit|file.bench>  static testability (ternary + SCOAP)
@@ -25,8 +27,13 @@
 // `run`, `batch` and `serve` all route through svc::CampaignService —
 // `rls run` builds a svc::CampaignRequest from its flags (print it with
 // --dump-request) and executes it synchronously.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cerrno>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
@@ -46,6 +53,9 @@
 #include "fault/collapse.hpp"
 #include "fuzz/fuzz.hpp"
 #include "gen/registry.hpp"
+#include "net/client.hpp"
+#include "net/framing.hpp"
+#include "net/server.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/validate.hpp"
@@ -369,8 +379,14 @@ struct SvcFlags {
   std::uint64_t queue_cap = 64;
   std::uint64_t gc_shard_bytes = 0;
   bool resume = false;
+  // serve-only (ignored by batch):
+  std::string listen;  ///< TCP port to listen on ("" = stdin mode)
+  std::string bind = "127.0.0.1";
+  std::string trace;   ///< net_conn/net_rr JSONL sink (TCP mode)
+  std::uint64_t max_line_bytes = 1 << 20;
+  std::uint64_t max_write_buffer = 4u << 20;
 
-  void add_to(cli::FlagParser& fp) {
+  void add_to(cli::FlagParser& fp, bool serve) {
     fp.add_string("store-dir", &store_dir,
                   "shared sharded artifact store (cache + checkpoints)");
     fp.add_string("stream-dir", &stream_dir,
@@ -378,11 +394,25 @@ struct SvcFlags {
     fp.add_uint("workers", &workers,
                 "concurrent campaign executions (0 = hardware)");
     fp.add_uint("queue-cap", &queue_cap,
-                "admission queue capacity (default 64)");
+                "admission queue capacity (default 64, must be nonzero)");
     fp.add_uint("gc-shard-bytes", &gc_shard_bytes,
                 "per-shard gc byte budget, one shard per finished run");
     fp.add_bool("resume", &resume,
                 "adopt partial checkpoints from --store-dir");
+    if (serve) {
+      fp.add_string("listen", &listen,
+                    "serve NDJSON over TCP on this port (0 = ephemeral; "
+                    "default: stdin)");
+      fp.add_string("bind", &bind,
+                    "TCP listen address (default 127.0.0.1)");
+      fp.add_string("trace", &trace,
+                    "write net_conn/net_rr events to FILE (TCP mode)");
+      fp.add_uint("max-line-bytes", &max_line_bytes,
+                  "reject request lines longer than this (default 1MiB)");
+      fp.add_uint("max-write-buffer", &max_write_buffer,
+                  "per-connection un-acked response byte cap before a "
+                  "typed overflow disconnect (default 4MiB)");
+    }
   }
 
   [[nodiscard]] svc::ServiceConfig to_config() const {
@@ -391,6 +421,11 @@ struct SvcFlags {
     }
     if (gc_shard_bytes > 0 && store_dir.empty()) {
       throw cli::FlagError("--gc-shard-bytes requires --store-dir");
+    }
+    if (queue_cap == 0) {
+      throw cli::FlagError(
+          "--queue-cap=0 would reject every request (the queue admits "
+          "leaders only; give it at least 1 slot)");
     }
     svc::ServiceConfig cfg;
     cfg.store_dir = store_dir;
@@ -420,11 +455,16 @@ bool emit_response(const svc::CampaignResponse& resp,
   return resp.ok;
 }
 
-svc::CampaignResponse parse_error_response(std::string id, std::string what) {
+svc::CampaignResponse parse_error_response(
+    std::string id, std::string what,
+    std::string code = svc::error_code::kRequest,
+    std::uint64_t retry_after_hint = 0) {
   svc::CampaignResponse resp;
   resp.id = std::move(id);
   resp.ok = false;
   resp.error = std::move(what);
+  resp.error_code = std::move(code);
+  resp.retry_after_hint = retry_after_hint;
   return resp;
 }
 
@@ -480,12 +520,39 @@ int cmd_batch(const std::string& file, const SvcFlags& flags) {
   return all_ok ? 0 : 1;
 }
 
-int cmd_serve(const SvcFlags& flags) {
-  svc::CampaignService service(flags.to_config());
+// Self-pipe written by the SIGINT/SIGTERM handler; poll()ed by both
+// serve front ends so a stop request interrupts any blocking wait. The
+// byte is never drained — once a stop is requested it stays requested.
+int g_sig_pipe[2] = {-1, -1};
+
+extern "C" void on_stop_signal(int) {
+  const char byte = 's';
+  (void)!::write(g_sig_pipe[1], &byte, 1);
+}
+
+void install_stop_handlers() {
+  if (g_sig_pipe[0] < 0 && ::pipe(g_sig_pipe) != 0) {
+    throw std::runtime_error("cannot create signal pipe");
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_stop_signal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must see EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // dead clients are per-connection events
+}
+
+/// stdin front end: NDJSON on stdin, envelopes on stdout. Shares the
+/// framing (LineSplitter), line dispatch (parse_line: requests + cancel
+/// control lines) and drain semantics with the TCP front end, so a
+/// SIGTERM'd server leaves the same store state either way and
+/// `--resume` picks up identically.
+int serve_stdin(svc::CampaignService& service, const SvcFlags& flags) {
   std::deque<std::shared_future<svc::CampaignResponse>> pending;
   bool all_ok = true;
   // Responses print in admission order; completed leaders are drained
-  // after every accepted line so a long-lived session streams results
+  // after every accepted chunk so a long-lived session streams results
   // instead of buffering them until EOF.
   const auto drain = [&](bool block) {
     while (!pending.empty()) {
@@ -498,17 +565,27 @@ int cmd_serve(const SvcFlags& flags) {
       pending.pop_front();
     }
   };
-  std::string line;
   std::size_t lineno = 0;
-  while (std::getline(std::cin, line)) {
+  const auto handle_line = [&](std::string_view line) {
     ++lineno;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.find_first_not_of(" \t") == std::string_view::npos) return;
     const std::string origin = "stdin:" + std::to_string(lineno);
     try {
-      pending.push_back(service.submit(svc::parse_request(line, origin)));
+      svc::ParsedLine parsed = svc::parse_line(line, origin);
+      if (parsed.cancel) {
+        // No envelope for the control line itself — the outcome shows
+        // up on the *target* request's envelope (typed `cancelled` when
+        // it was still queued, the normal result when already running).
+        service.cancel(parsed.cancel->target);
+        return;
+      }
+      pending.push_back(service.submit(std::move(*parsed.request)));
     } catch (const svc::QueueFullError& e) {
-      all_ok = emit_response(parse_error_response(e.id, e.what()),
-                             flags.stream_dir) &&
+      all_ok = emit_response(
+                   parse_error_response(e.id, e.what(),
+                                        svc::error_code::kQueueFull,
+                                        e.retry_after_hint),
+                   flags.stream_dir) &&
                all_ok;
     } catch (const std::exception& e) {
       all_ok = emit_response(
@@ -517,9 +594,145 @@ int cmd_serve(const SvcFlags& flags) {
                    flags.stream_dir) &&
                all_ok;
     }
+  };
+
+  net::LineSplitter splitter(flags.max_line_bytes);
+  bool stop_requested = false;
+  bool eof = false;
+  while (!stop_requested && !eof) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_sig_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      eof = true;
+      break;
+    }
+    if (fds[1].revents != 0) {
+      stop_requested = true;
+      break;
+    }
+    if (fds[0].revents == 0) continue;
+    char buf[1 << 16];
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof = true;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    try {
+      splitter.feed({buf, static_cast<std::size_t>(n)}, handle_line);
+    } catch (const net::FrameError& e) {
+      // Framing is unrecoverable on a byte stream: the rest of the
+      // input has no trustworthy line boundaries.
+      all_ok = emit_response(
+                   parse_error_response("line" + std::to_string(lineno + 1),
+                                        e.what(), svc::error_code::kFrame),
+                   flags.stream_dir) &&
+               all_ok;
+      eof = true;
+    }
     drain(/*block=*/false);
   }
+  if (eof && !stop_requested) {
+    if (const std::optional<std::string> last = splitter.finish()) {
+      handle_line(*last);
+    }
+  }
+  if (stop_requested) {
+    // The graceful-drain contract (same as TCP mode): stop admitting,
+    // let claimed executions finish — their terminal checkpoints are
+    // what `--resume` adopts on restart — and resolve queued-unclaimed
+    // requests with typed `drained` envelopes, flushed below.
+    service.drain();
+  }
   drain(/*block=*/true);
+  return stop_requested ? 0 : (all_ok ? 0 : 1);
+}
+
+/// TCP front end: NetServer does the per-connection work; this thread
+/// just parks on the signal pipe, then runs the drain sequence.
+int serve_tcp(svc::CampaignService& service, const SvcFlags& flags) {
+  unsigned long port = 0;
+  try {
+    port = std::stoul(flags.listen);
+  } catch (const std::exception&) {
+    port = 65536;  // force the range error below
+  }
+  if (port > 65535) {
+    throw cli::FlagError("--listen wants a TCP port (0..65535), got '" +
+                         flags.listen + "'");
+  }
+
+  net::NetConfig cfg;
+  cfg.bind_address = flags.bind;
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.max_line_bytes = static_cast<std::size_t>(flags.max_line_bytes);
+  cfg.max_write_buffer = static_cast<std::size_t>(flags.max_write_buffer);
+  cfg.stream_dir = flags.stream_dir;
+  net::NetServer server(service, cfg);
+
+  std::unique_ptr<obs::JsonlSink> sink;
+  if (!flags.trace.empty()) {
+    sink = flags.trace == "-"
+               ? std::make_unique<obs::JsonlSink>(stdout)
+               : std::make_unique<obs::JsonlSink>(flags.trace);
+    server.set_sink(sink.get());
+  }
+
+  // Tests (and shell scripts) discover an ephemeral port from this line.
+  std::printf("rls serve: listening on %s:%u\n", flags.bind.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  for (;;) {
+    pollfd pfd{g_sig_pipe[0], POLLIN, 0};
+    if (::poll(&pfd, 1, -1) < 0 && errno == EINTR) continue;
+    break;
+  }
+  // Order matters: drain the service first so queued work resolves into
+  // typed `drained` envelopes, then shut the transport down so writers
+  // flush those envelopes before the sockets close.
+  service.drain();
+  server.shutdown();
+  return 0;
+}
+
+int cmd_serve(const SvcFlags& flags) {
+  svc::CampaignService service(flags.to_config());
+  install_stop_handlers();
+  if (!flags.listen.empty()) return serve_tcp(service, flags);
+  return serve_stdin(service, flags);
+}
+
+int cmd_client(const std::string& host_port, const std::string& file) {
+  std::ifstream fin;
+  std::istream* in = &std::cin;
+  if (file != "-") {
+    fin.open(file);
+    if (!fin.good()) {
+      throw std::runtime_error("cannot read request file '" + file + "'");
+    }
+    in = &fin;
+  }
+  net::NetClient client(host_port);
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    client.send_line(line);
+  }
+  client.shutdown_write();
+  bool all_ok = true;
+  while (const std::optional<std::string> resp = client.recv_line()) {
+    std::printf("%s\n", resp->c_str());
+    std::fflush(stdout);
+    // Envelope keys are unescaped in to_json output while string values
+    // JSON-escape their quotes, so this literal only ever matches the
+    // envelope's own ok field.
+    if (resp->find("\"ok\":false") != std::string::npos) all_ok = false;
+  }
   return all_ok ? 0 : 1;
 }
 
@@ -757,7 +970,7 @@ int cmd_fuzz(const FuzzFlags& flags) {
 int usage() {
   std::fprintf(stderr,
                "usage: rls <list|stats|bench|faults|cop|tables|run|batch|"
-               "serve|lint|analyze|fuzz> [circuit|file] [options]\n"
+               "serve|client|lint|analyze|fuzz> [circuit|file] [options]\n"
                "common options: --engine=conediff|fullsweep|packed "
                "--threads=N "
                "--seed=S --trace=FILE --progress\n"
@@ -769,6 +982,9 @@ int usage() {
                "--resume\n"
                "                --gc-shard-bytes=N --stream-dir=DIR "
                "(requests: NDJSON, see docs/SERVICE.md)\n"
+               "serve only:     --listen=PORT --bind=ADDR --trace=FILE "
+               "--max-line-bytes=N --max-write-buffer=N\n"
+               "client:         rls client <host:port> [requests.json|-]\n"
                "lint options:   --json --no-resistance --threshold=P "
                "--la=N --lb=N --n=N --max-resistant=K\n"
                "analyze options: --json --scoap --untestable\n"
@@ -797,7 +1013,10 @@ int main(int argc, char** argv) {
     FuzzFlags fuzz_flags;
     const bool is_svc = cmd == "batch" || cmd == "serve";
     if (is_svc) {
-      svc_flags.add_to(fp);
+      svc_flags.add_to(fp, /*serve=*/cmd == "serve");
+    } else if (cmd == "client") {
+      // client takes positionals only; keep the parser empty so any
+      // flag is a typed usage error.
     } else if (cmd == "fuzz") {
       fuzz_flags.add_to(fp);
     } else {
@@ -847,6 +1066,9 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(which, common, analyze_flags);
     if (cmd == "run") return cmd_run(which, common, run_flags);
     if (cmd == "batch") return cmd_batch(which, svc_flags);
+    if (cmd == "client") {
+      return cmd_client(which, pos.size() > 1 ? pos[1] : "-");
+    }
   } catch (const cli::FlagError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();

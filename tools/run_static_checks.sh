@@ -24,10 +24,12 @@
 #      StoreResume / ...) plus the PackedFsim and campaign-service (Svc*)
 #      suites — the adversarial corruption tests must be clean under
 #      AddressSanitizer (typed errors, never UB), and so must the packed
-#      engine's word machinery and the service's admission/coalescing path;
+#      engine's word machinery and the service's admission/coalescing path —
+#      plus the net loopback determinism suite (NetFrame / NetLoopback /
+#      NetDrain / NetSharedStore);
 #   6. unless --quick: the TSan preset build + thread-heavy test suites
 #      (ParallelFsim / PackedFsim / SweepEquiv / SweepAbort /
-#      EngineCrossCheck / WorkerPool / StoreConcurrency / Svc* /
+#      EngineCrossCheck / WorkerPool / StoreConcurrency / Svc* / Net* /
 #      FuzzDeterminism) with suppressions from tools/tsan.supp.
 #
 # Exit code 0 means every gate that could run passed.
@@ -117,7 +119,7 @@ if [[ "$quick" == 0 ]]; then
   echo "== ASan+UBSan (rls::store suites) =="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j"$(nproc)" >/dev/null
-  if ! ctest --test-dir build-asan -R "Store|PackedFsim|Svc|Fuzz" --output-on-failure; then
+  if ! ctest --test-dir build-asan -R "Store|PackedFsim|Svc|NetFrame|NetLoopback|NetDrain|NetSharedStore|Fuzz" --output-on-failure; then
     echo "asan store suites: FAILED" >&2
     fail=1
   fi
